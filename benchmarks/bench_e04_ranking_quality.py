@@ -1,0 +1,85 @@
+"""E4 — authority vs simple ranking quality (RankClus/NetClus ranking tables).
+
+Within each ground-truth research area of the DBLP network, rank venues
+by both functions and check how well the planted prestige order is
+recovered.  Doubles as the ranking-function ablation called out in
+DESIGN.md.
+
+Paper shape: authority ranking recovers the flagship venue at least as
+reliably as simple degree-share ranking, and both put the area's own
+venues on top.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import format_table, record_table
+from repro.datasets import AREAS, VENUES_BY_AREA, make_dblp_four_area
+from repro.ranking import authority_ranking, simple_ranking
+
+
+def _rank_areas():
+    dblp = make_dblp_four_area(seed=0)
+    hin = dblp.hin
+    venue_names = hin.names("venue")
+    w_va = hin.commuting_matrix("venue-paper-author")
+    w_aa = hin.commuting_matrix("author-paper-author")
+
+    rows = []
+    metrics = {"authority": [], "simple": []}
+    for area_idx, area in enumerate(AREAS):
+        papers = np.flatnonzero(dblp.paper_labels == area_idx)
+        sub = hin.restrict("paper", papers)
+        sub_va = sub.commuting_matrix("venue-paper-author")
+        sub_aa = sub.commuting_matrix("author-paper-author")
+        flagship = VENUES_BY_AREA[area][0]
+        per_method_top = {}
+        for method, ranking in (
+            ("authority", authority_ranking(sub_va, sub_aa)),
+            ("simple", simple_ranking(sub_va)),
+        ):
+            order = [venue_names[i] for i, _ in ranking.top_targets(5)]
+            per_method_top[method] = order
+            # reciprocal rank of the flagship venue
+            rank = order.index(flagship) + 1 if flagship in order else 6
+            own = sum(1 for v in order[:5] if v in VENUES_BY_AREA[area])
+            metrics[method].append({"mrr": 1.0 / rank, "own_in_top5": own / 5.0})
+        rows.append(
+            [area, flagship,
+             ", ".join(per_method_top["authority"][:3]),
+             ", ".join(per_method_top["simple"][:3])]
+        )
+    summary = {
+        method: {
+            "mrr": float(np.mean([m["mrr"] for m in vals])),
+            "own_in_top5": float(np.mean([m["own_in_top5"] for m in vals])),
+        }
+        for method, vals in metrics.items()
+    }
+    return rows, summary
+
+
+@pytest.mark.benchmark(group="e04-ranking-quality")
+def test_e04_ranking_quality(benchmark):
+    rows, summary = benchmark.pedantic(_rank_areas, rounds=1, iterations=1)
+    table = format_table(
+        ["area", "flagship", "authority top-3", "simple top-3"],
+        rows,
+        title="E4: within-area venue rankings",
+    )
+    table += "\n\n" + format_table(
+        ["method", "flagship MRR", "own venues in top-5"],
+        [[m, s["mrr"], s["own_in_top5"]] for m, s in summary.items()],
+        title="E4 summary (mean over 4 areas)",
+    )
+    record_table("e04_ranking_quality", table)
+    benchmark.extra_info["summary"] = summary
+
+    # paper shape: both rankings keep the area's venues on top; authority
+    # finds the flagship at least as well as degree share
+    assert summary["authority"]["own_in_top5"] == 1.0
+    assert summary["simple"]["own_in_top5"] == 1.0
+    assert summary["authority"]["mrr"] >= summary["simple"]["mrr"] - 0.1
+    assert summary["authority"]["mrr"] >= 0.5

@@ -1,0 +1,102 @@
+"""E8 — statistical behaviour of information networks (tutorial §2(a) figures).
+
+Three classical figure-series in table form:
+
+* degree-distribution power-law fits: preferential attachment vs random;
+* densification law and shrinking effective diameter (forest fire);
+* small-world sigma: Watts–Strogatz vs Erdős–Rényi.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import format_table, record_table
+from repro.measures import (
+    average_clustering,
+    diameter_series,
+    fit_densification,
+    fit_power_law,
+    small_world_sigma,
+    snapshots_by_node_arrival,
+)
+from repro.networks import (
+    barabasi_albert,
+    erdos_renyi,
+    forest_fire,
+    watts_strogatz,
+)
+
+
+def _power_law_rows():
+    rows = []
+    ba = barabasi_albert(4000, 3, seed=0)
+    er = erdos_renyi(4000, 6 / 3999, seed=0)
+    ff = forest_fire(2500, 0.40, seed=0)
+    for name, graph in (("BA (m=3)", ba), ("ER (same density)", er), ("forest fire", ff)):
+        deg = graph.degree()
+        fit = fit_power_law(deg[deg > 0], xmin=3)
+        rows.append([name, fit.alpha, fit.ks_distance, int(deg.max())])
+    return rows
+
+
+def _densification_rows():
+    rows = []
+    for name, graph in (
+        ("forest fire p=0.55 (densifying)", forest_fire(1500, 0.55, seed=1)),
+        ("forest fire p=0.50", forest_fire(1500, 0.50, seed=1)),
+        ("BA m=3 (no densification)", barabasi_albert(1500, 3, seed=1)),
+    ):
+        snaps = snapshots_by_node_arrival(graph, np.linspace(200, 1500, 6))
+        fit = fit_densification(snaps)
+        diams = diameter_series(snaps, n_sources=48, seed=0)
+        rows.append([name, fit.exponent, fit.r_squared, diams[0], diams[-1]])
+    return rows
+
+
+def _small_world_rows():
+    rows = []
+    for name, graph in (
+        ("Watts-Strogatz k=6 p=0.1", watts_strogatz(400, 6, 0.1, seed=0)),
+        ("Erdos-Renyi same density", erdos_renyi(400, 6 / 399, seed=0)),
+    ):
+        sigma = small_world_sigma(graph, n_random=3, seed=1)
+        rows.append([name, average_clustering(graph), sigma])
+    return rows
+
+
+def _run():
+    return _power_law_rows(), _densification_rows(), _small_world_rows()
+
+
+@pytest.mark.benchmark(group="e08-network-statistics")
+def test_e08_network_statistics(benchmark):
+    pl_rows, dens_rows, sw_rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_table(
+        ["model", "alpha (xmin=3)", "KS distance", "max degree"],
+        pl_rows,
+        title="E8a: degree-distribution power-law fits",
+    )
+    table += "\n\n" + format_table(
+        ["model", "densification exponent", "R^2", "diam90 early", "diam90 late"],
+        dens_rows,
+        title="E8b: densification law and effective diameter",
+    )
+    table += "\n\n" + format_table(
+        ["model", "avg clustering", "small-world sigma"],
+        sw_rows,
+        title="E8c: small-world index",
+    )
+    record_table("e08_network_statistics", table)
+
+    # shapes: BA fits a power law better than ER and grows hubs
+    assert pl_rows[0][2] < pl_rows[1][2]
+    assert pl_rows[0][3] > 3 * pl_rows[1][3]
+    # forest fire densifies (a > 1) near criticality, BA does not (a ~ 1)
+    assert dens_rows[0][1] > 1.3
+    assert abs(dens_rows[2][1] - 1.0) < 0.1
+    # diameter does not grow for the densifying model
+    assert dens_rows[0][4] <= dens_rows[0][3] + 0.5
+    # WS is small-world, ER is not
+    assert sw_rows[0][2] > 1.5 > sw_rows[1][2]

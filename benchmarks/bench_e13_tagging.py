@@ -1,0 +1,83 @@
+"""E13 — web-object classification via the tagging graph (KDD'09 tables).
+
+Flickr photos with {2%, 5%, 10%, 20%} labeled: tag-graph propagation
+(optionally strengthened with same-owner links) vs the content-only
+TF-IDF kNN baseline.
+
+Paper shape: the graph method beats content-only everywhere, most at low
+label rates; adding the social (same-user) context helps further or at
+least never hurts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import format_table, record_table
+from repro.classification import TagGraphClassifier, tag_vector_knn
+from repro.datasets import make_flickr
+
+SEEDS = [0, 1]
+FRACTIONS = (0.02, 0.05, 0.10, 0.20)
+
+
+def _run():
+    rows = []
+    for fraction in FRACTIONS:
+        accs = {"tag-graph": [], "tag-graph+user": [], "kNN": []}
+        for seed in SEEDS:
+            flickr = make_flickr(photos_per_topic=120, seed=seed)
+            n = flickr.n_photos
+            rng = np.random.default_rng(seed)
+            mask = np.zeros(n, dtype=bool)
+            n_seeds = max(4, int(round(fraction * n)))
+            mask[rng.choice(n, n_seeds, replace=False)] = True
+            unl = ~mask
+            object_tag = flickr.hin.relation_matrix("tagged_with")
+
+            plain = TagGraphClassifier().fit(
+                object_tag, flickr.photo_labels, mask
+            )
+            accs["tag-graph"].append(
+                float((plain.object_labels_[unl] == flickr.photo_labels[unl]).mean())
+            )
+            user_links = flickr.hin.homogeneous_projection(
+                "photo-user-photo"
+            ).adjacency
+            social = TagGraphClassifier().fit(
+                object_tag, flickr.photo_labels, mask, object_object=user_links
+            )
+            accs["tag-graph+user"].append(
+                float((social.object_labels_[unl] == flickr.photo_labels[unl]).mean())
+            )
+            knn = tag_vector_knn(object_tag, flickr.photo_labels, mask)
+            accs["kNN"].append(
+                float((knn[unl] == flickr.photo_labels[unl]).mean())
+            )
+        rows.append(
+            [f"{fraction:.0%}",
+             float(np.mean(accs["tag-graph"])),
+             float(np.mean(accs["tag-graph+user"])),
+             float(np.mean(accs["kNN"]))]
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="e13-tagging")
+def test_e13_tagging(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_table(
+        ["labeled", "tag-graph", "tag-graph+user", "content kNN"],
+        rows,
+        title="E13: photo topic classification on the tagging graph "
+              "(unlabeled photos only, mean over 2 seeds)",
+    )
+    record_table("e13_tagging", table)
+    benchmark.extra_info["rows"] = rows
+
+    # paper shape: graph methods beat content-only at every label rate
+    for row in rows:
+        assert max(row[1], row[2]) >= row[3] - 0.02
+    # low-label regime shows the biggest structural advantage
+    assert rows[0][1] >= rows[0][3]

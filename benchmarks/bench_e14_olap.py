@@ -1,0 +1,96 @@
+"""E14 — OLAP on information networks (iNextCube demo tables).
+
+The cube over the DBLP four-area network with area and year dimensions:
+
+* the area cuboid with informational + ranked measures per cell;
+* aggregation consistency under roll-up and group-by (partition checks);
+* query latency of point cells, group-bys and roll-ups (the actual
+  pytest-benchmark timing target).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import format_table, record_table
+from repro.datasets import AREAS, make_dblp_four_area
+from repro.olap import Dimension, InfoNetCube
+
+FIELD_MAP = {
+    "database": "systems",
+    "data_mining": "analytics",
+    "info_retrieval": "analytics",
+    "machine_learning": "analytics",
+}
+
+
+def _build_cube():
+    dblp = make_dblp_four_area(seed=0)
+    area_dim = Dimension(
+        "area",
+        [AREAS[a] for a in dblp.paper_labels],
+        hierarchies={"field": FIELD_MAP},
+    )
+    year_dim = Dimension(
+        "year",
+        dblp.paper_years.tolist(),
+        hierarchies={
+            "era": {y: f"{(y // 4) * 4}s" for y in range(1990, 2020)}
+        },
+    )
+    return dblp, InfoNetCube(dblp.hin, "paper", [area_dim, year_dim])
+
+
+def _workload(cube):
+    """The timed query mix: point cells, 2-D group-by, roll-up."""
+    cells = cube.group_by("area")
+    rows = [
+        [c.coordinates["area"], c.count, c.link_count(),
+         c.attribute_count("venue"),
+         ", ".join(name for name, _ in c.top_ranked("venue", 3))]
+        for c in cells
+    ]
+    two_d = cube.group_by("area", "year")
+    rolled = cube.roll_up("area", "field")
+    rolled_cells = rolled.group_by("area:field")
+    return rows, two_d, rolled_cells
+
+
+@pytest.mark.benchmark(group="e14-olap")
+def test_e14_olap(benchmark):
+    dblp, cube = _build_cube()
+    rows, two_d, rolled_cells = benchmark(lambda: _workload(cube))
+
+    table = format_table(
+        ["area", "papers", "links", "venues", "top venues (ranked measure)"],
+        rows,
+        title="E14: the area cuboid of the DBLP network cube",
+    )
+    table += "\n\n" + format_table(
+        ["cuboid", "cells", "sum of counts", "total papers"],
+        [
+            ["area", len(rows), sum(r[1] for r in rows), cube.n_center],
+            ["area x year", len(two_d), sum(c.count for c in two_d), cube.n_center],
+            ["field (roll-up)", len(rolled_cells),
+             sum(c.count for c in rolled_cells), cube.n_center],
+        ],
+        title="E14: aggregation consistency",
+    )
+    record_table("e14_olap", table)
+
+    # consistency: every cuboid partitions the fact set
+    assert sum(r[1] for r in rows) == cube.n_center
+    assert sum(c.count for c in two_d) == cube.n_center
+    assert sum(c.count for c in rolled_cells) == cube.n_center
+    # roll-up arithmetic: analytics = DM + IR + ML
+    by_field = {c.coordinates["area:field"]: c.count for c in rolled_cells}
+    by_area = {r[0]: r[1] for r in rows}
+    assert by_field["systems"] == by_area["database"]
+    assert by_field["analytics"] == (
+        by_area["data_mining"] + by_area["info_retrieval"]
+        + by_area["machine_learning"]
+    )
+    # ranked measure surfaces the planted flagships
+    leaders = {r[4].split(", ")[0] for r in rows}
+    assert {"SIGMOD", "KDD", "SIGIR"} & leaders

@@ -1,0 +1,65 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each benchmark reproduces one table/figure of the evaluation index in
+DESIGN.md.  Besides the pytest-benchmark timing, every experiment emits
+the rows of its table through :func:`record_table`; the tables are
+printed in the terminal summary (bypassing output capture) and written to
+``benchmarks/results/<experiment>.txt`` so the numbers survive the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+_RESULTS_DIR = Path(__file__).parent / "results"
+_TABLES: list[tuple[str, str]] = []
+
+
+def format_table(headers: list[str], rows: list[list], *, title: str = "") -> str:
+    """Plain-text table with aligned columns."""
+    str_rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def record_table(experiment: str, text: str) -> None:
+    """Register *text* for the terminal summary and persist it to disk."""
+    _TABLES.append((experiment, text))
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    path = _RESULTS_DIR / f"{experiment}.txt"
+    with open(path, "a", encoding="utf-8") as f:
+        f.write(text + "\n\n")
+
+
+def pytest_sessionstart(session):
+    # fresh results per run
+    if _RESULTS_DIR.exists():
+        for old in _RESULTS_DIR.glob("*.txt"):
+            old.unlink()
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _TABLES:
+        return
+    terminalreporter.section("experiment tables (paper-shaped results)")
+    for experiment, text in _TABLES:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"[{experiment}]")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Cross-relational mining on a multi-table database (tutorial §4(b), §5(a)).
+
+The class signal in the bank database lives 1-2 foreign-key joins away
+from the client table, so single-table methods are blind to it:
+
+1. CrossMine learns human-readable multi-join rules and classifies
+   held-out clients;
+2. CrossClus clusters clients under user guidance ("I care about the
+   district's economy"), automatically pulling in pertinent features
+   from other tables.
+
+Run:  python examples/cross_relational_mining.py
+"""
+
+import numpy as np
+
+from repro.classification import CrossMine
+from repro.clustering import CrossClus, clustering_accuracy
+from repro.datasets import make_relational_bank
+
+
+def crossmine_demo() -> None:
+    print("=== CrossMine: rules across foreign keys ===")
+    train = make_relational_bank(n_clients=150, seed=0)
+    test = make_relational_bank(n_clients=100, seed=42)
+
+    clf = CrossMine(train.db, "client", "risk").fit()
+    print(f"  learned {len(clf.rules_)} rules:")
+    for rule in clf.rules_[:4]:
+        print(f"    {rule}")
+    truth = np.array(test.db.table("client").column("risk"), dtype=object)
+    pred = clf.predict(test.db)
+    print(f"  held-out accuracy: {(pred == truth).mean():.3f}")
+
+    flat = CrossMine(train.db, "client", "risk", max_hops=0).fit()
+    print(f"  single-table (flattened) accuracy: {flat.accuracy():.3f}  "
+          f"<- the signal is invisible without joins\n")
+
+
+def crossclus_demo() -> None:
+    print("=== CrossClus: user-guided multi-relational clustering ===")
+    bank = make_relational_bank(n_clients=150, seed=1)
+    model = CrossClus(
+        bank.db,
+        "client",
+        n_clusters=2,
+        guidance=(("client", "account", "district"), "economy"),
+        min_similarity=0.2,
+        exclude_columns=[("client", "risk")],  # the held-out evaluation label
+        seed=0,
+    ).fit()
+    acc = clustering_accuracy(bank.labels, model.labels_)
+    print(f"  guidance: district economy; clustering accuracy vs planted risk: {acc:.3f}")
+    print("  selected features:")
+    for spec in model.selected_features_:
+        sim = model.feature_similarities_.get(spec)
+        note = f" (similarity to guidance {sim:.2f})" if sim is not None else " (guidance)"
+        print(f"    {spec}{note}")
+
+
+if __name__ == "__main__":
+    crossmine_demo()
+    crossclus_demo()

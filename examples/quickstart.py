@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: from a relational database to ranked clusters in ~40 lines.
+
+Builds a tiny bibliographic database with foreign keys, turns it into a
+heterogeneous information network (the tutorial's opening move), and runs
+RankClus to get clusters of venues *with* their conditional author
+rankings — the "clustering and ranking are one task" demonstration.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import RankClus
+from repro.datasets import make_bitype_network
+from repro.relational import Database, LinkSpec, Table, build_hin
+
+
+def database_to_network() -> None:
+    """Turn FK-linked tables into a typed information network."""
+    db = Database("mini_bib")
+    db.add_table(Table("author", ["id", "name"],
+                       [(1, "ada"), (2, "bob"), (3, "cyd")], primary_key="id"))
+    db.add_table(Table("venue", ["id", "name"],
+                       [(10, "SIGMOD"), (11, "KDD")], primary_key="id"))
+    db.add_table(Table("paper", ["id", "title", "venue_id"],
+                       [(100, "p1", 10), (101, "p2", 10), (102, "p3", 11)],
+                       primary_key="id"))
+    db.add_table(Table("authorship", ["author_id", "paper_id"],
+                       [(1, 100), (2, 100), (1, 101), (3, 102)]))
+    db.add_foreign_key("paper", "venue_id", "venue", "id")
+    db.add_foreign_key("authorship", "author_id", "author", "id")
+    db.add_foreign_key("authorship", "paper_id", "paper", "id")
+
+    hin = build_hin(
+        db,
+        entity_tables=["author", "paper", "venue"],
+        links=[
+            LinkSpec("writes", "authorship", "author_id", "paper_id"),
+            LinkSpec("published_in", "paper", None, "venue_id"),
+        ],
+    )
+    print("=== database as an information network ===")
+    print(hin)
+    co_pubs = hin.commuting_matrix("author-paper-venue").toarray()
+    print("author x venue path counts:\n", co_pubs)
+    print()
+
+
+def rank_while_clustering() -> None:
+    """RankClus on a planted conference-author network."""
+    net = make_bitype_network(
+        n_clusters=3, targets_per_cluster=8, attributes_per_cluster=60, seed=0
+    )
+    model = RankClus(n_clusters=3, seed=0).fit(net.w_xy, w_yy=net.w_yy)
+
+    print("=== RankClus: clusters with conditional rankings ===")
+    for c in range(3):
+        members = model.cluster_members(c)
+        print(f"cluster {c}: {members.size} conferences "
+              f"(planted labels: {sorted(set(net.target_labels[members].tolist()))})")
+        top = model.top_targets(c, 3)
+        print(f"  top conferences: {[(i, round(s, 3)) for i, s in top]}")
+        top_a = model.top_attributes(c, 3)
+        print(f"  top authors:     {[(i, round(s, 4)) for i, s in top_a]}")
+    print()
+
+
+if __name__ == "__main__":
+    database_to_network()
+    rank_while_clustering()

@@ -1,0 +1,59 @@
+"""repro — database-oriented heterogeneous information network analysis.
+
+A production-quality reproduction of the system described in the SIGMOD
+2010 tutorial *"Mining Knowledge from Databases: An Information Network
+Analysis Approach"* (Han, Sun, Yan, Yu): turn relational data into typed
+information networks and mine them — ranking (PageRank, HITS, authority
+ranking), similarity (SimRank, Personalized PageRank, PathSim), clustering
+(spectral, SCAN, LinkClus, CrossClus, RankClus, NetClus), data integration
+(object reconciliation, DISTINCT, TruthFinder), classification (CrossMine,
+GNetMine, tag-graph), and OLAP over information networks.
+
+Quickstart
+----------
+>>> from repro.datasets import make_dblp_four_area
+>>> from repro.core import NetClus
+>>> dblp = make_dblp_four_area(seed=0)
+>>> model = NetClus(n_clusters=4, seed=0).fit(dblp.hin)
+>>> [name for name, _ in model.top_objects("venue", 0, 3)]  # doctest: +SKIP
+['SIGIR', 'CIKM', 'ECIR']
+"""
+
+from repro import (
+    classification,
+    clustering,
+    core,
+    datasets,
+    integration,
+    measures,
+    networks,
+    olap,
+    ranking,
+    relational,
+    similarity,
+)
+from repro.exceptions import ReproError
+from repro.networks import HIN, Graph, MetaPath, NetworkSchema, Relation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "HIN",
+    "NetworkSchema",
+    "Relation",
+    "MetaPath",
+    "ReproError",
+    "networks",
+    "relational",
+    "measures",
+    "ranking",
+    "similarity",
+    "clustering",
+    "core",
+    "integration",
+    "classification",
+    "olap",
+    "datasets",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Classification of information networks: CrossMine (cross-relational),
+GNetMine (heterogeneous transductive), tag-graph classification, and the
+homogeneous label-propagation baseline (tutorial §5)."""
+
+from repro.classification.crossmine import CrossMine, Predicate, Rule
+from repro.classification.gnetmine import GNetMine
+from repro.classification.label_propagation import label_propagation
+from repro.classification.tagging import TagGraphClassifier, tag_vector_knn
+
+__all__ = [
+    "CrossMine",
+    "Predicate",
+    "Rule",
+    "GNetMine",
+    "label_propagation",
+    "TagGraphClassifier",
+    "tag_vector_knn",
+]

@@ -1,0 +1,38 @@
+"""Clustering: metrics, k-means, spectral, SCAN, LinkClus, CrossClus."""
+
+from repro.clustering.evaluation import (
+    adjusted_rand_index,
+    clustering_accuracy,
+    confusion_matrix,
+    normalized_mutual_information,
+    pairwise_f1,
+    purity,
+)
+from repro.clustering.crossclus import CrossClus, FeatureSpec
+from repro.clustering.kmeans import KMeansResult, kmeans
+from repro.clustering.linkclus import LinkClus, SimTree
+from repro.clustering.modularity import greedy_modularity, modularity
+from repro.clustering.scan import ScanResult, scan, structural_similarity
+from repro.clustering.spectral import spectral_clustering, spectral_embedding
+
+__all__ = [
+    "LinkClus",
+    "SimTree",
+    "CrossClus",
+    "FeatureSpec",
+    "confusion_matrix",
+    "clustering_accuracy",
+    "normalized_mutual_information",
+    "purity",
+    "adjusted_rand_index",
+    "pairwise_f1",
+    "KMeansResult",
+    "kmeans",
+    "spectral_clustering",
+    "spectral_embedding",
+    "ScanResult",
+    "scan",
+    "structural_similarity",
+    "greedy_modularity",
+    "modularity",
+]

@@ -1,0 +1,174 @@
+"""Clustering quality metrics used throughout the experiment suite.
+
+All metrics take two integer label arrays (``labels_true``,
+``labels_pred``) of equal length.  Negative predicted labels denote
+unclustered objects (SCAN's hubs/outliers) and are excluded from
+accuracy/purity by convention — pass ``include_noise=True`` to count them
+as always-wrong instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+__all__ = [
+    "confusion_matrix",
+    "clustering_accuracy",
+    "normalized_mutual_information",
+    "purity",
+    "adjusted_rand_index",
+    "pairwise_f1",
+]
+
+
+def _as_labels(labels) -> np.ndarray:
+    arr = np.asarray(labels).ravel()
+    if arr.size == 0:
+        raise ValueError("label array must be non-empty")
+    return arr
+
+
+def _check_same_length(a: np.ndarray, b: np.ndarray) -> None:
+    if a.shape != b.shape:
+        raise ValueError(
+            f"label arrays differ in length: {a.shape[0]} vs {b.shape[0]}"
+        )
+
+
+def confusion_matrix(labels_true, labels_pred) -> np.ndarray:
+    """Contingency table ``C[i, j]`` = #objects in true class i, predicted j.
+
+    Rows/columns follow the sorted distinct labels of each array.
+    """
+    t = _as_labels(labels_true)
+    p = _as_labels(labels_pred)
+    _check_same_length(t, p)
+    t_values, t_idx = np.unique(t, return_inverse=True)
+    p_values, p_idx = np.unique(p, return_inverse=True)
+    out = np.zeros((t_values.size, p_values.size), dtype=np.int64)
+    np.add.at(out, (t_idx, p_idx), 1)
+    return out
+
+
+def _filter_noise(t: np.ndarray, p: np.ndarray):
+    # Noise predictions (negative labels) never participate in matching:
+    # a "noise cluster" must not be creditable as a correct cluster.
+    mask = p >= 0
+    return t[mask], p[mask]
+
+
+def clustering_accuracy(
+    labels_true, labels_pred, *, include_noise: bool = False
+) -> float:
+    """Accuracy under the best one-to-one cluster-to-class matching.
+
+    Solves the assignment problem on the contingency table (Hungarian
+    algorithm), the standard protocol of the RankClus/NetClus accuracy
+    tables.  Noise predictions (< 0) are excluded unless
+    ``include_noise=True``, in which case they count as errors.
+    """
+    t = _as_labels(labels_true)
+    p = _as_labels(labels_pred)
+    _check_same_length(t, p)
+    total = t.size
+    t_kept, p_kept = _filter_noise(t, p)
+    if t_kept.size == 0:
+        return 0.0
+    table = confusion_matrix(t_kept, p_kept)
+    rows, cols = linear_sum_assignment(-table)
+    matched = table[rows, cols].sum()
+    denom = total if include_noise else t_kept.size
+    return float(matched) / denom
+
+
+def purity(labels_true, labels_pred, *, include_noise: bool = False) -> float:
+    """Fraction of objects in the majority true class of their cluster."""
+    t = _as_labels(labels_true)
+    p = _as_labels(labels_pred)
+    _check_same_length(t, p)
+    total = t.size
+    t_kept, p_kept = _filter_noise(t, p)
+    if t_kept.size == 0:
+        return 0.0
+    table = confusion_matrix(t_kept, p_kept)
+    majority = table.max(axis=0).sum()
+    denom = total if include_noise else t_kept.size
+    return float(majority) / denom
+
+
+def normalized_mutual_information(labels_true, labels_pred) -> float:
+    """NMI with arithmetic-mean normalization: ``I(T;P) / ((H(T)+H(P))/2)``.
+
+    Returns 1.0 when the partitions are identical up to relabelling, 0.0
+    when independent.  Degenerate single-cluster partitions on both sides
+    return 1.0 if identical else 0.0.
+    """
+    t = _as_labels(labels_true)
+    p = _as_labels(labels_pred)
+    _check_same_length(t, p)
+    table = confusion_matrix(t, p).astype(np.float64)
+    n = table.sum()
+    pt = table.sum(axis=1) / n
+    pp = table.sum(axis=0) / n
+    joint = table / n
+    outer = pt[:, None] * pp[None, :]
+    nz = joint > 0
+    mi = float((joint[nz] * np.log(joint[nz] / outer[nz])).sum())
+    h_t = float(-(pt[pt > 0] * np.log(pt[pt > 0])).sum())
+    h_p = float(-(pp[pp > 0] * np.log(pp[pp > 0])).sum())
+    denom = (h_t + h_p) / 2.0
+    if denom == 0.0:
+        # both partitions are single-cluster
+        return 1.0
+    return mi / denom
+
+
+def adjusted_rand_index(labels_true, labels_pred) -> float:
+    """Rand index corrected for chance (Hubert & Arabie)."""
+    t = _as_labels(labels_true)
+    p = _as_labels(labels_pred)
+    _check_same_length(t, p)
+    table = confusion_matrix(t, p).astype(np.float64)
+    n = table.sum()
+
+    def comb2(x):
+        return x * (x - 1) / 2.0
+
+    sum_cells = comb2(table).sum()
+    sum_rows = comb2(table.sum(axis=1)).sum()
+    sum_cols = comb2(table.sum(axis=0)).sum()
+    expected = sum_rows * sum_cols / comb2(n) if n >= 2 else 0.0
+    max_index = (sum_rows + sum_cols) / 2.0
+    if max_index == expected:
+        return 1.0 if sum_cells == expected else 0.0
+    return float((sum_cells - expected) / (max_index - expected))
+
+
+def pairwise_f1(labels_true, labels_pred) -> tuple[float, float, float]:
+    """Pairwise (precision, recall, F1) over co-clustered object pairs.
+
+    A *predicted pair* is two objects sharing a predicted cluster; a
+    *true pair* shares a true class.  This is the evaluation protocol of
+    the DISTINCT object-distinction experiments, where each cluster should
+    collect exactly the references of one real-world entity.
+    """
+    t = _as_labels(labels_true)
+    p = _as_labels(labels_pred)
+    _check_same_length(t, p)
+    table = confusion_matrix(t, p).astype(np.float64)
+
+    def comb2(x):
+        return x * (x - 1) / 2.0
+
+    both = comb2(table).sum()               # pairs together in both
+    pred_pairs = comb2(table.sum(axis=0)).sum()
+    true_pairs = comb2(table.sum(axis=1)).sum()
+    precision = both / pred_pairs if pred_pairs > 0 else 1.0
+    recall = both / true_pairs if true_pairs > 0 else 1.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall > 0
+        else 0.0
+    )
+    return float(precision), float(recall), float(f1)

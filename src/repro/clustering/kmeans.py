@@ -1,0 +1,160 @@
+"""K-means on feature vectors — the workhorse behind spectral clustering,
+RankClus's measure-space step, and CrossClus.
+
+Supports Euclidean and cosine distance, k-means++ seeding, multiple
+restarts, and empty-cluster reseeding.  Deliberately dependency-free
+(numpy only) per the library's no-sklearn policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+__all__ = ["KMeansResult", "kmeans"]
+
+
+@dataclass
+class KMeansResult:
+    """Outcome of one k-means run (the best over ``n_init`` restarts).
+
+    Attributes
+    ----------
+    labels:
+        Cluster index per sample.
+    centers:
+        ``(k, d)`` centroid matrix.
+    inertia:
+        Sum of squared distances (or cosine dissimilarities) to assigned
+        centroids.
+    n_iter:
+        Iterations used by the winning restart.
+    """
+
+    labels: np.ndarray
+    centers: np.ndarray
+    inertia: float
+    n_iter: int
+
+
+def _normalize_rows(x: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(x, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    return x / norms
+
+
+def _distances(x: np.ndarray, centers: np.ndarray, metric: str) -> np.ndarray:
+    if metric == "euclidean":
+        # squared distances via the expansion ||x||^2 - 2 x.c + ||c||^2
+        x_sq = (x**2).sum(axis=1)[:, None]
+        c_sq = (centers**2).sum(axis=1)[None, :]
+        d = x_sq - 2.0 * x.dot(centers.T) + c_sq
+        np.maximum(d, 0.0, out=d)
+        return d
+    # cosine dissimilarity: rows already unit-normalized; clamp the tiny
+    # negative values float error can produce so k-means++ weights stay valid
+    d = 1.0 - x.dot(centers.T)
+    np.maximum(d, 0.0, out=d)
+    return d
+
+
+def _kmeanspp_init(x: np.ndarray, k: int, metric: str, rng) -> np.ndarray:
+    n = x.shape[0]
+    centers = np.empty((k, x.shape[1]))
+    first = int(rng.integers(0, n))
+    centers[0] = x[first]
+    closest = _distances(x, centers[:1], metric).ravel()
+    for i in range(1, k):
+        total = closest.sum()
+        if total <= 0:
+            # all points coincide with chosen centers: pick uniformly
+            pick = int(rng.integers(0, n))
+        else:
+            pick = int(rng.choice(n, p=closest / total))
+        centers[i] = x[pick]
+        np.minimum(
+            closest, _distances(x, centers[i : i + 1], metric).ravel(), out=closest
+        )
+    return centers
+
+
+def _single_run(
+    x: np.ndarray, k: int, metric: str, max_iter: int, tol: float, rng
+) -> KMeansResult:
+    centers = _kmeanspp_init(x, k, metric, rng)
+    labels = np.zeros(x.shape[0], dtype=np.int64)
+    for iteration in range(max_iter):
+        dists = _distances(x, centers, metric)
+        labels = dists.argmin(axis=1)
+        new_centers = np.zeros_like(centers)
+        for c in range(k):
+            members = x[labels == c]
+            if members.shape[0] == 0:
+                # reseed empty cluster at the point farthest from its center
+                worst = int(dists.min(axis=1).argmax())
+                new_centers[c] = x[worst]
+            else:
+                new_centers[c] = members.mean(axis=0)
+        if metric == "cosine":
+            new_centers = _normalize_rows(new_centers)
+        shift = float(np.abs(new_centers - centers).max())
+        centers = new_centers
+        if shift <= tol:
+            break
+    dists = _distances(x, centers, metric)
+    labels = dists.argmin(axis=1)
+    inertia = float(dists[np.arange(x.shape[0]), labels].sum())
+    return KMeansResult(labels, centers, inertia, iteration + 1)
+
+
+def kmeans(
+    features,
+    k: int,
+    *,
+    metric: str = "euclidean",
+    n_init: int = 8,
+    max_iter: int = 100,
+    tol: float = 1e-7,
+    seed=None,
+) -> KMeansResult:
+    """Cluster row vectors of *features* into *k* groups.
+
+    Parameters
+    ----------
+    features:
+        ``(n, d)`` array-like; sparse input is densified (the library only
+        calls this on low-dimensional embeddings/measure spaces).
+    k:
+        Number of clusters; must satisfy ``1 <= k <= n``.
+    metric:
+        ``"euclidean"`` or ``"cosine"``.  Cosine normalizes rows first and
+        keeps centroids unit-length, which is the convention for
+        spectral-embedding and rank-distribution spaces.
+    n_init:
+        Independent k-means++ restarts; the lowest-inertia run wins.
+    """
+    x = np.asarray(
+        features.toarray() if hasattr(features, "toarray") else features,
+        dtype=np.float64,
+    )
+    if x.ndim != 2:
+        raise ValueError(f"features must be 2-D, got shape {x.shape}")
+    n = x.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in 1..{n}, got {k}")
+    if metric not in ("euclidean", "cosine"):
+        raise ValueError(f"metric must be 'euclidean' or 'cosine', got {metric!r}")
+    if n_init < 1:
+        raise ValueError(f"n_init must be >= 1, got {n_init}")
+    if metric == "cosine":
+        x = _normalize_rows(x)
+
+    best: KMeansResult | None = None
+    for rng in spawn_rngs(seed, n_init):
+        run = _single_run(x, k, metric, max_iter, tol, rng)
+        if best is None or run.inertia < best.inertia:
+            best = run
+    return best

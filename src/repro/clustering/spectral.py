@@ -1,0 +1,64 @@
+"""Normalized spectral clustering (tutorial §2(b)i).
+
+Ng–Jordan–Weiss: embed nodes in the bottom-k eigenspace of the normalized
+Laplacian ``L_sym = I − D^{-1/2} A D^{-1/2}``, row-normalize, k-means.
+Serves as the homogeneous-clustering baseline that RankClus is compared
+against (experiment E1) — applied there to the attribute-projection of
+the bi-typed network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.networks.graph import Graph
+from repro.clustering.kmeans import kmeans
+from repro.utils.sparse import symmetric_normalize
+
+__all__ = ["spectral_clustering", "spectral_embedding"]
+
+
+def spectral_embedding(graph: Graph, k: int) -> np.ndarray:
+    """Bottom-*k* eigenvectors of the symmetric normalized Laplacian.
+
+    Isolated nodes (degree 0) embed at the origin.  Uses dense ``eigh``
+    below 500 nodes, Lanczos (``eigsh``) above.
+    """
+    n = graph.n_nodes
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in 1..{n}, got {k}")
+    adj = graph.to_undirected().adjacency
+    norm_adj = symmetric_normalize(adj)
+    lap = sp.eye(n, format="csr") - norm_adj
+    if n < 500 or k >= n - 1:
+        dense = lap.toarray()
+        _, vecs = np.linalg.eigh(dense)
+        emb = vecs[:, :k]
+    else:
+        # smallest algebraic eigenvalues; sigma-shift for robustness
+        vals, vecs = spla.eigsh(lap, k=k, which="SM", tol=1e-8)
+        order = np.argsort(vals)
+        emb = vecs[:, order]
+    return emb
+
+
+def spectral_clustering(
+    graph: Graph,
+    k: int,
+    *,
+    n_init: int = 8,
+    seed=None,
+) -> np.ndarray:
+    """Cluster *graph* into *k* groups by normalized spectral clustering.
+
+    Returns a label vector in ``0..k-1``.
+    """
+    emb = spectral_embedding(graph, k)
+    # NJW row normalization: project embeddings onto the unit sphere.
+    norms = np.linalg.norm(emb, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    emb = emb / norms
+    result = kmeans(emb, k, metric="euclidean", n_init=n_init, seed=seed)
+    return result.labels

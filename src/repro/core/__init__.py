@@ -1,0 +1,19 @@
+"""The tutorial's primary contribution: ranking-integrated clustering —
+RankClus (bi-typed networks), NetClus (star-schema networks), and the
+§7(a) extension: cluster-evolution tracking over temporal snapshots."""
+
+from repro.core.evolution import (
+    ClusterEvolution,
+    temporal_snapshots,
+    track_cluster_evolution,
+)
+from repro.core.netclus import NetClus
+from repro.core.rankclus import RankClus
+
+__all__ = [
+    "RankClus",
+    "NetClus",
+    "ClusterEvolution",
+    "temporal_snapshots",
+    "track_cluster_evolution",
+]

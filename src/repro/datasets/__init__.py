@@ -1,0 +1,35 @@
+"""Synthetic case-study datasets: DBLP four-area, Flickr, conflicting
+facts (truth discovery), the relational bank DB, and RankClus's planted
+bi-typed networks.  All seeded and laptop-scale."""
+
+from repro.datasets.dblp import (
+    AREAS,
+    VENUES_BY_AREA,
+    DblpFourArea,
+    make_dblp_four_area,
+)
+from repro.datasets.facts import FactDataset, make_conflicting_facts
+from repro.datasets.flickr import FLICKR_TOPICS, FlickrNetwork, make_flickr
+from repro.datasets.relational_bank import BankDataset, make_relational_bank
+from repro.datasets.synthetic import (
+    RANKCLUS_CONFIGS,
+    BiTypeNetwork,
+    make_bitype_network,
+)
+
+__all__ = [
+    "FactDataset",
+    "make_conflicting_facts",
+    "FlickrNetwork",
+    "make_flickr",
+    "FLICKR_TOPICS",
+    "BankDataset",
+    "make_relational_bank",
+    "BiTypeNetwork",
+    "make_bitype_network",
+    "RANKCLUS_CONFIGS",
+    "DblpFourArea",
+    "make_dblp_four_area",
+    "AREAS",
+    "VENUES_BY_AREA",
+]

@@ -1,0 +1,116 @@
+"""Synthetic conflicting-claims corpus for truth discovery (experiment E7).
+
+Substitutes TruthFinder's web-extraction corpora (book authors, flight
+times): objects have one true value in a small domain; sources have
+planted reliabilities and claim values accordingly; optional *copiers*
+replicate a bad source's claims, reproducing the correlated-error regime
+that breaks majority voting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = ["FactDataset", "make_conflicting_facts"]
+
+
+@dataclass
+class FactDataset:
+    """Claims plus planted ground truth.
+
+    Attributes
+    ----------
+    claims:
+        List of ``(source, object, value)`` triples.
+    truth:
+        ``{object: true value}``.
+    reliability:
+        ``{source: planted accuracy}``.
+    """
+
+    claims: list[tuple]
+    truth: dict
+    reliability: dict
+
+    def accuracy_of(self, predictions: dict) -> float:
+        """Fraction of objects whose predicted value matches the truth."""
+        if not self.truth:
+            return 0.0
+        hits = sum(
+            1 for obj, true_val in self.truth.items()
+            if predictions.get(obj) == true_val
+        )
+        return hits / len(self.truth)
+
+
+def make_conflicting_facts(
+    *,
+    n_objects: int = 100,
+    n_good_sources: int = 6,
+    n_bad_sources: int = 10,
+    good_accuracy: float = 0.9,
+    bad_accuracy: float = 0.3,
+    domain_size: int = 5,
+    claim_prob: float = 0.8,
+    n_copiers: int = 0,
+    seed=None,
+) -> FactDataset:
+    """Generate claims from good/bad sources (plus optional copiers).
+
+    Each source claims on each object independently with ``claim_prob``;
+    a claim is the true value with the source's accuracy, otherwise a
+    uniformly wrong value.  Copiers replicate the claims of the first bad
+    source verbatim — many agreeing-but-wrong voices, the failure mode
+    that separates TruthFinder from voting.
+    """
+    check_positive(n_objects, "n_objects")
+    check_positive(n_good_sources, "n_good_sources")
+    check_positive(n_bad_sources, "n_bad_sources")
+    check_probability(good_accuracy, "good_accuracy")
+    check_probability(bad_accuracy, "bad_accuracy")
+    check_probability(claim_prob, "claim_prob")
+    if domain_size < 2:
+        raise ValueError(f"domain_size must be >= 2, got {domain_size}")
+    if n_copiers < 0:
+        raise ValueError("n_copiers must be >= 0")
+    rng = ensure_rng(seed)
+
+    objects = [f"object_{i}" for i in range(n_objects)]
+    truth = {obj: int(rng.integers(0, domain_size)) for obj in objects}
+
+    sources: list[tuple[str, float]] = []
+    for i in range(n_good_sources):
+        sources.append((f"good_{i}", good_accuracy))
+    for i in range(n_bad_sources):
+        sources.append((f"bad_{i}", bad_accuracy))
+
+    claims: list[tuple] = []
+    first_bad_claims: dict = {}
+    for name, acc in sources:
+        for obj in objects:
+            if rng.random() > claim_prob:
+                continue
+            if rng.random() < acc:
+                value = truth[obj]
+            else:
+                wrong = int(rng.integers(0, domain_size - 1))
+                if wrong >= truth[obj]:
+                    wrong += 1
+                value = wrong
+            claims.append((name, obj, value))
+            if name == "bad_0":
+                first_bad_claims[obj] = value
+
+    reliability = {name: acc for name, acc in sources}
+    for i in range(n_copiers):
+        name = f"copier_{i}"
+        for obj, value in first_bad_claims.items():
+            claims.append((name, obj, value))
+        reliability[name] = bad_accuracy  # copiers inherit the bad profile
+
+    return FactDataset(claims=claims, truth=truth, reliability=reliability)

@@ -1,0 +1,156 @@
+"""Multi-relational bank database with a planted cross-join class signal.
+
+Substitutes the PKDD'99 financial (Loan) database used by CrossMine and
+the CS-department database used by CrossClus.  The class label of a
+client is decided by information that is *not* on the client table:
+
+* risky clients hold accounts in risky districts (1 join away), and
+* their loans are predominantly of a risky purpose (2 joins away),
+
+so any single-table learner on ``client`` alone is blind to the signal —
+exactly the property the cross-relational experiments (E10, E11) test.
+A ``transaction`` table of pure noise is included as a distractor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.relational.database import Database
+from repro.relational.table import Table
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = ["BankDataset", "make_relational_bank"]
+
+
+@dataclass
+class BankDataset:
+    """The generated database plus planted client classes.
+
+    Attributes
+    ----------
+    db:
+        Database with tables ``client``, ``account``, ``district``,
+        ``loan``, ``transaction`` and their foreign keys.  The client
+        table carries the label in column ``risk`` (for training);
+        ``labels`` is the same information as an array.
+    labels:
+        ``0`` = safe, ``1`` = risky, per client row.
+    """
+
+    db: Database
+    labels: np.ndarray
+
+    @property
+    def n_clients(self) -> int:
+        return len(self.db.table("client"))
+
+
+def make_relational_bank(
+    *,
+    n_clients: int = 120,
+    n_districts: int = 8,
+    risky_fraction: float = 0.4,
+    signal_strength: float = 0.9,
+    loans_per_client: tuple[int, int] = (1, 3),
+    transactions_per_account: int = 3,
+    seed=None,
+) -> BankDataset:
+    """Generate the bank with a class signal 1–2 joins away from clients.
+
+    ``signal_strength`` is the probability that the district/loan
+    attributes actually follow the client's class (1.0 = noiseless).
+    """
+    check_positive(n_clients, "n_clients")
+    check_positive(n_districts, "n_districts")
+    check_probability(risky_fraction, "risky_fraction")
+    check_probability(signal_strength, "signal_strength")
+    if n_districts < 2:
+        raise ValueError("need at least 2 districts")
+    rng = ensure_rng(seed)
+
+    labels = (rng.random(n_clients) < risky_fraction).astype(np.int64)
+
+    # districts: half 'declining', half 'growing' economies
+    district_rows = []
+    for d in range(n_districts):
+        economy = "declining" if d < n_districts // 2 else "growing"
+        district_rows.append((d, f"district_{d}", economy))
+
+    client_rows = []
+    account_rows = []
+    loan_rows = []
+    txn_rows = []
+    loan_id = 0
+    txn_id = 0
+    for c in range(n_clients):
+        risky = bool(labels[c])
+        client_rows.append(
+            (c, f"client_{c}", ("male", "female")[int(rng.integers(0, 2))],
+             ("safe", "risky")[labels[c]])
+        )
+        # account district follows the class with signal_strength
+        if rng.random() < signal_strength:
+            pool = (
+                range(0, n_districts // 2)
+                if risky
+                else range(n_districts // 2, n_districts)
+            )
+        else:
+            pool = range(n_districts)
+        district = int(rng.choice(list(pool)))
+        account_rows.append((1000 + c, c, district,
+                             ("classic", "junior")[int(rng.integers(0, 2))]))
+
+        n_loans = int(rng.integers(loans_per_client[0], loans_per_client[1] + 1))
+        for _ in range(n_loans):
+            if rng.random() < signal_strength:
+                purpose = "consumer_debt" if risky else "mortgage"
+            else:
+                purpose = ("consumer_debt", "mortgage", "business")[
+                    int(rng.integers(0, 3))
+                ]
+            status = (
+                ("late", "default")[int(rng.integers(0, 2))]
+                if risky and rng.random() < signal_strength
+                else "paid"
+            )
+            loan_rows.append((loan_id, 1000 + c, purpose, status))
+            loan_id += 1
+
+        for _ in range(transactions_per_account):
+            txn_rows.append(
+                (txn_id, 1000 + c,
+                 ("deposit", "withdrawal", "transfer")[int(rng.integers(0, 3))])
+            )
+            txn_id += 1
+
+    db = Database("bank")
+    db.add_table(
+        Table("district", ["id", "name", "economy"], district_rows, primary_key="id")
+    )
+    db.add_table(
+        Table("client", ["id", "name", "gender", "risk"], client_rows, primary_key="id")
+    )
+    db.add_table(
+        Table(
+            "account",
+            ["id", "client_id", "district_id", "type"],
+            account_rows,
+            primary_key="id",
+        )
+    )
+    db.add_table(
+        Table("loan", ["id", "account_id", "purpose", "status"], loan_rows, primary_key="id")
+    )
+    db.add_table(
+        Table("transaction", ["id", "account_id", "kind"], txn_rows, primary_key="id")
+    )
+    db.add_foreign_key("account", "client_id", "client", "id")
+    db.add_foreign_key("account", "district_id", "district", "id")
+    db.add_foreign_key("loan", "account_id", "account", "id")
+    db.add_foreign_key("transaction", "account_id", "account", "id")
+    return BankDataset(db=db, labels=labels)

@@ -1,0 +1,119 @@
+"""Exception and warning hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends raised by
+misuse of the Python API itself) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "NodeNotFoundError",
+    "EdgeError",
+    "SchemaError",
+    "MetaPathError",
+    "RelationNotFoundError",
+    "TypeNotFoundError",
+    "RelationalError",
+    "TableNotFoundError",
+    "ColumnNotFoundError",
+    "ForeignKeyError",
+    "CubeError",
+    "DimensionError",
+    "NotFittedError",
+    "ConvergenceWarning",
+    "DataWarning",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Structural problem with a homogeneous or heterogeneous graph."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A node id or node name was not present in the graph.
+
+    Inherits from :class:`KeyError` because lookup by key failed; code that
+    treats graphs as mappings keeps working.
+    """
+
+    def __str__(self) -> str:  # KeyError.__str__ repr()s its argument
+        return Exception.__str__(self)
+
+
+class EdgeError(GraphError):
+    """An edge is malformed (bad endpoints, negative weight, ...)."""
+
+
+class SchemaError(ReproError):
+    """A network schema is inconsistent or an operation violates it."""
+
+
+class MetaPathError(SchemaError):
+    """A meta-path does not type-check against the network schema."""
+
+
+class RelationNotFoundError(SchemaError, KeyError):
+    """No relation with the requested name/endpoints exists in the schema."""
+
+    def __str__(self) -> str:
+        return Exception.__str__(self)
+
+
+class TypeNotFoundError(SchemaError, KeyError):
+    """The requested node type is not part of the network."""
+
+    def __str__(self) -> str:
+        return Exception.__str__(self)
+
+
+class RelationalError(ReproError):
+    """Problem with the miniature relational-database substrate."""
+
+
+class TableNotFoundError(RelationalError, KeyError):
+    """The requested table does not exist in the database."""
+
+    def __str__(self) -> str:
+        return Exception.__str__(self)
+
+
+class ColumnNotFoundError(RelationalError, KeyError):
+    """The requested column does not exist in the table."""
+
+    def __str__(self) -> str:
+        return Exception.__str__(self)
+
+
+class ForeignKeyError(RelationalError):
+    """A foreign-key declaration or value is invalid."""
+
+
+class CubeError(ReproError):
+    """Problem constructing or querying an information-network cube."""
+
+
+class DimensionError(CubeError, KeyError):
+    """The requested cube dimension or level does not exist."""
+
+    def __str__(self) -> str:
+        return Exception.__str__(self)
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A model method that requires ``fit()`` was called before fitting."""
+
+
+class ConvergenceWarning(UserWarning):
+    """An iterative solver stopped at ``max_iter`` before reaching ``tol``."""
+
+
+class DataWarning(UserWarning):
+    """Input data looks suspicious (empty types, isolated partitions, ...)."""

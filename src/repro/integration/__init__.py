@@ -1,0 +1,26 @@
+"""Data integration and validation by link analysis: object
+reconciliation, DISTINCT object distinction, and TruthFinder veracity
+analysis (tutorial §3)."""
+
+from repro.integration.copydetect import (
+    CopyAwareTruthFinder,
+    estimate_source_dependence,
+)
+from repro.integration.distinct import Distinct
+from repro.integration.reconciliation import (
+    LinkReconciler,
+    MatchResult,
+    string_similarity,
+)
+from repro.integration.truthfinder import TruthFinder, majority_vote
+
+__all__ = [
+    "TruthFinder",
+    "majority_vote",
+    "CopyAwareTruthFinder",
+    "estimate_source_dependence",
+    "LinkReconciler",
+    "MatchResult",
+    "string_similarity",
+    "Distinct",
+]

@@ -1,0 +1,176 @@
+"""Object reconciliation by link analysis (tutorial §3(b)).
+
+Record linkage across two sets of references to the same underlying
+entities (e.g. author lists from two bibliographic sources).  Attribute
+evidence alone (string similarity of names) is brittle; the tutorial's
+point is that the *links* — which papers/venues/co-entities each record
+touches — identify entities even when names disagree.
+
+The reconciler scores every candidate pair by a convex combination of
+attribute similarity and link-context cosine, then runs a collective
+refinement: once two records are matched, their contexts are treated as
+shared, boosting the scores of neighbouring pairs (the "matched neighbours
+are evidence" recursion), and finally extracts a greedy one-to-one
+matching above a confidence threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from difflib import SequenceMatcher
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import NotFittedError
+from repro.utils.sparse import to_csr
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = ["MatchResult", "LinkReconciler", "string_similarity"]
+
+
+def string_similarity(a: str, b: str) -> float:
+    """Normalized edit-overlap similarity (difflib ratio) of two strings."""
+    return SequenceMatcher(None, str(a), str(b)).ratio()
+
+
+@dataclass
+class MatchResult:
+    """A reconciled pair: indices into the two record sets plus the score."""
+
+    left: int
+    right: int
+    score: float
+
+
+class LinkReconciler:
+    """Reconcile two record sets sharing a link-context space.
+
+    Parameters
+    ----------
+    alpha:
+        Weight of attribute (name) similarity versus link evidence
+        (``alpha=0`` is pure link analysis, ``alpha=1`` pure string
+        matching — the baseline the tutorial argues against).
+    threshold:
+        Minimum combined score for a pair to be matched.
+    n_rounds:
+        Collective refinement rounds (context sharing across matches).
+    boost:
+        Context mass copied between tentatively matched records per round.
+
+    Example
+    -------
+    >>> rec = LinkReconciler(alpha=0.3)                      # doctest: +SKIP
+    >>> rec.fit(ctx_a, ctx_b, names_a, names_b)              # doctest: +SKIP
+    >>> [(m.left, m.right) for m in rec.matches_]            # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        *,
+        alpha: float = 0.4,
+        threshold: float = 0.5,
+        n_rounds: int = 2,
+        boost: float = 0.5,
+    ):
+        check_probability(alpha, "alpha")
+        check_probability(threshold, "threshold")
+        check_positive(n_rounds, "n_rounds")
+        check_probability(boost, "boost")
+        self.alpha = float(alpha)
+        self.threshold = float(threshold)
+        self.n_rounds = int(n_rounds)
+        self.boost = float(boost)
+        self.matches_: list[MatchResult] | None = None
+        self.scores_: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _cosine(a: sp.csr_matrix, b: sp.csr_matrix) -> np.ndarray:
+        def norm_rows(m):
+            n = np.sqrt(np.asarray(m.multiply(m).sum(axis=1)).ravel())
+            scale = np.divide(1.0, n, out=np.zeros_like(n), where=n > 0)
+            return sp.diags(scale).dot(m)
+
+        return np.asarray(norm_rows(a).dot(norm_rows(b).T).todense())
+
+    def fit(
+        self,
+        context_left,
+        context_right,
+        names_left=None,
+        names_right=None,
+    ) -> "LinkReconciler":
+        """Score and match the two record sets.
+
+        ``context_left``/``context_right`` are ``(n, n_context)`` link
+        matrices over a *shared* context column space (papers, venues,
+        co-entities).  Optional name lists add attribute evidence.
+        """
+        left = to_csr(context_left)
+        right = to_csr(context_right)
+        if left.shape[1] != right.shape[1]:
+            raise ValueError(
+                f"context spaces differ: {left.shape[1]} vs {right.shape[1]}"
+            )
+        n_l, n_r = left.shape[0], right.shape[0]
+
+        if names_left is not None and names_right is not None:
+            name_sim = np.zeros((n_l, n_r))
+            for i, a in enumerate(names_left):
+                for j, b in enumerate(names_right):
+                    name_sim[i, j] = string_similarity(a, b)
+        else:
+            name_sim = None
+
+        work_left, work_right = left.copy().tolil(), right.copy().tolil()
+        scores = np.zeros((n_l, n_r))
+        for round_no in range(self.n_rounds):
+            link_sim = self._cosine(work_left.tocsr(), work_right.tocsr())
+            if name_sim is None:
+                scores = link_sim
+            else:
+                scores = self.alpha * name_sim + (1 - self.alpha) * link_sim
+            if round_no == self.n_rounds - 1:
+                break
+            # collective boost: tentatively matched pairs share context
+            tentative = self._greedy_matching(scores)
+            work_left, work_right = left.copy().tolil(), right.copy().tolil()
+            for m in tentative:
+                shared_r = right.getrow(m.right) * self.boost
+                shared_l = left.getrow(m.left) * self.boost
+                work_left[m.left] = (left.getrow(m.left) + shared_r).tolil()
+                work_right[m.right] = (right.getrow(m.right) + shared_l).tolil()
+
+        self.scores_ = scores
+        self.matches_ = self._greedy_matching(scores)
+        return self
+
+    def _greedy_matching(self, scores: np.ndarray) -> list[MatchResult]:
+        """One-to-one matching: repeatedly take the best unused pair
+        above the threshold."""
+        n_l, n_r = scores.shape
+        order = np.dstack(
+            np.unravel_index(np.argsort(-scores, axis=None), scores.shape)
+        )[0]
+        used_l: set[int] = set()
+        used_r: set[int] = set()
+        out: list[MatchResult] = []
+        for i, j in order:
+            s = float(scores[i, j])
+            if s < self.threshold:
+                break
+            if i in used_l or j in used_r:
+                continue
+            used_l.add(int(i))
+            used_r.add(int(j))
+            out.append(MatchResult(int(i), int(j), s))
+        return out
+
+    # ------------------------------------------------------------------
+    def match_pairs(self) -> list[tuple[int, int]]:
+        """Matched ``(left, right)`` index pairs (requires :meth:`fit`)."""
+        if self.matches_ is None:
+            raise NotFittedError("call fit() first")
+        return [(m.left, m.right) for m in self.matches_]

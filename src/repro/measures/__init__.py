@@ -1,0 +1,82 @@
+"""Network measures: density, centrality, connectivity, reachability,
+power laws, small worlds, and densification (tutorial §2(a))."""
+
+from repro.measures.basic import (
+    average_degree,
+    degree_histogram,
+    degree_statistics,
+    density,
+)
+from repro.measures.centrality import (
+    betweenness_centrality,
+    closeness_centrality,
+    degree_centrality,
+    eigenvector_centrality,
+)
+from repro.measures.connectivity import (
+    component_sizes,
+    connected_components,
+    is_connected,
+    largest_component,
+    n_components,
+)
+from repro.measures.densification import (
+    DensificationFit,
+    diameter_series,
+    fit_densification,
+    snapshots_by_node_arrival,
+)
+from repro.measures.powerlaw import PowerLawFit, fit_power_law, power_law_ccdf
+from repro.measures.reachability import (
+    average_path_length,
+    diameter,
+    effective_diameter,
+    reachable_set,
+    shortest_path_lengths,
+)
+from repro.measures.smallworld import (
+    average_clustering,
+    local_clustering,
+    small_world_sigma,
+    transitivity,
+)
+from repro.measures.structure import (
+    degree_assortativity,
+    k_core,
+    k_core_decomposition,
+)
+
+__all__ = [
+    "density",
+    "average_degree",
+    "degree_histogram",
+    "degree_statistics",
+    "degree_centrality",
+    "closeness_centrality",
+    "betweenness_centrality",
+    "eigenvector_centrality",
+    "connected_components",
+    "n_components",
+    "is_connected",
+    "largest_component",
+    "component_sizes",
+    "shortest_path_lengths",
+    "reachable_set",
+    "diameter",
+    "effective_diameter",
+    "average_path_length",
+    "PowerLawFit",
+    "fit_power_law",
+    "power_law_ccdf",
+    "local_clustering",
+    "average_clustering",
+    "transitivity",
+    "small_world_sigma",
+    "DensificationFit",
+    "snapshots_by_node_arrival",
+    "fit_densification",
+    "diameter_series",
+    "degree_assortativity",
+    "k_core_decomposition",
+    "k_core",
+]

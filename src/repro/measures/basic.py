@@ -1,0 +1,65 @@
+"""Elementary network measures: density and degree statistics.
+
+Tutorial §2(a)i — "Measuring information networks: density, connectivity,
+centrality, reachability analysis."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.networks.graph import Graph
+
+__all__ = ["density", "average_degree", "degree_histogram", "degree_statistics"]
+
+
+def density(graph: Graph) -> float:
+    """Fraction of possible edges present.
+
+    ``2m / (n(n-1))`` for undirected graphs, ``m / (n(n-1))`` for directed;
+    self-loops are excluded from both numerator and denominator.  Graphs
+    with fewer than two nodes have density 0 by convention.
+    """
+    n = graph.n_nodes
+    if n < 2:
+        return 0.0
+    loops = int((graph.adjacency.diagonal() != 0).sum())
+    m = graph.n_edges - loops
+    possible = n * (n - 1)
+    if not graph.directed:
+        possible //= 2
+    return m / possible
+
+
+def average_degree(graph: Graph, *, weighted: bool = False) -> float:
+    """Mean (out-)degree over all nodes (0 for the empty graph)."""
+    if graph.n_nodes == 0:
+        return 0.0
+    return float(graph.degree(weighted=weighted).mean())
+
+
+def degree_histogram(graph: Graph) -> np.ndarray:
+    """``hist[d]`` = number of nodes with degree exactly *d*."""
+    degs = graph.degree().astype(np.int64)
+    if degs.size == 0:
+        return np.zeros(1, dtype=np.int64)
+    return np.bincount(degs)
+
+
+def degree_statistics(graph: Graph) -> dict:
+    """Summary statistics of the degree distribution.
+
+    Returns a dict with ``min``, ``max``, ``mean``, ``median``, ``std`` —
+    the numbers the tutorial's "general statistical behaviour" section
+    reports for real networks.
+    """
+    degs = graph.degree()
+    if degs.size == 0:
+        return {"min": 0.0, "max": 0.0, "mean": 0.0, "median": 0.0, "std": 0.0}
+    return {
+        "min": float(degs.min()),
+        "max": float(degs.max()),
+        "mean": float(degs.mean()),
+        "median": float(np.median(degs)),
+        "std": float(degs.std()),
+    }

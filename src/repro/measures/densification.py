@@ -1,0 +1,88 @@
+"""Densification and evolution of dynamic networks (tutorial §2(a)iii).
+
+Growing information networks obey the *densification power law*
+``e(t) ∝ n(t)^a`` with ``1 < a < 2``, and their effective diameter
+*shrinks* over time.  These helpers fit the exponent from snapshots and
+track the diameter series, with a snapshot extractor for growth models
+whose node ids are ordered by arrival time (our generators' convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.measures.reachability import effective_diameter
+from repro.networks.graph import Graph
+
+__all__ = [
+    "DensificationFit",
+    "snapshots_by_node_arrival",
+    "fit_densification",
+    "diameter_series",
+]
+
+
+@dataclass(frozen=True)
+class DensificationFit:
+    """Least-squares fit of ``log e = a * log n + b``.
+
+    ``exponent`` is *a*; ``r_squared`` the coefficient of determination.
+    """
+
+    exponent: float
+    intercept: float
+    r_squared: float
+
+
+def snapshots_by_node_arrival(graph: Graph, sizes) -> list[Graph]:
+    """Induced subgraphs on the first ``k`` nodes for each ``k`` in *sizes*.
+
+    Valid for growth processes (BA, forest fire) where node id order is
+    arrival order, so the prefix subgraph is the historical snapshot.
+    """
+    out: list[Graph] = []
+    for k in sizes:
+        k = int(k)
+        if not 1 <= k <= graph.n_nodes:
+            raise ValueError(
+                f"snapshot size {k} out of range 1..{graph.n_nodes}"
+            )
+        out.append(graph.subgraph(np.arange(k)))
+    return out
+
+
+def fit_densification(snapshots) -> DensificationFit:
+    """Fit the densification exponent from a sequence of graph snapshots.
+
+    Snapshots with < 2 nodes or 0 edges are skipped (their logs are
+    undefined); at least two usable snapshots are required.
+    """
+    ns, es = [], []
+    for g in snapshots:
+        if g.n_nodes >= 2 and g.n_edges >= 1:
+            ns.append(g.n_nodes)
+            es.append(g.n_edges)
+    if len(ns) < 2:
+        raise ValueError("need at least two non-degenerate snapshots")
+    x = np.log(np.asarray(ns, dtype=np.float64))
+    y = np.log(np.asarray(es, dtype=np.float64))
+    a, b = np.polyfit(x, y, deg=1)
+    pred = a * x + b
+    ss_res = float(((y - pred) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return DensificationFit(float(a), float(b), r2)
+
+
+def diameter_series(
+    snapshots, *, percentile: float = 90.0, n_sources: int | None = 64, seed=None
+) -> list[float]:
+    """Effective diameter of each snapshot (the tutorial's shrinking-diameter plot)."""
+    return [
+        effective_diameter(
+            g, percentile=percentile, n_sources=n_sources, seed=seed
+        )
+        for g in snapshots
+    ]

@@ -1,0 +1,86 @@
+"""Additional structural measures: degree assortativity and k-cores.
+
+Extensions of the tutorial's §2(a) measurement toolbox.  Degree
+assortativity (Newman) quantifies whether hubs attach to hubs; the k-core
+decomposition peels the network into nested shells of minimum degree k —
+both standard descriptive statistics for the case-study networks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.networks.graph import Graph
+
+__all__ = ["degree_assortativity", "k_core_decomposition", "k_core"]
+
+
+def degree_assortativity(graph: Graph) -> float:
+    """Pearson correlation of degrees across edges (Newman 2002).
+
+    Positive: hubs link to hubs (social networks); negative: hubs link to
+    leaves (technological networks, BA graphs).  Requires at least one
+    edge between nodes of non-uniform degree; returns 0.0 for regular
+    graphs (no variance).
+    """
+    g = graph.to_undirected().without_self_loops()
+    if g.n_edges == 0:
+        raise ValueError("assortativity undefined for an edgeless graph")
+    degs = g.degree()
+    xs, ys = [], []
+    for u, v, _ in g.edges():
+        # each undirected edge contributes both orientations
+        xs.extend((degs[u], degs[v]))
+        ys.extend((degs[v], degs[u]))
+    x = np.asarray(xs)
+    y = np.asarray(ys)
+    if x.std() == 0 or y.std() == 0:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+def k_core_decomposition(graph: Graph) -> np.ndarray:
+    """Core number per node: the largest k such that the node survives in
+    the k-core (the maximal subgraph of minimum degree k).
+
+    Peeling with a lazy-deletion min-heap: repeatedly remove the node of
+    minimum remaining degree; its core number is the running maximum of
+    the degrees at removal time.  ``O((n + m) log n)``.
+    """
+    import heapq
+
+    g = graph.to_undirected().without_self_loops()
+    n = g.n_nodes
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    current = g.degree().astype(np.int64)
+    core = np.zeros(n, dtype=np.int64)
+    heap = [(int(d), v) for v, d in enumerate(current)]
+    heapq.heapify(heap)
+    removed = np.zeros(n, dtype=bool)
+    level = 0
+    while heap:
+        d, v = heapq.heappop(heap)
+        if removed[v] or d != current[v]:
+            continue  # stale entry
+        removed[v] = True
+        level = max(level, int(d))
+        core[v] = level
+        for w in g.neighbors(v):
+            w = int(w)
+            if not removed[w]:
+                current[w] -= 1
+                heapq.heappush(heap, (int(current[w]), w))
+    return core
+
+
+def k_core(graph: Graph, k: int) -> tuple[Graph, np.ndarray]:
+    """The k-core subgraph and the original indices of its nodes.
+
+    Returns an empty graph when no node has core number >= k.
+    """
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    cores = k_core_decomposition(graph)
+    nodes = np.flatnonzero(cores >= k)
+    return graph.to_undirected().subgraph(nodes), nodes

@@ -1,0 +1,226 @@
+"""Random-graph generators for the tutorial's Section 2 statistics.
+
+Implements the classical models the tutorial uses to explain network
+statistical behaviour: Erdős–Rényi (baseline), Barabási–Albert preferential
+attachment (power laws), Watts–Strogatz rewiring (small worlds), the
+forest-fire model (densification and shrinking diameter), and the planted
+partition model used by the community-detection experiments (E6).
+
+All generators take an explicit ``seed`` and return :class:`repro.networks.Graph`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import GraphError
+from repro.networks.graph import Graph
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = [
+    "erdos_renyi",
+    "barabasi_albert",
+    "watts_strogatz",
+    "forest_fire",
+    "planted_partition",
+    "planted_partition_with_anomalies",
+]
+
+
+def erdos_renyi(n: int, p: float, *, directed: bool = False, seed=None) -> Graph:
+    """G(n, p): every (ordered/unordered) pair is an edge with probability *p*."""
+    check_positive(n, "n")
+    check_probability(p, "p")
+    rng = ensure_rng(seed)
+    if directed:
+        mask = rng.random((n, n)) < p
+        np.fill_diagonal(mask, False)
+        return Graph(sp.csr_matrix(mask.astype(np.float64)), directed=True)
+    upper = np.triu(rng.random((n, n)) < p, k=1)
+    sym = upper | upper.T
+    return Graph(sp.csr_matrix(sym.astype(np.float64)), directed=False)
+
+
+def barabasi_albert(n: int, m: int, *, seed=None) -> Graph:
+    """Preferential attachment: each new node attaches *m* edges.
+
+    Produces the heavy-tailed (power-law, exponent ≈ 3) degree distributions
+    the tutorial attributes to real information networks.
+    """
+    check_positive(n, "n")
+    check_positive(m, "m")
+    if m >= n:
+        raise GraphError(f"m={m} must be < n={n}")
+    rng = ensure_rng(seed)
+    # Start from a star on m+1 nodes so every node has degree >= 1.
+    edges: list[tuple[int, int]] = [(i, m) for i in range(m)]
+    # repeated_targets holds one entry per half-edge: sampling uniformly from
+    # it is sampling proportionally to degree.
+    repeated: list[int] = []
+    for u, v in edges:
+        repeated.append(u)
+        repeated.append(v)
+    for new in range(m + 1, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            pick = repeated[int(rng.integers(0, len(repeated)))]
+            targets.add(pick)
+        for t in targets:
+            edges.append((new, t))
+            repeated.append(new)
+            repeated.append(t)
+    return Graph.from_edges(n, edges, directed=False)
+
+
+def watts_strogatz(n: int, k: int, p: float, *, seed=None) -> Graph:
+    """Ring lattice with *k* neighbours per node, each edge rewired w.p. *p*.
+
+    Interpolates between high-clustering lattices (p=0) and random graphs
+    (p=1); the small-world regime sits in between.
+    """
+    check_positive(n, "n")
+    check_positive(k, "k")
+    check_probability(p, "p")
+    if k % 2 != 0:
+        raise GraphError(f"k must be even, got {k}")
+    if k >= n:
+        raise GraphError(f"k={k} must be < n={n}")
+    rng = ensure_rng(seed)
+    edge_set: set[tuple[int, int]] = set()
+    for u in range(n):
+        for j in range(1, k // 2 + 1):
+            v = (u + j) % n
+            edge_set.add((min(u, v), max(u, v)))
+    edges = sorted(edge_set)
+    final: set[tuple[int, int]] = set(edges)
+    for u, v in edges:
+        if rng.random() < p:
+            # Rewire the far endpoint to a uniform non-neighbour.
+            candidates = [
+                w
+                for w in range(n)
+                if w != u and (min(u, w), max(u, w)) not in final
+            ]
+            if not candidates:
+                continue
+            w = candidates[int(rng.integers(0, len(candidates)))]
+            final.discard((u, v))
+            final.add((min(u, w), max(u, w)))
+    return Graph.from_edges(n, sorted(final), directed=False)
+
+
+def forest_fire(n: int, p_forward: float, *, p_backward: float = 0.0, seed=None) -> Graph:
+    """Forest-fire model (Leskovec et al.): new nodes "burn" through the graph.
+
+    Reproduces the two dynamic phenomena in the tutorial's Section 2(a)iii:
+    densification (e(t) grows superlinearly in n(t)) and shrinking
+    effective diameter.  Returned as an undirected graph; use the
+    :mod:`repro.measures.densification` helpers on snapshots.
+    """
+    check_positive(n, "n")
+    check_probability(p_forward, "p_forward")
+    check_probability(p_backward, "p_backward")
+    rng = ensure_rng(seed)
+    neighbors: list[set[int]] = [set() for _ in range(n)]
+
+    def geometric(p: float) -> int:
+        # Number of links to burn: geometric with mean p/(1-p), capped.
+        if p <= 0:
+            return 0
+        if p >= 1:
+            return 10
+        return int(rng.geometric(1 - p)) - 1
+
+    for new in range(1, n):
+        ambassador = int(rng.integers(0, new))
+        visited = {ambassador}
+        frontier = [ambassador]
+        while frontier:
+            current = frontier.pop()
+            neighbors[new].add(current)
+            neighbors[current].add(new)
+            burn = geometric(p_forward) + geometric(p_backward)
+            unvisited = [w for w in neighbors[current] if w not in visited and w != new]
+            rng.shuffle(unvisited)
+            for w in unvisited[:burn]:
+                visited.add(w)
+                frontier.append(w)
+    edges = [
+        (u, v) for u in range(n) for v in neighbors[u] if u < v
+    ]
+    return Graph.from_edges(n, edges, directed=False)
+
+
+def planted_partition(
+    n_per_cluster: int,
+    n_clusters: int,
+    p_in: float,
+    p_out: float,
+    *,
+    seed=None,
+) -> tuple[Graph, np.ndarray]:
+    """Planted-partition (stochastic block) model.
+
+    Returns the graph and the ground-truth label vector.  Used by the SCAN
+    and spectral-clustering experiments (E6) where community recovery is
+    measured against the planted labels.
+    """
+    check_positive(n_per_cluster, "n_per_cluster")
+    check_positive(n_clusters, "n_clusters")
+    check_probability(p_in, "p_in")
+    check_probability(p_out, "p_out")
+    rng = ensure_rng(seed)
+    n = n_per_cluster * n_clusters
+    labels = np.repeat(np.arange(n_clusters), n_per_cluster)
+    same = labels[:, None] == labels[None, :]
+    probs = np.where(same, p_in, p_out)
+    upper = np.triu(rng.random((n, n)) < probs, k=1)
+    sym = upper | upper.T
+    graph = Graph(sp.csr_matrix(sym.astype(np.float64)), directed=False)
+    return graph, labels
+
+
+def planted_partition_with_anomalies(
+    n_per_cluster: int,
+    n_clusters: int,
+    p_in: float,
+    p_out: float,
+    *,
+    n_hubs: int = 0,
+    n_outliers: int = 0,
+    hub_degree: int = 6,
+    seed=None,
+) -> tuple[Graph, np.ndarray]:
+    """Planted partition plus SCAN's two anomaly roles.
+
+    *Hubs* connect to several clusters (bridging nodes); *outliers* attach
+    by a single edge.  Labels: cluster ids ``0..k-1``, hubs ``-2``,
+    outliers ``-1`` — matching the conventions of
+    :func:`repro.clustering.scan.scan`.
+    """
+    graph, labels = planted_partition(
+        n_per_cluster, n_clusters, p_in, p_out, seed=seed
+    )
+    rng = ensure_rng(seed if not isinstance(seed, np.random.Generator) else seed)
+    n_core = graph.n_nodes
+    n_total = n_core + n_hubs + n_outliers
+    edges = [(u, v, w) for u, v, w in graph.edges()]
+    full_labels = np.concatenate(
+        [labels, np.full(n_hubs, -2, dtype=labels.dtype), np.full(n_outliers, -1, dtype=labels.dtype)]
+    )
+    next_id = n_core
+    for _ in range(n_hubs):
+        # A hub touches >= 2 clusters with hub_degree edges in total.
+        clusters = rng.choice(n_clusters, size=min(n_clusters, max(2, hub_degree // 2)), replace=False)
+        for i in range(hub_degree):
+            c = clusters[i % len(clusters)]
+            member = int(rng.integers(0, n_per_cluster)) + int(c) * n_per_cluster
+            edges.append((next_id, member, 1.0))
+        next_id += 1
+    for _ in range(n_outliers):
+        anchor = int(rng.integers(0, n_core))
+        edges.append((next_id, anchor, 1.0))
+        next_id += 1
+    return Graph.from_edges(n_total, edges, directed=False), full_labels

@@ -1,0 +1,397 @@
+"""Heterogeneous information network (HIN).
+
+The central data structure of the library: multiple node types, each with
+its own dense id space, connected by typed relations stored as sparse
+biadjacency matrices.  This is the "database as an information network"
+view of the tutorial — each relation matrix is exactly a (possibly
+weighted) foreign-key link table.
+
+Example
+-------
+>>> from repro.networks import NetworkSchema, HIN
+>>> schema = NetworkSchema(
+...     ["author", "paper", "venue"],
+...     [("writes", "author", "paper"), ("published_in", "paper", "venue")],
+... )
+>>> hin = HIN.from_edges(
+...     schema,
+...     nodes={"author": ["ada", "bob"], "paper": 3, "venue": ["kdd"]},
+...     edges={
+...         "writes": [(0, 0), (0, 1), (1, 2)],
+...         "published_in": [(0, 0), (1, 0), (2, 0)],
+...     },
+... )
+>>> hin.node_count("paper")
+3
+>>> hin.commuting_matrix("author-paper-venue").toarray()
+array([[2.],
+       [1.]])
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import (
+    EdgeError,
+    GraphError,
+    NodeNotFoundError,
+    RelationNotFoundError,
+    SchemaError,
+    TypeNotFoundError,
+)
+from repro.networks.graph import Graph
+from repro.networks.schema import MetaPath, NetworkSchema, Relation
+from repro.utils.sparse import to_csr
+
+__all__ = ["HIN"]
+
+
+class HIN:
+    """A heterogeneous information network over a :class:`NetworkSchema`.
+
+    Parameters
+    ----------
+    schema:
+        The type-level blueprint.  Every relation matrix added must match a
+        schema relation.
+    node_counts:
+        Mapping from type name to node count.
+    node_names:
+        Optional mapping from type name to a sequence of unique names.
+    relation_matrices:
+        Mapping from relation name to a ``(n_source, n_target)`` matrix.
+
+    Notes
+    -----
+    Relation matrices are stored oriented as declared in the schema
+    (``source -> target``); traversing a relation backwards uses the
+    transpose.  All matrices are CSR with float64 data.
+    """
+
+    def __init__(
+        self,
+        schema: NetworkSchema,
+        node_counts: Mapping[str, int],
+        relation_matrices: Mapping[str, object],
+        *,
+        node_names: Mapping[str, Sequence] | None = None,
+    ):
+        if not isinstance(schema, NetworkSchema):
+            raise SchemaError(f"schema must be a NetworkSchema, got {type(schema).__name__}")
+        self.schema = schema
+        self._counts: dict[str, int] = {}
+        for t in schema.node_types:
+            if t not in node_counts:
+                raise TypeNotFoundError(f"node_counts missing schema type {t!r}")
+            count = int(node_counts[t])
+            if count < 0:
+                raise GraphError(f"node count for {t!r} must be >= 0, got {count}")
+            self._counts[t] = count
+        extra = set(node_counts) - set(schema.node_types)
+        if extra:
+            raise TypeNotFoundError(f"node_counts has types not in schema: {sorted(extra)}")
+
+        self._names: dict[str, list] = {}
+        self._name_index: dict[str, dict] = {}
+        if node_names:
+            for t, names in node_names.items():
+                if t not in self._counts:
+                    raise TypeNotFoundError(f"node_names has unknown type {t!r}")
+                names = list(names)
+                if len(names) != self._counts[t]:
+                    raise GraphError(
+                        f"node_names[{t!r}] has {len(names)} entries for "
+                        f"{self._counts[t]} nodes"
+                    )
+                index = {name: i for i, name in enumerate(names)}
+                if len(index) != len(names):
+                    raise GraphError(f"node_names[{t!r}] must be unique")
+                self._names[t] = names
+                self._name_index[t] = index
+
+        self._matrices: dict[str, sp.csr_matrix] = {}
+        for name, matrix in relation_matrices.items():
+            rel = schema.relation(name)  # raises RelationNotFoundError
+            m = to_csr(matrix)
+            expected = (self._counts[rel.source], self._counts[rel.target])
+            if m.shape != expected:
+                raise GraphError(
+                    f"relation {name!r} matrix has shape {m.shape}, "
+                    f"expected {expected} for {rel.source!r}x{rel.target!r}"
+                )
+            if m.nnz and m.data.min() < 0:
+                raise EdgeError(f"relation {name!r} has negative weights")
+            m.eliminate_zeros()
+            m.sort_indices()
+            self._matrices[name] = m
+        for rel in schema.relations:
+            if rel.name not in self._matrices:
+                self._matrices[rel.name] = sp.csr_matrix(
+                    (self._counts[rel.source], self._counts[rel.target])
+                )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        schema: NetworkSchema,
+        *,
+        nodes: Mapping[str, object],
+        edges: Mapping[str, Iterable[tuple]],
+    ) -> "HIN":
+        """Build a HIN from per-type node specs and per-relation edge lists.
+
+        ``nodes[t]`` is either an integer count or a sequence of names.
+        ``edges[rel]`` yields ``(src, dst)`` or ``(src, dst, weight)``
+        tuples of integer indices; duplicates accumulate.
+        """
+        counts: dict[str, int] = {}
+        names: dict[str, Sequence] = {}
+        for t, spec in nodes.items():
+            if isinstance(spec, (int, np.integer)):
+                counts[t] = int(spec)
+            else:
+                seq = list(spec)
+                counts[t] = len(seq)
+                names[t] = seq
+        matrices: dict[str, sp.csr_matrix] = {}
+        for rel_name, edge_iter in edges.items():
+            rel = schema.relation(rel_name)
+            n_src = counts.get(rel.source)
+            n_dst = counts.get(rel.target)
+            if n_src is None or n_dst is None:
+                raise TypeNotFoundError(
+                    f"edges for {rel_name!r} reference types missing from nodes"
+                )
+            rows, cols, vals = [], [], []
+            for edge in edge_iter:
+                if len(edge) == 2:
+                    u, v = edge
+                    w = 1.0
+                elif len(edge) == 3:
+                    u, v, w = edge
+                else:
+                    raise EdgeError(f"edges must be (u, v[, w]), got {edge!r}")
+                u, v = int(u), int(v)
+                if not (0 <= u < n_src and 0 <= v < n_dst):
+                    raise EdgeError(
+                        f"edge ({u}, {v}) out of range for relation {rel_name!r} "
+                        f"({n_src}x{n_dst})"
+                    )
+                rows.append(u)
+                cols.append(v)
+                vals.append(float(w))
+            m = sp.coo_matrix((vals, (rows, cols)), shape=(n_src, n_dst)).tocsr()
+            m.sum_duplicates()
+            matrices[rel_name] = m
+        return cls(schema, counts, matrices, node_names=names or None)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def node_types(self) -> list[str]:
+        return self.schema.node_types
+
+    def node_count(self, node_type: str) -> int:
+        """Number of nodes of *node_type*."""
+        try:
+            return self._counts[node_type]
+        except KeyError:
+            raise TypeNotFoundError(f"unknown node type {node_type!r}") from None
+
+    @property
+    def total_nodes(self) -> int:
+        """Total node count across all types."""
+        return sum(self._counts.values())
+
+    @property
+    def total_links(self) -> int:
+        """Total number of stored links across all relations."""
+        return int(sum(m.nnz for m in self._matrices.values()))
+
+    def names(self, node_type: str) -> list | None:
+        """Node names for *node_type* (``None`` when anonymous)."""
+        self.node_count(node_type)  # validates the type
+        names = self._names.get(node_type)
+        return None if names is None else list(names)
+
+    def name_of(self, node_type: str, index: int):
+        """Name of node *index* of *node_type* (the index when anonymous)."""
+        n = self.node_count(node_type)
+        if not 0 <= index < n:
+            raise NodeNotFoundError(
+                f"{node_type!r} index {index} out of range (n={n})"
+            )
+        names = self._names.get(node_type)
+        return index if names is None else names[index]
+
+    def index_of(self, node_type: str, name) -> int:
+        """Index of the node named *name* within *node_type*."""
+        self.node_count(node_type)
+        index = self._name_index.get(node_type)
+        if index is None:
+            raise GraphError(f"type {node_type!r} has no node names")
+        try:
+            return index[name]
+        except KeyError:
+            raise NodeNotFoundError(f"no {node_type!r} named {name!r}") from None
+
+    def relation_matrix(self, relation: str | Relation) -> sp.csr_matrix:
+        """Biadjacency matrix of *relation*, oriented source -> target."""
+        name = relation.name if isinstance(relation, Relation) else relation
+        try:
+            return self._matrices[name]
+        except KeyError:
+            raise RelationNotFoundError(f"no relation named {name!r}") from None
+
+    def matrix_between(self, source: str, target: str) -> sp.csr_matrix:
+        """Matrix of the unique relation joining *source* and *target*,
+        oriented ``source -> target`` (transposed if declared the other way).
+
+        Raises when zero or multiple relations join the pair.
+        """
+        rels = self.schema.relations_between(source, target)
+        if not rels:
+            raise RelationNotFoundError(f"no relation joins {source!r} and {target!r}")
+        if len(rels) > 1:
+            raise SchemaError(
+                f"{len(rels)} relations join {source!r} and {target!r}; "
+                f"use relation_matrix() with an explicit name"
+            )
+        rel = rels[0]
+        m = self._matrices[rel.name]
+        return m if rel.source == source else m.T.tocsr()
+
+    # ------------------------------------------------------------------
+    # Meta-path machinery
+    # ------------------------------------------------------------------
+    def meta_path(self, spec) -> MetaPath:
+        """Resolve *spec* (string / list of types / MetaPath) against the schema."""
+        return self.schema.meta_path(spec)
+
+    def commuting_matrix(self, path) -> sp.csr_matrix:
+        """The commuting matrix ``M_P`` of meta-path *path*.
+
+        ``M_P[i, j]`` counts the path instances from node *i* of the source
+        type to node *j* of the target type — the quantity at the heart of
+        PathSim and of meta-path-based features.
+        """
+        mp = self.meta_path(path)
+        product: sp.csr_matrix | None = None
+        for rel, forward in mp.steps():
+            m = self._matrices[rel.name]
+            step = m if forward else m.T.tocsr()
+            product = step if product is None else product.dot(step)
+        return product.tocsr()
+
+    def homogeneous_projection(self, path, *, remove_self_loops: bool = True) -> Graph:
+        """Project the HIN onto a homogeneous graph along meta-path *path*.
+
+        The path must start and end at the same type (e.g. ``A-P-A`` gives
+        the co-author graph).  Edge weights are path-instance counts,
+        symmetrized by averaging with the transpose so the result is a
+        valid undirected graph even for asymmetric paths.
+        """
+        mp = self.meta_path(path)
+        if mp.source_type != mp.target_type:
+            raise SchemaError(
+                f"projection requires a round-trip meta-path, got "
+                f"{mp.source_type!r} -> {mp.target_type!r}"
+            )
+        m = self.commuting_matrix(mp)
+        sym = (m + m.T) * 0.5
+        if remove_self_loops:
+            sym = sym.tolil()
+            sym.setdiag(0)
+            sym = sym.tocsr()
+        sym.eliminate_zeros()
+        names = self._names.get(mp.source_type)
+        return Graph(sym, directed=False, node_names=names)
+
+    # ------------------------------------------------------------------
+    # Degrees and sub-networks
+    # ------------------------------------------------------------------
+    def degree(self, node_type: str, relation: str | None = None, *, weighted: bool = True) -> np.ndarray:
+        """Per-node degree of *node_type* nodes.
+
+        When *relation* is given, only that relation counts; otherwise the
+        degrees over all incident relations are summed.
+        """
+        n = self.node_count(node_type)
+        total = np.zeros(n)
+        rels = (
+            [self.schema.relation(relation)]
+            if relation is not None
+            else [
+                r
+                for r in self.schema.relations
+                if node_type in (r.source, r.target)
+            ]
+        )
+        for rel in rels:
+            m = self._matrices[rel.name]
+            counted = m if weighted else (m != 0).astype(np.float64)
+            if rel.source == node_type:
+                total += np.asarray(counted.sum(axis=1)).ravel()
+            if rel.target == node_type:
+                total += np.asarray(counted.sum(axis=0)).ravel()
+        return total
+
+    def restrict(self, node_type: str, indices: Sequence[int]) -> "HIN":
+        """Sub-network keeping only *indices* of *node_type* (other types whole).
+
+        This is the operation RankClus/NetClus use to form per-cluster
+        sub-networks: keep the target objects assigned to one cluster plus
+        every object of the other types, dropping links to removed nodes.
+        """
+        n = self.node_count(node_type)
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= n):
+            raise NodeNotFoundError(f"restrict indices out of range for {node_type!r}")
+        if len(np.unique(idx)) != len(idx):
+            raise GraphError("restrict indices contain duplicates")
+        counts = dict(self._counts)
+        counts[node_type] = int(len(idx))
+        matrices: dict[str, sp.csr_matrix] = {}
+        for rel in self.schema.relations:
+            m = self._matrices[rel.name]
+            if rel.source == node_type:
+                m = m[idx, :]
+            if rel.target == node_type:
+                m = m[:, idx]
+            matrices[rel.name] = m.tocsr()
+        names = {t: list(v) for t, v in self._names.items()}
+        if node_type in names:
+            names[node_type] = [names[node_type][i] for i in idx]
+        return HIN(self.schema, counts, matrices, node_names=names or None)
+
+    def subschema(self, node_types: Sequence[str]) -> "HIN":
+        """Sub-network induced on a subset of node types.
+
+        Keeps all nodes of the chosen types and every relation whose two
+        endpoints are both kept; the schema shrinks accordingly.
+        """
+        kept = list(node_types)
+        for t in kept:
+            self.node_count(t)
+        rels = [
+            r
+            for r in self.schema.relations
+            if r.source in kept and r.target in kept
+        ]
+        schema = NetworkSchema(kept, rels)
+        counts = {t: self._counts[t] for t in kept}
+        matrices = {r.name: self._matrices[r.name] for r in rels}
+        names = {t: self._names[t] for t in kept if t in self._names}
+        return HIN(schema, counts, matrices, node_names=names or None)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{t}={self._counts[t]}" for t in self.schema.node_types)
+        return f"HIN({parts}, links={self.total_links})"

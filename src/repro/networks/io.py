@@ -1,0 +1,179 @@
+"""Reading and writing networks as plain-text edge lists.
+
+The formats are deliberately simple (whitespace-separated columns, ``#``
+comments) so that the DBLP/Flickr case-study networks can be dumped,
+inspected and reloaded without any binary dependency.
+
+Homogeneous graphs: ``u v [weight]`` per line.
+HINs: a sectioned format with ``*nodes <type>`` and ``*relation <name>``
+headers.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.exceptions import GraphError, SchemaError
+from repro.networks.graph import Graph
+from repro.networks.hin import HIN
+from repro.networks.schema import NetworkSchema, Relation
+
+__all__ = ["write_edge_list", "read_edge_list", "write_hin", "read_hin"]
+
+
+def _open_for(path_or_file, mode: str):
+    if isinstance(path_or_file, (str, Path)):
+        return open(path_or_file, mode, encoding="utf-8"), True
+    return path_or_file, False
+
+
+def write_edge_list(graph: Graph, path_or_file) -> None:
+    """Write *graph* as ``u v weight`` lines with a header comment."""
+    f, owned = _open_for(path_or_file, "w")
+    try:
+        f.write(f"# directed={int(graph.directed)} n_nodes={graph.n_nodes}\n")
+        for u, v, w in graph.edges():
+            if w == 1.0:
+                f.write(f"{u} {v}\n")
+            else:
+                f.write(f"{u} {v} {float(w)!r}\n")
+    finally:
+        if owned:
+            f.close()
+
+
+def read_edge_list(path_or_file, *, n_nodes: int | None = None, directed: bool | None = None) -> Graph:
+    """Read a graph written by :func:`write_edge_list`.
+
+    The header comment supplies ``n_nodes``/``directed`` unless overridden;
+    files without a header need both arguments.
+    """
+    f, owned = _open_for(path_or_file, "r")
+    try:
+        edges: list[tuple[int, int, float]] = []
+        header_n, header_directed = None, None
+        for line_no, raw in enumerate(f, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                for token in line[1:].split():
+                    if token.startswith("directed="):
+                        header_directed = bool(int(token.split("=", 1)[1]))
+                    elif token.startswith("n_nodes="):
+                        header_n = int(token.split("=", 1)[1])
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise GraphError(f"line {line_no}: expected 'u v [w]', got {line!r}")
+            u, v = int(parts[0]), int(parts[1])
+            w = float(parts[2]) if len(parts) == 3 else 1.0
+            edges.append((u, v, w))
+        n = n_nodes if n_nodes is not None else header_n
+        if n is None:
+            n = 1 + max((max(u, v) for u, v, _ in edges), default=-1)
+        d = directed if directed is not None else header_directed
+        if d is None:
+            d = False
+        return Graph.from_edges(n, edges, directed=d)
+    finally:
+        if owned:
+            f.close()
+
+
+def write_hin(hin: HIN, path_or_file) -> None:
+    """Write a HIN in the sectioned text format (schema + nodes + links)."""
+    f, owned = _open_for(path_or_file, "w")
+    try:
+        f.write("*schema\n")
+        for rel in hin.schema.relations:
+            f.write(f"{rel.name} {rel.source} {rel.target}\n")
+        for t in hin.schema.node_types:
+            f.write(f"*nodes {t} {hin.node_count(t)}\n")
+            names = hin.names(t)
+            if names is not None:
+                for name in names:
+                    f.write(f"{name}\n")
+        for rel in hin.schema.relations:
+            f.write(f"*relation {rel.name}\n")
+            m = hin.relation_matrix(rel.name).tocoo()
+            for u, v, w in zip(m.row, m.col, m.data):
+                if w == 1.0:
+                    f.write(f"{u} {v}\n")
+                else:
+                    f.write(f"{u} {v} {float(w)!r}\n")
+    finally:
+        if owned:
+            f.close()
+
+
+def read_hin(path_or_file) -> HIN:
+    """Read a HIN written by :func:`write_hin`."""
+    f, owned = _open_for(path_or_file, "r")
+    try:
+        lines = [line.rstrip("\n") for line in f]
+    finally:
+        if owned:
+            f.close()
+
+    relations: list[Relation] = []
+    node_counts: dict[str, int] = {}
+    node_names: dict[str, list[str]] = {}
+    edges: dict[str, list[tuple[int, int, float]]] = {}
+
+    section = None  # ("schema",) | ("nodes", type, remaining) | ("relation", name)
+    for line_no, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if stripped.startswith("*"):
+            parts = stripped.split()
+            tag = parts[0]
+            if tag == "*schema":
+                section = ("schema",)
+            elif tag == "*nodes":
+                if len(parts) != 3:
+                    raise SchemaError(f"line {line_no}: expected '*nodes <type> <count>'")
+                node_type, count = parts[1], int(parts[2])
+                node_counts[node_type] = count
+                section = ("nodes", node_type)
+            elif tag == "*relation":
+                if len(parts) != 2:
+                    raise SchemaError(f"line {line_no}: expected '*relation <name>'")
+                edges.setdefault(parts[1], [])
+                section = ("relation", parts[1])
+            else:
+                raise SchemaError(f"line {line_no}: unknown section {tag!r}")
+            continue
+        if section is None:
+            raise SchemaError(f"line {line_no}: content before any section header")
+        if section[0] == "schema":
+            parts = stripped.split()
+            if len(parts) != 3:
+                raise SchemaError(f"line {line_no}: expected 'name source target'")
+            relations.append(Relation(*parts))
+        elif section[0] == "nodes":
+            node_names.setdefault(section[1], []).append(stripped)
+        else:
+            parts = stripped.split()
+            if len(parts) not in (2, 3):
+                raise SchemaError(f"line {line_no}: expected 'u v [w]'")
+            u, v = int(parts[0]), int(parts[1])
+            w = float(parts[2]) if len(parts) == 3 else 1.0
+            edges[section[1]].append((u, v, w))
+
+    types = list(node_counts)
+    schema = NetworkSchema(types, relations)
+    names = {
+        t: lst for t, lst in node_names.items() if len(lst) == node_counts[t]
+    }
+    for t, lst in node_names.items():
+        if lst and len(lst) != node_counts[t]:
+            raise SchemaError(
+                f"type {t!r}: {len(lst)} names for {node_counts[t]} nodes"
+            )
+    nodes_spec: dict[str, object] = {}
+    for t in types:
+        nodes_spec[t] = names.get(t, node_counts[t])
+    return HIN.from_edges(schema, nodes=nodes_spec, edges=edges)

@@ -1,0 +1,5 @@
+"""OLAP over information networks: dimensions, cells, cube algebra."""
+
+from repro.olap.cube import CubeCell, Dimension, InfoNetCube
+
+__all__ = ["Dimension", "CubeCell", "InfoNetCube"]

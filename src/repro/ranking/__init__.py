@@ -1,0 +1,30 @@
+"""Ranking: PageRank, HITS, Personalized PageRank, and the bi-type
+simple/authority ranking functions used by RankClus."""
+
+from repro.ranking.authority import (
+    BiTypeRanking,
+    authority_ranking,
+    rank_bi_type,
+    simple_ranking,
+)
+from repro.ranking.hits import hits, hits_scores
+from repro.ranking.pagerank import pagerank, pagerank_scores
+from repro.ranking.ppr import (
+    personalized_pagerank,
+    ppr_top_k,
+    random_walk_with_restart,
+)
+
+__all__ = [
+    "pagerank",
+    "pagerank_scores",
+    "hits",
+    "hits_scores",
+    "personalized_pagerank",
+    "ppr_top_k",
+    "random_walk_with_restart",
+    "BiTypeRanking",
+    "simple_ranking",
+    "authority_ranking",
+    "rank_bi_type",
+]

@@ -1,0 +1,189 @@
+"""Ranking functions for bi-typed information networks (RankClus, EDBT'09).
+
+Given a bi-typed network — target objects X (e.g. venues) linked to
+attribute objects Y (e.g. authors), with optional Y–Y links (co-author
+graph) — two conditional rank distributions over X and Y are produced:
+
+* **Simple ranking** — degree share: objects are ranked by their link
+  counts.  Cheap, but rank leaks to prolific-but-unselective objects.
+* **Authority ranking** — mutual reinforcement: highly ranked venues
+  confer rank on their authors, co-authors propagate rank to each other
+  (weight ``alpha``), and highly ranked authors confer rank back on
+  venues.  This is the ranking RankClus and the DBLP case study use.
+
+Both return probability distributions (scores sum to 1), which is what
+RankClus's mixture model consumes as component parameters.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConvergenceWarning
+from repro.networks.hin import HIN
+from repro.utils.convergence import ConvergenceInfo
+from repro.utils.sparse import to_csr
+from repro.utils.validation import check_probability
+
+__all__ = ["BiTypeRanking", "simple_ranking", "authority_ranking", "rank_bi_type"]
+
+
+@dataclass
+class BiTypeRanking:
+    """Conditional rank distributions for a bi-typed network.
+
+    Attributes
+    ----------
+    target_scores:
+        Distribution over target objects (sums to 1).
+    attribute_scores:
+        Distribution over attribute objects (sums to 1).
+    convergence:
+        Iteration record (simple ranking converges in one step).
+    """
+
+    target_scores: np.ndarray
+    attribute_scores: np.ndarray
+    convergence: ConvergenceInfo
+
+    def top_targets(self, k: int) -> list[tuple[int, float]]:
+        """Top-*k* target objects as ``(index, score)`` pairs."""
+        order = np.argsort(-self.target_scores, kind="stable")[:k]
+        return [(int(i), float(self.target_scores[i])) for i in order]
+
+    def top_attributes(self, k: int) -> list[tuple[int, float]]:
+        """Top-*k* attribute objects as ``(index, score)`` pairs."""
+        order = np.argsort(-self.attribute_scores, kind="stable")[:k]
+        return [(int(i), float(self.attribute_scores[i])) for i in order]
+
+
+def _normalize(v: np.ndarray) -> np.ndarray:
+    s = v.sum()
+    if s <= 0:
+        # Degenerate sub-network (no links): fall back to uniform so the
+        # EM layers above never divide by zero.
+        return np.full(v.shape, 1.0 / max(len(v), 1))
+    return v / s
+
+
+def simple_ranking(w_xy) -> BiTypeRanking:
+    """Degree-share ranking: ``r_X(i) ∝ Σ_j W_XY[i, j]`` and symmetrically.
+
+    Parameters
+    ----------
+    w_xy:
+        Target-by-attribute link matrix (counts or weights).
+    """
+    w = to_csr(w_xy)
+    r_x = _normalize(np.asarray(w.sum(axis=1)).ravel())
+    r_y = _normalize(np.asarray(w.sum(axis=0)).ravel())
+    return BiTypeRanking(r_x, r_y, ConvergenceInfo(True, 1, 0.0, 0.0))
+
+
+def authority_ranking(
+    w_xy,
+    w_yy=None,
+    *,
+    alpha: float = 0.95,
+    max_iter: int = 100,
+    tol: float = 1e-9,
+) -> BiTypeRanking:
+    """Mutual-reinforcement authority ranking (RankClus eq. 4–6).
+
+    Iterates until the rank vectors stabilize::
+
+        r_Y ∝ W_YX · r_X                       (authors inherit venue rank)
+        r_Y ∝ alpha * r_Y + (1-alpha) * W_YY · r_Y   (co-author smoothing)
+        r_X ∝ W_XY · r_Y                       (venues inherit author rank)
+
+    Parameters
+    ----------
+    w_xy:
+        Target-by-attribute link matrix.
+    w_yy:
+        Optional attribute-by-attribute matrix (e.g. co-author counts).
+    alpha:
+        Weight of the direct target-attribute evidence versus the
+        attribute-attribute propagation (1.0 disables propagation).
+    """
+    check_probability(alpha, "alpha")
+    w = to_csr(w_xy)
+    wt = w.T.tocsr()
+    yy = None if w_yy is None else to_csr(w_yy)
+    if yy is not None and yy.shape != (w.shape[1], w.shape[1]):
+        raise ValueError(
+            f"w_yy has shape {yy.shape}, expected ({w.shape[1]}, {w.shape[1]})"
+        )
+
+    n_x, n_y = w.shape
+    r_x = np.full(n_x, 1.0 / max(n_x, 1))
+    r_y = np.full(n_y, 1.0 / max(n_y, 1))
+    history: list[float] = []
+    for iteration in range(max_iter):
+        r_y_new = _normalize(wt.dot(r_x))
+        if yy is not None and alpha < 1.0:
+            r_y_new = _normalize(alpha * r_y_new + (1 - alpha) * yy.dot(r_y_new))
+        r_x_new = _normalize(w.dot(r_y_new))
+        residual = float(
+            np.abs(r_x_new - r_x).sum() + np.abs(r_y_new - r_y).sum()
+        )
+        history.append(residual)
+        r_x, r_y = r_x_new, r_y_new
+        if residual <= tol:
+            return BiTypeRanking(
+                r_x, r_y, ConvergenceInfo(True, iteration + 1, residual, tol, history)
+            )
+    warnings.warn(
+        f"authority ranking did not converge in {max_iter} iterations",
+        ConvergenceWarning,
+        stacklevel=2,
+    )
+    return BiTypeRanking(
+        r_x, r_y, ConvergenceInfo(False, max_iter, history[-1], tol, history)
+    )
+
+
+def rank_bi_type(
+    hin: HIN,
+    target_type: str,
+    attribute_type: str,
+    *,
+    target_attribute_path=None,
+    attribute_attribute_path=None,
+    method: str = "authority",
+    alpha: float = 0.95,
+    **kwargs,
+) -> BiTypeRanking:
+    """Rank a target/attribute type pair of a HIN.
+
+    ``target_attribute_path`` defaults to the unique direct relation
+    between the two types; pass a meta-path (e.g.
+    ``"venue-paper-author"``) when the connection is indirect.
+    ``attribute_attribute_path`` (e.g. ``"author-paper-author"``) supplies
+    the W_YY matrix for authority ranking's propagation step.
+    """
+    if target_attribute_path is None:
+        w_xy = hin.matrix_between(target_type, attribute_type)
+    else:
+        mp = hin.meta_path(target_attribute_path)
+        if (mp.source_type, mp.target_type) != (target_type, attribute_type):
+            raise ValueError(
+                f"path {mp} does not go {target_type!r} -> {attribute_type!r}"
+            )
+        w_xy = hin.commuting_matrix(mp)
+    if method == "simple":
+        return simple_ranking(w_xy)
+    if method != "authority":
+        raise ValueError(f"method must be 'simple' or 'authority', got {method!r}")
+    w_yy = None
+    if attribute_attribute_path is not None:
+        mp = hin.meta_path(attribute_attribute_path)
+        if (mp.source_type, mp.target_type) != (attribute_type, attribute_type):
+            raise ValueError(
+                f"path {mp} does not go {attribute_type!r} -> {attribute_type!r}"
+            )
+        w_yy = hin.commuting_matrix(mp)
+    return authority_ranking(w_xy, w_yy, alpha=alpha, **kwargs)

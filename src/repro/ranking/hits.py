@@ -1,0 +1,73 @@
+"""HITS — hubs and authorities (tutorial §2(b)ii).
+
+Kleinberg's mutually recursive scores: a good hub points at good
+authorities, a good authority is pointed at by good hubs.  On undirected
+graphs hubs and authorities coincide with eigenvector centrality.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from repro.exceptions import ConvergenceWarning, GraphError
+from repro.networks.graph import Graph
+from repro.utils.convergence import ConvergenceInfo
+
+__all__ = ["hits", "hits_scores"]
+
+
+def hits(
+    graph: Graph,
+    *,
+    max_iter: int = 100,
+    tol: float = 1e-10,
+) -> tuple[np.ndarray, np.ndarray, ConvergenceInfo]:
+    """HITS hub and authority scores (each vector sums to 1).
+
+    Returns
+    -------
+    (hubs, authorities, info)
+    """
+    n = graph.n_nodes
+    if n == 0:
+        info = ConvergenceInfo(True, 0, 0.0, tol)
+        return np.zeros(0), np.zeros(0), info
+    adj = graph.adjacency
+    if adj.nnz == 0:
+        raise GraphError("HITS undefined for a graph with no edges")
+
+    hubs = np.full(n, 1.0 / n)
+    history: list[float] = []
+    authorities = np.zeros(n)
+    for iteration in range(max_iter):
+        new_auth = adj.T.dot(hubs)
+        auth_sum = new_auth.sum()
+        if auth_sum > 0:
+            new_auth /= auth_sum
+        new_hubs = adj.dot(new_auth)
+        hub_sum = new_hubs.sum()
+        if hub_sum > 0:
+            new_hubs /= hub_sum
+        residual = float(
+            np.abs(new_hubs - hubs).sum() + np.abs(new_auth - authorities).sum()
+        )
+        history.append(residual)
+        hubs, authorities = new_hubs, new_auth
+        if residual <= tol:
+            return hubs, authorities, ConvergenceInfo(
+                True, iteration + 1, residual, tol, history
+            )
+    warnings.warn(
+        f"HITS did not converge in {max_iter} iterations",
+        ConvergenceWarning,
+        stacklevel=2,
+    )
+    return hubs, authorities, ConvergenceInfo(False, max_iter, history[-1], tol, history)
+
+
+def hits_scores(graph: Graph, **kwargs) -> tuple[np.ndarray, np.ndarray]:
+    """Convenience wrapper returning only ``(hubs, authorities)``."""
+    hubs, authorities, _ = hits(graph, **kwargs)
+    return hubs, authorities

@@ -1,0 +1,88 @@
+"""Personalized PageRank (tutorial §2(b)iii).
+
+Random walk with restart to a seed set — the similarity measure the
+tutorial contrasts with SimRank and (later) PathSim.  The top-k scores
+from a single source are the "most related objects" query used in the
+similarity-search experiments (E5).
+
+For an arbitrary restart *distribution* call
+:func:`repro.ranking.pagerank` directly with ``personalization=...``;
+this module's helpers take node indices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.networks.graph import Graph
+from repro.ranking.pagerank import pagerank
+from repro.utils.convergence import ConvergenceInfo
+
+__all__ = ["personalized_pagerank", "ppr_top_k", "random_walk_with_restart"]
+
+
+def personalized_pagerank(
+    graph: Graph,
+    seeds,
+    *,
+    damping: float = 0.85,
+    max_iter: int = 300,
+    tol: float = 1e-9,
+) -> tuple[np.ndarray, ConvergenceInfo]:
+    """PPR scores with restart mass spread uniformly over *seeds*.
+
+    *seeds* is a single node index or an iterable of node indices
+    (duplicates are ignored).
+    """
+    n = graph.n_nodes
+    restart = np.zeros(n)
+    if isinstance(seeds, (int, np.integer)):
+        seed_list = [int(seeds)]
+    else:
+        seed_list = [int(s) for s in seeds]
+    if not seed_list:
+        raise ValueError("seeds must contain at least one node index")
+    for s in seed_list:
+        if not 0 <= s < n:
+            raise ValueError(f"seed {s} out of range for {n} nodes")
+        restart[s] = 1.0
+    return pagerank(
+        graph,
+        damping=damping,
+        personalization=restart,
+        max_iter=max_iter,
+        tol=tol,
+    )
+
+
+def random_walk_with_restart(
+    graph: Graph, source: int, *, restart_prob: float = 0.15, **kwargs
+) -> np.ndarray:
+    """RWR scores from a single *source* (PPR parameterized by restart prob)."""
+    scores, _ = personalized_pagerank(
+        graph, source, damping=1.0 - restart_prob, **kwargs
+    )
+    return scores
+
+
+def ppr_top_k(
+    graph: Graph,
+    source: int,
+    k: int,
+    *,
+    damping: float = 0.85,
+    exclude_source: bool = True,
+) -> list[tuple[int, float]]:
+    """Top-*k* nodes by PPR score from *source*, as ``(node, score)`` pairs."""
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    scores, _ = personalized_pagerank(graph, source, damping=damping)
+    order = np.argsort(-scores, kind="stable")
+    out: list[tuple[int, float]] = []
+    for node in order:
+        if exclude_source and node == source:
+            continue
+        out.append((int(node), float(scores[node])))
+        if len(out) == k:
+            break
+    return out

@@ -1,0 +1,14 @@
+"""Miniature relational-database substrate and database→HIN builders."""
+
+from repro.relational.builders import LinkSpec, build_hin, infer_hin
+from repro.relational.database import Database, ForeignKey
+from repro.relational.table import Table
+
+__all__ = [
+    "Table",
+    "Database",
+    "ForeignKey",
+    "LinkSpec",
+    "build_hin",
+    "infer_hin",
+]

@@ -1,0 +1,182 @@
+"""Turning a relational database into a heterogeneous information network.
+
+This module implements the tutorial's opening move — "viewing databases as
+information networks" — mechanically: entity tables become node types, and
+links are induced either by a direct foreign key between two entity tables
+or by a junction table holding foreign keys to both.
+
+Two entry points:
+
+* :func:`build_hin` — explicit control over which tables are entities and
+  which columns induce links.
+* :func:`infer_hin` — zero-config heuristic: every table with a primary key
+  that is referenced by someone is an entity; every table holding >= 2
+  foreign keys is a junction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import scipy.sparse as sp
+
+from repro.exceptions import ForeignKeyError, RelationalError
+from repro.networks.hin import HIN
+from repro.networks.schema import NetworkSchema, Relation
+from repro.relational.database import Database, ForeignKey
+
+__all__ = ["LinkSpec", "build_hin", "infer_hin"]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """How one relation of the HIN is derived from the database.
+
+    Either a *junction*: ``table`` holds two FK columns ``source_column`` /
+    ``target_column`` referencing the two entity tables; or a *direct* FK:
+    ``table`` is itself an entity table and ``source_column`` is ``None``
+    while ``target_column`` names the FK column on it.
+    """
+
+    name: str
+    table: str
+    source_column: str | None
+    target_column: str
+
+
+def _fk_for(db: Database, table: str, column: str) -> ForeignKey:
+    for fk in db.foreign_keys_of(table):
+        if fk.column == column:
+            return fk
+    raise ForeignKeyError(f"no foreign key declared on {table}.{column}")
+
+
+def build_hin(
+    db: Database,
+    entity_tables: Sequence[str],
+    links: Sequence[LinkSpec],
+) -> HIN:
+    """Materialize a HIN with one node type per entity table.
+
+    Node ids within a type follow primary-key order of the entity table;
+    names are the primary-key values.  Each :class:`LinkSpec` contributes
+    one relation; multiple rows inducing the same pair accumulate weight.
+    """
+    for t in entity_tables:
+        table = db.table(t)
+        if table.primary_key is None:
+            raise RelationalError(
+                f"entity table {t!r} must have a primary key"
+            )
+    key_index: dict[str, dict] = {}
+    counts: dict[str, int] = {}
+    names: dict[str, list] = {}
+    for t in entity_tables:
+        table = db.table(t)
+        keys = table.column(table.primary_key)
+        key_index[t] = {k: i for i, k in enumerate(keys)}
+        counts[t] = len(keys)
+        names[t] = keys
+
+    relations: list[Relation] = []
+    matrices: dict[str, sp.csr_matrix] = {}
+    for spec in links:
+        table = db.table(spec.table)
+        if spec.source_column is None:
+            # Direct FK: the owning table is the source entity.
+            if spec.table not in key_index:
+                raise RelationalError(
+                    f"link {spec.name!r}: table {spec.table!r} is not an entity table"
+                )
+            fk = _fk_for(db, spec.table, spec.target_column)
+            if fk.ref_table not in key_index:
+                raise RelationalError(
+                    f"link {spec.name!r}: referenced table {fk.ref_table!r} "
+                    f"is not an entity table"
+                )
+            src_type, dst_type = spec.table, fk.ref_table
+            src_keys = table.column(table.primary_key)
+            dst_keys = table.column(spec.target_column)
+            pairs = [
+                (key_index[src_type][s], key_index[dst_type][d])
+                for s, d in zip(src_keys, dst_keys)
+                if d is not None
+            ]
+        else:
+            fk_src = _fk_for(db, spec.table, spec.source_column)
+            fk_dst = _fk_for(db, spec.table, spec.target_column)
+            for fk in (fk_src, fk_dst):
+                if fk.ref_table not in key_index:
+                    raise RelationalError(
+                        f"link {spec.name!r}: referenced table {fk.ref_table!r} "
+                        f"is not an entity table"
+                    )
+            src_type, dst_type = fk_src.ref_table, fk_dst.ref_table
+            src_vals = table.column(spec.source_column)
+            dst_vals = table.column(spec.target_column)
+            pairs = [
+                (key_index[src_type][s], key_index[dst_type][d])
+                for s, d in zip(src_vals, dst_vals)
+                if s is not None and d is not None
+            ]
+        relations.append(Relation(spec.name, src_type, dst_type))
+        rows = [p[0] for p in pairs]
+        cols = [p[1] for p in pairs]
+        m = sp.coo_matrix(
+            ([1.0] * len(pairs), (rows, cols)),
+            shape=(counts[src_type], counts[dst_type]),
+        ).tocsr()
+        m.sum_duplicates()
+        matrices[spec.name] = m
+
+    schema = NetworkSchema(list(entity_tables), relations)
+    return HIN(schema, counts, matrices, node_names=names)
+
+
+def infer_hin(db: Database) -> HIN:
+    """Heuristically derive a HIN from the foreign-key graph of *db*.
+
+    Entity tables: tables with a primary key that are referenced by at
+    least one foreign key, plus tables holding fewer than two foreign keys
+    (pure junctions are link carriers, not entities).  Every junction table
+    (>= 2 FKs into entity tables) induces one relation per FK pair; every
+    direct FK between entity tables induces one relation.
+    """
+    referenced = {fk.ref_table for fk in db.foreign_keys}
+    entities = [
+        name
+        for name in db.table_names
+        if db.table(name).primary_key is not None
+        and (name in referenced or len(db.foreign_keys_of(name)) < 2)
+    ]
+    entity_set = set(entities)
+    links: list[LinkSpec] = []
+    for name in db.table_names:
+        fks = [fk for fk in db.foreign_keys_of(name) if fk.ref_table in entity_set]
+        if name in entity_set:
+            for fk in fks:
+                links.append(
+                    LinkSpec(
+                        name=f"{name}_{fk.column}",
+                        table=name,
+                        source_column=None,
+                        target_column=fk.column,
+                    )
+                )
+        elif len(fks) >= 2:
+            for i in range(len(fks)):
+                for j in range(i + 1, len(fks)):
+                    links.append(
+                        LinkSpec(
+                            name=f"{name}_{fks[i].column}_{fks[j].column}",
+                            table=name,
+                            source_column=fks[i].column,
+                            target_column=fks[j].column,
+                        )
+                    )
+    if not entities:
+        raise RelationalError(
+            "could not infer any entity tables (no primary keys referenced)"
+        )
+    return build_hin(db, entities, links)

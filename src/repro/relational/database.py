@@ -1,0 +1,131 @@
+"""A miniature relational database: tables plus declared foreign keys.
+
+The foreign-key graph is what the tutorial calls the hidden information
+network inside every database; :mod:`repro.relational.builders` walks it to
+materialize a :class:`~repro.networks.HIN`, and
+:mod:`repro.classification.crossmine` walks it to propagate tuple ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ForeignKeyError, RelationalError, TableNotFoundError
+from repro.relational.table import Table
+
+__all__ = ["ForeignKey", "Database"]
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """Declaration that ``table.column`` references ``ref_table.ref_column``."""
+
+    table: str
+    column: str
+    ref_table: str
+    ref_column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column} -> {self.ref_table}.{self.ref_column}"
+
+
+class Database:
+    """A named collection of :class:`Table` objects with foreign keys.
+
+    Example
+    -------
+    >>> db = Database("university")
+    >>> db.add_table(Table("dept", ["id", "name"], [(1, "CS")], primary_key="id"))
+    >>> db.add_table(Table("prof", ["id", "dept_id"], [(10, 1)], primary_key="id"))
+    >>> db.add_foreign_key("prof", "dept_id", "dept", "id")
+    >>> [str(fk) for fk in db.foreign_keys_of("prof")]
+    ['prof.dept_id -> dept.id']
+    """
+
+    def __init__(self, name: str = "db"):
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        self._foreign_keys: list[ForeignKey] = []
+
+    # ------------------------------------------------------------------
+    def add_table(self, table: Table) -> None:
+        """Register *table*; its name must be unused."""
+        if table.name in self._tables:
+            raise RelationalError(f"database already has a table {table.name!r}")
+        self._tables[table.name] = table
+
+    def table(self, name: str) -> Table:
+        """Table by name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise TableNotFoundError(f"no table named {name!r}") from None
+
+    @property
+    def table_names(self) -> list[str]:
+        return list(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    # ------------------------------------------------------------------
+    def add_foreign_key(
+        self, table: str, column: str, ref_table: str, ref_column: str
+    ) -> None:
+        """Declare and validate a foreign key.
+
+        Validation requires the referenced column to be the referenced
+        table's primary key and every non-NULL value in ``table.column`` to
+        resolve — broken references are exactly the data-quality problem
+        the tutorial's Section 3 methods exist to fix, but a *declared* key
+        must hold for the network construction to be well-defined.
+        """
+        src = self.table(table)
+        ref = self.table(ref_table)
+        src.column_index(column)
+        if ref.primary_key != ref_column:
+            raise ForeignKeyError(
+                f"referenced column {ref_table}.{ref_column} must be the "
+                f"primary key of {ref_table!r} (which is {ref.primary_key!r})"
+            )
+        for i, value in enumerate(src.column(column)):
+            if value is not None and not ref.has_key(value):
+                raise ForeignKeyError(
+                    f"{table}.{column} row {i} references missing "
+                    f"{ref_table}.{ref_column} = {value!r}"
+                )
+        fk = ForeignKey(table, column, ref_table, ref_column)
+        if fk in self._foreign_keys:
+            raise ForeignKeyError(f"duplicate foreign key {fk}")
+        self._foreign_keys.append(fk)
+
+    @property
+    def foreign_keys(self) -> list[ForeignKey]:
+        return list(self._foreign_keys)
+
+    def foreign_keys_of(self, table: str) -> list[ForeignKey]:
+        """Foreign keys declared *on* (outgoing from) *table*."""
+        self.table(table)
+        return [fk for fk in self._foreign_keys if fk.table == table]
+
+    def foreign_keys_into(self, table: str) -> list[ForeignKey]:
+        """Foreign keys referencing (incoming to) *table*."""
+        self.table(table)
+        return [fk for fk in self._foreign_keys if fk.ref_table == table]
+
+    def joinable_tables(self, table: str) -> list[str]:
+        """Tables one foreign-key hop away from *table* (either direction)."""
+        out: list[str] = []
+        for fk in self.foreign_keys_of(table):
+            if fk.ref_table not in out:
+                out.append(fk.ref_table)
+        for fk in self.foreign_keys_into(table):
+            if fk.table not in out:
+                out.append(fk.table)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Database({self.name!r}, tables={self.table_names!r}, "
+            f"n_foreign_keys={len(self._foreign_keys)})"
+        )

@@ -1,0 +1,80 @@
+"""Tuple-ID propagation primitives shared by CrossClus and CrossMine.
+
+Both cross-relational algorithms avoid physical joins by carrying sparse
+correspondence matrices between the target table's tuples and the rows of
+whatever table the current join path reaches:
+
+* :func:`join_matrix` — the one-hop correspondence induced by the (unique)
+  foreign key between two tables, in either direction;
+* :func:`value_indicator` — one-hot encoding of a categorical column, so
+  ``propagated.dot(indicator)`` counts, per target tuple, how often each
+  value is reached.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import RelationalError
+from repro.relational.database import Database
+
+__all__ = ["join_matrix", "value_indicator"]
+
+
+def join_matrix(db: Database, src: str, dst: str) -> sp.csr_matrix:
+    """Sparse ``(len(src), len(dst))`` tuple-correspondence matrix induced
+    by the foreign key(s) joining the two tables, in either direction."""
+    src_table = db.table(src)
+    dst_table = db.table(dst)
+    pairs: list[tuple[int, int]] = []
+    for fk in db.foreign_keys_of(src):
+        if fk.ref_table == dst:
+            dst_index = {
+                k: i for i, k in enumerate(dst_table.column(dst_table.primary_key))
+            }
+            col = src_table.column(fk.column)
+            pairs.extend(
+                (i, dst_index[v]) for i, v in enumerate(col) if v is not None
+            )
+    for fk in db.foreign_keys_into(src):
+        if fk.table == dst:
+            src_index = {
+                k: i for i, k in enumerate(src_table.column(src_table.primary_key))
+            }
+            col = dst_table.column(fk.column)
+            pairs.extend(
+                (src_index[v], j) for j, v in enumerate(col) if v is not None
+            )
+    if not pairs:
+        raise RelationalError(f"no foreign key joins {src!r} and {dst!r}")
+    rows = [p[0] for p in pairs]
+    cols = [p[1] for p in pairs]
+    m = sp.coo_matrix(
+        (np.ones(len(pairs)), (rows, cols)),
+        shape=(len(src_table), len(dst_table)),
+    ).tocsr()
+    m.sum_duplicates()
+    return m
+
+
+def value_indicator(
+    db: Database, table: str, column: str
+) -> tuple[sp.csr_matrix, list]:
+    """One-hot ``(n_rows, n_values)`` matrix of *table.column*, plus the
+    value vocabulary in first-appearance order (``None`` rows are zero)."""
+    t = db.table(table)
+    values = t.column(column)
+    vocab: dict = {}
+    for v in values:
+        if v is not None and v not in vocab:
+            vocab[v] = len(vocab)
+    rows, cols = [], []
+    for i, v in enumerate(values):
+        if v is not None:
+            rows.append(i)
+            cols.append(vocab[v])
+    m = sp.coo_matrix(
+        (np.ones(len(rows)), (rows, cols)), shape=(len(t), len(vocab))
+    ).tocsr()
+    return m, list(vocab)

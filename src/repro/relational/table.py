@@ -1,0 +1,217 @@
+"""A miniature in-memory relational table.
+
+This is the substrate for the tutorial's premise — "objects in databases
+are inter-related via foreign keys" — and for the cross-relational
+algorithms (CrossMine, CrossClus) that walk join paths.  It is deliberately
+small: named columns, list-of-tuples rows, a primary key, and the handful
+of relational operations the algorithms need (selection, projection,
+group-by, equi-join).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.exceptions import ColumnNotFoundError, RelationalError
+
+__all__ = ["Table"]
+
+
+class Table:
+    """An in-memory relation with named columns and an optional primary key.
+
+    Parameters
+    ----------
+    name:
+        Table name (unique within a :class:`~repro.relational.Database`).
+    columns:
+        Ordered column names.
+    rows:
+        Iterable of row tuples/lists, all of ``len(columns)``.
+    primary_key:
+        Optional column whose values must be unique and non-``None``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[str],
+        rows: Iterable[Sequence] = (),
+        *,
+        primary_key: str | None = None,
+    ):
+        if not name or not isinstance(name, str):
+            raise RelationalError("table name must be a non-empty string")
+        self.name = name
+        cols = list(columns)
+        if len(set(cols)) != len(cols):
+            raise RelationalError(f"table {name!r} has duplicate columns")
+        if not cols:
+            raise RelationalError(f"table {name!r} must have at least one column")
+        self.columns = cols
+        self._col_index = {c: i for i, c in enumerate(cols)}
+        self._rows: list[tuple] = []
+        for row in rows:
+            self._append(tuple(row))
+        self.primary_key = None
+        if primary_key is not None:
+            self.set_primary_key(primary_key)
+
+    # ------------------------------------------------------------------
+    def _append(self, row: tuple) -> None:
+        if len(row) != len(self.columns):
+            raise RelationalError(
+                f"table {self.name!r}: row has {len(row)} values for "
+                f"{len(self.columns)} columns"
+            )
+        self._rows.append(row)
+
+    def insert(self, row: Sequence) -> None:
+        """Append a row, enforcing primary-key uniqueness if one is set."""
+        row = tuple(row)
+        if self.primary_key is not None:
+            key = row[self._col_index[self.primary_key]]
+            if key is None:
+                raise RelationalError(
+                    f"table {self.name!r}: primary key {self.primary_key!r} is None"
+                )
+            if key in self._pk_index:
+                raise RelationalError(
+                    f"table {self.name!r}: duplicate primary key {key!r}"
+                )
+            self._append(row)
+            self._pk_index[key] = len(self._rows) - 1
+        else:
+            self._append(row)
+
+    def set_primary_key(self, column: str) -> None:
+        """Declare *column* as the primary key (validates existing rows)."""
+        idx = self.column_index(column)
+        seen: dict = {}
+        for i, row in enumerate(self._rows):
+            key = row[idx]
+            if key is None:
+                raise RelationalError(
+                    f"table {self.name!r}: NULL primary key in row {i}"
+                )
+            if key in seen:
+                raise RelationalError(
+                    f"table {self.name!r}: duplicate primary key {key!r}"
+                )
+            seen[key] = i
+        self.primary_key = column
+        self._pk_index = seen
+
+    # ------------------------------------------------------------------
+    def column_index(self, column: str) -> int:
+        """Positional index of *column*."""
+        try:
+            return self._col_index[column]
+        except KeyError:
+            raise ColumnNotFoundError(
+                f"table {self.name!r} has no column {column!r}"
+            ) from None
+
+    def column(self, column: str) -> list:
+        """All values of *column*, in row order."""
+        idx = self.column_index(column)
+        return [row[idx] for row in self._rows]
+
+    def distinct(self, column: str) -> list:
+        """Distinct values of *column*, in first-appearance order."""
+        idx = self.column_index(column)
+        seen: dict = {}
+        for row in self._rows:
+            seen.setdefault(row[idx], None)
+        return list(seen)
+
+    @property
+    def rows(self) -> list[tuple]:
+        """All rows (copy of the list; row tuples are immutable)."""
+        return list(self._rows)
+
+    def row_by_key(self, key) -> tuple:
+        """Row whose primary key equals *key*."""
+        if self.primary_key is None:
+            raise RelationalError(f"table {self.name!r} has no primary key")
+        try:
+            return self._rows[self._pk_index[key]]
+        except KeyError:
+            raise RelationalError(
+                f"table {self.name!r}: no row with key {key!r}"
+            ) from None
+
+    def has_key(self, key) -> bool:
+        """True when a row with primary key *key* exists."""
+        if self.primary_key is None:
+            raise RelationalError(f"table {self.name!r} has no primary key")
+        return key in self._pk_index
+
+    def value(self, key, column: str):
+        """Value of *column* in the row keyed by *key*."""
+        return self.row_by_key(key)[self.column_index(column)]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self):
+        return iter(self._rows)
+
+    # ------------------------------------------------------------------
+    # Relational operations
+    # ------------------------------------------------------------------
+    def select(self, predicate: Callable[[dict], bool]) -> "Table":
+        """Rows for which ``predicate(row_as_dict)`` is true, as a new table."""
+        kept = [
+            row
+            for row in self._rows
+            if predicate(dict(zip(self.columns, row)))
+        ]
+        return Table(self.name, self.columns, kept, primary_key=self.primary_key)
+
+    def project(self, columns: Sequence[str], *, name: str | None = None) -> "Table":
+        """New table with only *columns* (duplicates retained)."""
+        idxs = [self.column_index(c) for c in columns]
+        rows = [tuple(row[i] for i in idxs) for row in self._rows]
+        return Table(name or self.name, list(columns), rows)
+
+    def group_by(self, column: str) -> dict:
+        """Mapping ``value -> list of row dicts`` grouped on *column*."""
+        idx = self.column_index(column)
+        groups: dict = {}
+        for row in self._rows:
+            groups.setdefault(row[idx], []).append(dict(zip(self.columns, row)))
+        return groups
+
+    def join(
+        self,
+        other: "Table",
+        self_column: str,
+        other_column: str,
+        *,
+        name: str | None = None,
+    ) -> "Table":
+        """Inner equi-join; joined columns are prefixed ``table.column``."""
+        left_idx = self.column_index(self_column)
+        right_idx = other.column_index(other_column)
+        buckets: dict = {}
+        for row in other._rows:
+            buckets.setdefault(row[right_idx], []).append(row)
+        out_columns = [f"{self.name}.{c}" for c in self.columns] + [
+            f"{other.name}.{c}" for c in other.columns
+        ]
+        out_rows: list[tuple] = []
+        for row in self._rows:
+            for match in buckets.get(row[left_idx], ()):
+                out_rows.append(tuple(row) + tuple(match))
+        return Table(name or f"{self.name}_join_{other.name}", out_columns, out_rows)
+
+    def to_dicts(self) -> list[dict]:
+        """Rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self._rows]
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self.name!r}, columns={self.columns!r}, "
+            f"n_rows={len(self._rows)}, primary_key={self.primary_key!r})"
+        )

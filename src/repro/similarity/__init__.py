@@ -1,0 +1,21 @@
+"""Similarity measures: SimRank, meta-path measures, and PathSim top-k search."""
+
+from repro.similarity.metapath import (
+    pairwise_random_walk_matrix,
+    path_constrained_random_walk,
+    path_count_matrix,
+    random_walk_matrix,
+)
+from repro.similarity.pathsim import PathSim, pathsim_matrix
+from repro.similarity.simrank import simrank, simrank_bipartite
+
+__all__ = [
+    "simrank",
+    "simrank_bipartite",
+    "PathSim",
+    "pathsim_matrix",
+    "path_count_matrix",
+    "random_walk_matrix",
+    "pairwise_random_walk_matrix",
+    "path_constrained_random_walk",
+]

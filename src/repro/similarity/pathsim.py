@@ -1,0 +1,146 @@
+"""PathSim — meta-path-based top-k similarity search (tutorial §7(b)).
+
+PathSim measures how two *peers* relate under a symmetric meta-path P:
+
+    s(x, y) = 2 · M[x, y] / (M[x, x] + M[y, y])
+
+where ``M`` is the commuting matrix of P.  Unlike raw path counts or
+random-walk measures, the normalization by self-visibility stops hugely
+prolific objects (e.g. mega-conferences) from dominating every ranking —
+the property the PathSim case study ("who is similar to SIGMOD?")
+demonstrates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import MetaPathError, NotFittedError
+from repro.networks.hin import HIN
+
+__all__ = ["PathSim", "pathsim_matrix"]
+
+
+def pathsim_matrix(hin: HIN, path) -> np.ndarray:
+    """Dense all-pairs PathSim matrix for a symmetric meta-path.
+
+    Values are in [0, 1] with unit diagonal for every object that has at
+    least one path instance to itself; objects with zero self-count (no
+    participation in the path) have similarity 0 everywhere, diagonal
+    included — they are invisible under this meta-path.
+    """
+    mp = hin.meta_path(path)
+    if not mp.is_symmetric():
+        raise MetaPathError(
+            f"PathSim requires a symmetric meta-path, got {mp}"
+        )
+    m = hin.commuting_matrix(mp)
+    diag = m.diagonal()
+    denom = diag[:, None] + diag[None, :]
+    dense = m.toarray()
+    out = np.divide(
+        2.0 * dense,
+        denom,
+        out=np.zeros_like(dense),
+        where=denom != 0,
+    )
+    return out
+
+
+class PathSim:
+    """Reusable PathSim index over one HIN and one symmetric meta-path.
+
+    Computes the commuting matrix once at :meth:`fit`; queries then run on
+    the sparse structure, so repeated top-k searches stay cheap.
+
+    Example
+    -------
+    >>> ps = PathSim("venue-paper-author-paper-venue")   # doctest: +SKIP
+    >>> ps.fit(dblp.hin)                                 # doctest: +SKIP
+    >>> ps.top_k("SIGMOD", 5)                            # doctest: +SKIP
+    """
+
+    def __init__(self, path):
+        self.path = path
+        self._m: sp.csr_matrix | None = None
+        self._diag: np.ndarray | None = None
+        self._hin: HIN | None = None
+        self._type: str | None = None
+
+    def fit(self, hin: HIN) -> "PathSim":
+        """Compute and cache the commuting matrix of the meta-path."""
+        mp = hin.meta_path(self.path)
+        if not mp.is_symmetric():
+            raise MetaPathError(f"PathSim requires a symmetric meta-path, got {mp}")
+        self._m = hin.commuting_matrix(mp)
+        self._diag = self._m.diagonal()
+        self._hin = hin
+        self._type = mp.source_type
+        return self
+
+    # ------------------------------------------------------------------
+    def _check_fitted(self) -> None:
+        if self._m is None:
+            raise NotFittedError("call fit(hin) before querying PathSim")
+
+    def _resolve(self, obj) -> int:
+        self._check_fitted()
+        if isinstance(obj, (int, np.integer)):
+            return int(obj)
+        return self._hin.index_of(self._type, obj)
+
+    @property
+    def object_type(self) -> str:
+        """The node type this index ranks (source/target of the path)."""
+        self._check_fitted()
+        return self._type
+
+    def similarity(self, x, y) -> float:
+        """PathSim score between two objects (indices or names)."""
+        i, j = self._resolve(x), self._resolve(y)
+        denom = self._diag[i] + self._diag[j]
+        if denom == 0:
+            return 0.0
+        return float(2.0 * self._m[i, j] / denom)
+
+    def similarities_from(self, x) -> np.ndarray:
+        """PathSim scores from *x* to every object of the type."""
+        i = self._resolve(x)
+        row = np.asarray(self._m.getrow(i).todense()).ravel()
+        denom = self._diag[i] + self._diag
+        return np.divide(
+            2.0 * row, denom, out=np.zeros_like(row, dtype=np.float64),
+            where=denom != 0,
+        )
+
+    def top_k(self, x, k: int, *, exclude_self: bool = True) -> list[tuple]:
+        """Top-*k* most similar objects to *x*.
+
+        Returns ``(name_or_index, score)`` pairs, names when the type has
+        them.  Candidates are restricted to objects sharing at least one
+        path instance with *x* (others score 0 and are omitted unless
+        needed to fill *k*).
+        """
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        i = self._resolve(x)
+        scores = self.similarities_from(i)
+        order = np.argsort(-scores, kind="stable")
+        out: list[tuple] = []
+        for j in order:
+            if exclude_self and j == i:
+                continue
+            out.append((self._hin.name_of(self._type, int(j)), float(scores[j])))
+            if len(out) == k:
+                break
+        return out
+
+    def matrix(self) -> np.ndarray:
+        """Dense all-pairs PathSim matrix (see :func:`pathsim_matrix`)."""
+        self._check_fitted()
+        denom = self._diag[:, None] + self._diag[None, :]
+        dense = self._m.toarray()
+        return np.divide(
+            2.0 * dense, denom, out=np.zeros_like(dense), where=denom != 0
+        )

@@ -1,0 +1,96 @@
+"""Convergence bookkeeping for iterative solvers.
+
+Every fixed-point iteration in the library (PageRank, HITS, SimRank,
+TruthFinder, RankClus/NetClus EM, label propagation, ...) reports how it
+stopped through a :class:`ConvergenceInfo` record, and warns with
+:class:`repro.exceptions.ConvergenceWarning` when it ran out of iterations.
+Keeping this in one place means callers can always ask "did it converge, in
+how many steps, at what residual" the same way.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConvergenceWarning
+
+__all__ = ["ConvergenceInfo", "IterativeSolverMixin"]
+
+
+@dataclass
+class ConvergenceInfo:
+    """How an iterative solver terminated.
+
+    Attributes
+    ----------
+    converged:
+        ``True`` when the residual dropped below the solver tolerance.
+    n_iter:
+        Number of iterations actually executed.
+    residual:
+        Final residual (solver-specific norm of the last update).
+    tol:
+        The tolerance the solver was run with.
+    history:
+        Residual after each iteration; useful for plotting convergence
+        curves in the benchmarks.
+    """
+
+    converged: bool
+    n_iter: int
+    residual: float
+    tol: float
+    history: list[float] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.converged
+
+
+class IterativeSolverMixin:
+    """Mixin implementing the shared stop-or-warn loop contract.
+
+    Subclasses call :meth:`_check_stop` once per iteration with the current
+    residual; it returns ``True`` when iteration should stop and records a
+    :class:`ConvergenceInfo` on ``self.convergence_``.
+    """
+
+    tol: float
+    max_iter: int
+
+    def _start_iteration(self) -> None:
+        self._history: list[float] = []
+
+    def _check_stop(self, residual: float, iteration: int, *, context: str = "") -> bool:
+        """Record *residual*; return True when iteration should stop.
+
+        Emits :class:`ConvergenceWarning` when ``max_iter`` is exhausted
+        without meeting ``tol``.
+        """
+        self._history.append(float(residual))
+        if residual <= self.tol:
+            self.convergence_ = ConvergenceInfo(
+                converged=True,
+                n_iter=iteration + 1,
+                residual=float(residual),
+                tol=self.tol,
+                history=list(self._history),
+            )
+            return True
+        if iteration + 1 >= self.max_iter:
+            self.convergence_ = ConvergenceInfo(
+                converged=False,
+                n_iter=iteration + 1,
+                residual=float(residual),
+                tol=self.tol,
+                history=list(self._history),
+            )
+            name = context or type(self).__name__
+            warnings.warn(
+                f"{name} did not converge in {self.max_iter} iterations "
+                f"(final residual {residual:.3g} > tol {self.tol:.3g})",
+                ConvergenceWarning,
+                stacklevel=3,
+            )
+            return True
+        return False

@@ -1,0 +1,56 @@
+"""Seeded randomness helpers.
+
+Every stochastic routine in the library accepts a ``seed`` argument that may
+be ``None`` (fresh entropy), an integer, or an already-constructed
+:class:`numpy.random.Generator`.  :func:`ensure_rng` normalizes all three to
+a ``Generator`` so call sites never branch on the argument type.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn_rngs"]
+
+SeedLike = "int | np.random.Generator | np.random.SeedSequence | None"
+
+
+def ensure_rng(seed=None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` for a reproducible stream, a
+        :class:`numpy.random.SeedSequence`, or an existing ``Generator``
+        (returned unchanged so that callers can thread one stream through
+        several helpers).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise TypeError(
+        f"seed must be None, an int, a SeedSequence or a numpy Generator, "
+        f"got {type(seed).__name__}"
+    )
+
+
+def spawn_rngs(seed, n: int) -> list[np.random.Generator]:
+    """Split *seed* into *n* independent generators.
+
+    Used by benchmark sweeps and multi-restart algorithms so that each
+    restart sees an independent but reproducible stream.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children by drawing seeds from the parent stream.
+        return [
+            np.random.default_rng(int(s))
+            for s in seed.integers(0, 2**63 - 1, size=n)
+        ]
+    seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(n)]

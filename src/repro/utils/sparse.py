@@ -1,0 +1,116 @@
+"""Sparse-matrix helpers shared by ranking, similarity and clustering code.
+
+All heavy linear algebra in the library runs on ``scipy.sparse`` CSR
+matrices; these helpers centralize the normalization idioms (row-stochastic,
+column-stochastic, symmetric) and the zero-safe divisions that every
+iterative algorithm needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "to_csr",
+    "row_normalize",
+    "column_normalize",
+    "symmetric_normalize",
+    "safe_divide",
+    "is_binary",
+    "degree_vector",
+]
+
+
+def to_csr(matrix, dtype=np.float64) -> sp.csr_matrix:
+    """Coerce *matrix* (dense array, sparse matrix, or nested lists) to CSR.
+
+    A defensive copy is **not** made when the input is already CSR with the
+    requested dtype; callers that mutate should copy explicitly.
+    """
+    if sp.issparse(matrix):
+        out = matrix.tocsr()
+        if out.dtype != dtype:
+            out = out.astype(dtype)
+        return out
+    arr = np.asarray(matrix, dtype=dtype)
+    if arr.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {arr.shape}")
+    return sp.csr_matrix(arr)
+
+
+def degree_vector(matrix, axis: int = 1) -> np.ndarray:
+    """Weighted degree (row or column sums) of a sparse matrix as a 1-D array."""
+    sums = np.asarray(matrix.sum(axis=axis)).ravel()
+    return sums
+
+
+def row_normalize(matrix) -> sp.csr_matrix:
+    """Return a row-stochastic copy of *matrix*.
+
+    Rows that sum to zero are left as all-zero rows (the caller decides how
+    to treat dangling nodes); no NaNs are ever produced.
+    """
+    m = to_csr(matrix).copy()
+    row_sums = degree_vector(m, axis=1)
+    scale = np.divide(
+        1.0, row_sums, out=np.zeros_like(row_sums, dtype=np.float64), where=row_sums != 0
+    )
+    return sp.diags(scale).dot(m).tocsr()
+
+
+def column_normalize(matrix) -> sp.csr_matrix:
+    """Return a column-stochastic copy of *matrix* (zero columns stay zero)."""
+    m = to_csr(matrix).copy()
+    col_sums = degree_vector(m, axis=0)
+    scale = np.divide(
+        1.0, col_sums, out=np.zeros_like(col_sums, dtype=np.float64), where=col_sums != 0
+    )
+    return m.dot(sp.diags(scale)).tocsr()
+
+
+def symmetric_normalize(matrix) -> sp.csr_matrix:
+    """Return ``D^{-1/2} A D^{-1/2}`` for the (square) adjacency *matrix*.
+
+    This is the normalization used by normalized spectral clustering and by
+    graph-regularized transductive classification (GNetMine).  For
+    rectangular relation matrices the two diagonal scalings use row sums on
+    the left and column sums on the right, which is the bipartite analogue.
+    """
+    m = to_csr(matrix).copy()
+    row_sums = degree_vector(m, axis=1)
+    col_sums = degree_vector(m, axis=0)
+    left = np.divide(
+        1.0,
+        np.sqrt(row_sums),
+        out=np.zeros_like(row_sums, dtype=np.float64),
+        where=row_sums != 0,
+    )
+    right = np.divide(
+        1.0,
+        np.sqrt(col_sums),
+        out=np.zeros_like(col_sums, dtype=np.float64),
+        where=col_sums != 0,
+    )
+    return sp.diags(left).dot(m).dot(sp.diags(right)).tocsr()
+
+
+def safe_divide(numerator: np.ndarray, denominator: np.ndarray) -> np.ndarray:
+    """Elementwise ``numerator / denominator`` with 0 where denominator is 0."""
+    numerator = np.asarray(numerator, dtype=np.float64)
+    denominator = np.asarray(denominator, dtype=np.float64)
+    return np.divide(
+        numerator,
+        denominator,
+        out=np.zeros(np.broadcast(numerator, denominator).shape),
+        where=denominator != 0,
+    )
+
+
+def is_binary(matrix) -> bool:
+    """True when every stored entry of *matrix* is 0 or 1."""
+    m = to_csr(matrix)
+    if m.nnz == 0:
+        return True
+    data = m.data
+    return bool(np.all((data == 0) | (data == 1)))

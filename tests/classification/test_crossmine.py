@@ -1,0 +1,94 @@
+"""Unit tests for CrossMine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.classification import CrossMine
+from repro.datasets import make_relational_bank
+from repro.exceptions import NotFittedError
+
+
+@pytest.fixture(scope="module")
+def bank():
+    return make_relational_bank(n_clients=100, seed=0)
+
+
+@pytest.fixture(scope="module")
+def fitted(bank):
+    return CrossMine(bank.db, "client", "risk").fit()
+
+
+class TestCrossMine:
+    def test_training_accuracy(self, bank, fitted):
+        assert fitted.accuracy() > 0.9
+
+    def test_generalizes_to_new_database(self, fitted):
+        test = make_relational_bank(n_clients=80, seed=7)
+        truth = np.array(test.db.table("client").column("risk"), dtype=object)
+        pred = fitted.predict(test.db)
+        assert (pred == truth).mean() > 0.85
+
+    def test_rules_are_cross_relational(self, fitted):
+        # the signal lives >= 1 join away, so rules must leave `client`
+        assert any(
+            len(pred.path) >= 2
+            for rule in fitted.rules_
+            for pred in rule.predicates
+        )
+
+    def test_label_column_never_used(self, fitted):
+        for rule in fitted.rules_:
+            for pred in rule.predicates:
+                assert not (
+                    pred.path == ("client",) and pred.column == "risk"
+                )
+
+    def test_rule_metadata(self, fitted):
+        for rule in fitted.rules_:
+            assert rule.coverage >= 1
+            assert 0.0 <= rule.precision <= 1.0
+            assert str(rule).startswith("IF ")
+
+    def test_single_table_signal_invisible(self, bank):
+        # restricting to the client table only (max_hops=0), the planted
+        # signal is unreachable; accuracy collapses toward the majority.
+        clf = CrossMine(bank.db, "client", "risk", max_hops=0).fit()
+        majority = max(
+            np.mean(np.array(bank.db.table("client").column("risk"), dtype=object) == c)
+            for c in ("safe", "risky")
+        )
+        assert clf.accuracy() <= majority + 0.1
+
+    def test_noise_table_unused(self, fitted):
+        for rule in fitted.rules_:
+            for pred in rule.predicates:
+                assert "transaction" not in pred.path
+
+    def test_default_class_is_majority(self, bank, fitted):
+        labels = np.array(bank.db.table("client").column("risk"), dtype=object)
+        values, counts = np.unique(labels.astype(str), return_counts=True)
+        assert str(fitted.default_class_) == values[counts.argmax()]
+
+    def test_predict_before_fit(self, bank):
+        with pytest.raises(NotFittedError):
+            CrossMine(bank.db, "client", "risk").predict()
+
+    def test_parameter_validation(self, bank):
+        with pytest.raises(ValueError):
+            CrossMine(bank.db, "client", "risk", max_hops=-1)
+        with pytest.raises(ValueError):
+            CrossMine(bank.db, "client", "risk", max_literals=0)
+
+    def test_weak_signal_degrades_gracefully(self):
+        weak = make_relational_bank(n_clients=100, signal_strength=0.55, seed=3)
+        clf = CrossMine(weak.db, "client", "risk").fit()
+        # should still learn something but not fabricate perfection
+        assert 0.5 <= clf.accuracy() <= 1.0
+
+    def test_deterministic(self, bank):
+        a = CrossMine(bank.db, "client", "risk").fit()
+        b = CrossMine(bank.db, "client", "risk").fit()
+        assert [str(r) for r in a.rules_] == [str(r) for r in b.rules_]
+        assert np.array_equal(a.predict(), b.predict())

@@ -1,0 +1,221 @@
+"""Unit tests for label propagation, GNetMine, and tag-graph classification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.classification import (
+    GNetMine,
+    TagGraphClassifier,
+    label_propagation,
+    tag_vector_knn,
+)
+from repro.datasets import make_dblp_four_area, make_flickr
+from repro.exceptions import NotFittedError, TypeNotFoundError
+from repro.networks import planted_partition
+
+
+@pytest.fixture(scope="module")
+def dblp():
+    return make_dblp_four_area(authors_per_area=40, papers_per_area=100, seed=0)
+
+
+@pytest.fixture(scope="module")
+def paper_seed_mask(dblp):
+    rng = np.random.default_rng(1)
+    n = dblp.n_papers
+    mask = np.zeros(n, dtype=bool)
+    mask[rng.choice(n, n // 10, replace=False)] = True
+    return mask
+
+
+class TestLabelPropagation:
+    def test_planted_partition(self):
+        graph, labels = planted_partition(30, 3, 0.3, 0.01, seed=0)
+        mask = np.zeros(90, dtype=bool)
+        mask[::10] = True
+        pred, scores, info = label_propagation(graph, labels, mask)
+        assert info.converged
+        assert (pred[~mask] == labels[~mask]).mean() > 0.9
+        assert scores.shape == (90, 3)
+
+    def test_seeds_keep_their_class(self):
+        graph, labels = planted_partition(10, 2, 0.5, 0.05, seed=1)
+        mask = np.zeros(20, dtype=bool)
+        mask[:4] = True
+        # corrupt a seed deliberately: output must echo the seed value
+        noisy = labels.copy()
+        noisy[0] = 1 - noisy[0]
+        pred, _, _ = label_propagation(graph, noisy, mask)
+        assert pred[0] == noisy[0]
+
+    def test_isolated_node_gets_majority(self):
+        from repro.networks import Graph
+
+        g = Graph.from_edges(4, [(0, 1)])  # nodes 2,3 isolated
+        labels = np.array([0, 0, 0, 0])
+        mask = np.array([True, True, False, False])
+        pred, _, _ = label_propagation(g, labels, mask)
+        assert pred[2] == 0 and pred[3] == 0
+
+    def test_validation(self, triangle):
+        with pytest.raises(ValueError, match="shape"):
+            label_propagation(triangle, [0, 1], [True, False])
+        with pytest.raises(ValueError, match="labeled"):
+            label_propagation(triangle, [0, 0, 0], [False] * 3)
+        with pytest.raises(ValueError):
+            label_propagation(triangle, [0, 0, 0], [True] * 3, alpha=1.5)
+
+
+class TestGNetMine:
+    def test_propagates_to_all_types(self, dblp, paper_seed_mask):
+        model = GNetMine().fit(
+            dblp.hin, seeds={"paper": (dblp.paper_labels, paper_seed_mask)}
+        )
+        unl = ~paper_seed_mask
+        acc_paper = (model.labels_["paper"][unl] == dblp.paper_labels[unl]).mean()
+        acc_venue = (model.labels_["venue"] == dblp.venue_labels).mean()
+        acc_author = (model.labels_["author"] == dblp.author_labels).mean()
+        assert acc_paper > 0.9
+        assert acc_venue > 0.9
+        assert acc_author > 0.8
+
+    def test_beats_homogeneous_lp(self, dblp, paper_seed_mask):
+        model = GNetMine().fit(
+            dblp.hin, seeds={"paper": (dblp.paper_labels, paper_seed_mask)}
+        )
+        proj = dblp.hin.homogeneous_projection("paper-author-paper")
+        pred_lp, _, _ = label_propagation(
+            proj, dblp.paper_labels, paper_seed_mask
+        )
+        unl = ~paper_seed_mask
+        acc_hin = (model.labels_["paper"][unl] == dblp.paper_labels[unl]).mean()
+        acc_lp = (pred_lp[unl] == dblp.paper_labels[unl]).mean()
+        assert acc_hin >= acc_lp
+
+    def test_seeds_from_attribute_type(self, dblp):
+        # label only venues; papers should still classify well
+        mask = np.ones(20, dtype=bool)
+        model = GNetMine().fit(
+            dblp.hin, seeds={"venue": (dblp.venue_labels, mask)}
+        )
+        acc = (model.labels_["paper"] == dblp.paper_labels).mean()
+        assert acc > 0.85
+
+    def test_relation_weights_respected(self, dblp):
+        # Zeroing every relation except published_in splits the graph into
+        # per-venue components, so seeds must be dense enough that every
+        # venue sees at least one seeded paper.
+        rng = np.random.default_rng(3)
+        n = dblp.n_papers
+        mask = np.zeros(n, dtype=bool)
+        mask[rng.choice(n, n // 3, replace=False)] = True
+        model = GNetMine(
+            relation_weights={"writes": 0.0, "mentions": 0.0}
+        ).fit(dblp.hin, seeds={"paper": (dblp.paper_labels, mask)})
+        acc_venue = (model.labels_["venue"] == dblp.venue_labels).mean()
+        assert acc_venue > 0.9
+        # term scores must be exactly zero: no active relation reaches them
+        assert model.scores_["term"].max() == 0.0
+
+    def test_scores_shapes(self, dblp, paper_seed_mask):
+        model = GNetMine().fit(
+            dblp.hin, seeds={"paper": (dblp.paper_labels, paper_seed_mask)}
+        )
+        assert model.scores_["paper"].shape == (dblp.n_papers, 4)
+        assert model.scores_["term"].shape == (dblp.hin.node_count("term"), 4)
+
+    def test_validation(self, dblp):
+        with pytest.raises(ValueError, match="at least one type"):
+            GNetMine().fit(dblp.hin, seeds={})
+        with pytest.raises(TypeNotFoundError):
+            GNetMine().fit(dblp.hin, seeds={"zzz": ([0], [True])})
+        n = dblp.n_papers
+        with pytest.raises(ValueError, match="shape"):
+            GNetMine().fit(dblp.hin, seeds={"paper": ([0, 1], [True, True])})
+        with pytest.raises(ValueError, match="labeled"):
+            GNetMine().fit(
+                dblp.hin,
+                seeds={"paper": (np.zeros(n), np.zeros(n, dtype=bool))},
+            )
+
+    def test_not_fitted_and_unknown_type(self, dblp, paper_seed_mask):
+        with pytest.raises(NotFittedError):
+            GNetMine().predict("paper")
+        model = GNetMine().fit(
+            dblp.hin, seeds={"paper": (dblp.paper_labels, paper_seed_mask)}
+        )
+        with pytest.raises(TypeNotFoundError):
+            model.predict("zzz")
+
+
+class TestTagging:
+    @pytest.fixture(scope="class")
+    def flickr(self):
+        return make_flickr(photos_per_topic=80, seed=0)
+
+    @pytest.fixture(scope="class")
+    def seed_mask(self, flickr):
+        rng = np.random.default_rng(2)
+        n = flickr.n_photos
+        mask = np.zeros(n, dtype=bool)
+        mask[rng.choice(n, n // 10, replace=False)] = True
+        return mask
+
+    def test_recovers_topics(self, flickr, seed_mask):
+        ot = flickr.hin.relation_matrix("tagged_with")
+        model = TagGraphClassifier().fit(ot, flickr.photo_labels, seed_mask)
+        unl = ~seed_mask
+        acc = (model.object_labels_[unl] == flickr.photo_labels[unl]).mean()
+        assert acc > 0.7
+
+    def test_beats_knn_baseline(self, flickr, seed_mask):
+        ot = flickr.hin.relation_matrix("tagged_with")
+        model = TagGraphClassifier().fit(ot, flickr.photo_labels, seed_mask)
+        knn = tag_vector_knn(ot, flickr.photo_labels, seed_mask)
+        unl = ~seed_mask
+        acc_graph = (model.object_labels_[unl] == flickr.photo_labels[unl]).mean()
+        acc_knn = (knn[unl] == flickr.photo_labels[unl]).mean()
+        assert acc_graph > acc_knn
+
+    def test_tag_labels_sensible(self, flickr, seed_mask):
+        ot = flickr.hin.relation_matrix("tagged_with")
+        model = TagGraphClassifier().fit(ot, flickr.photo_labels, seed_mask)
+        topical = flickr.tag_labels >= 0
+        acc = (model.tag_labels_[topical] == flickr.tag_labels[topical]).mean()
+        assert acc > 0.6
+
+    def test_object_object_links_help_or_hold(self, flickr, seed_mask):
+        ot = flickr.hin.relation_matrix("tagged_with")
+        oo = flickr.hin.homogeneous_projection("photo-user-photo").adjacency
+        model = TagGraphClassifier().fit(
+            ot, flickr.photo_labels, seed_mask, object_object=oo
+        )
+        unl = ~seed_mask
+        acc = (model.object_labels_[unl] == flickr.photo_labels[unl]).mean()
+        assert acc > 0.7
+
+    def test_validation(self, flickr, seed_mask):
+        ot = flickr.hin.relation_matrix("tagged_with")
+        with pytest.raises(ValueError, match="shape"):
+            TagGraphClassifier().fit(ot, [0, 1], [True, False])
+        with pytest.raises(ValueError, match="labeled"):
+            TagGraphClassifier().fit(
+                ot,
+                flickr.photo_labels,
+                np.zeros(flickr.n_photos, dtype=bool),
+            )
+        with pytest.raises(ValueError, match="object_object"):
+            TagGraphClassifier().fit(
+                ot, flickr.photo_labels, seed_mask, object_object=np.ones((2, 2))
+            )
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            TagGraphClassifier().predict()
+
+    def test_knn_k_validation(self, flickr, seed_mask):
+        ot = flickr.hin.relation_matrix("tagged_with")
+        with pytest.raises(ValueError):
+            tag_vector_knn(ot, flickr.photo_labels, seed_mask, k=0)

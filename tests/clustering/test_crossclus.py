@@ -1,0 +1,141 @@
+"""Unit tests for CrossClus user-guided multi-relational clustering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import CrossClus, FeatureSpec, clustering_accuracy
+from repro.exceptions import NotFittedError, RelationalError
+from repro.relational import Database, Table
+from repro.utils.rng import ensure_rng
+
+
+@pytest.fixture
+def bank_db():
+    """20 clients in 2 planted groups.
+
+    ``account.region`` (guidance, 1 hop) and ``purchase.product`` (2 hops
+    via account) both follow the groups; ``contact.channel`` is noise.
+    """
+    rng = ensure_rng(0)
+    n = 20
+    groups = np.repeat([0, 1], n // 2)
+    db = Database("bank")
+    db.add_table(
+        Table("client", ["id", "name"], [(i, f"c{i}") for i in range(n)], primary_key="id")
+    )
+    accounts = []
+    for i in range(n):
+        region = ("north", "south")[groups[i]] if rng.random() < 0.95 else ("south", "north")[groups[i]]
+        accounts.append((100 + i, i, region))
+    db.add_table(
+        Table("account", ["id", "client_id", "region"], accounts, primary_key="id")
+    )
+    purchases = []
+    pid = 0
+    for i in range(n):
+        for _ in range(3):
+            product = ("bond", "stock")[groups[i]] if rng.random() < 0.9 else ("stock", "bond")[groups[i]]
+            purchases.append((pid, 100 + i, product))
+            pid += 1
+    db.add_table(
+        Table("purchase", ["id", "account_id", "product"], purchases, primary_key="id")
+    )
+    contacts = [
+        (i, i, ("email", "phone", "mail")[int(rng.integers(0, 3))]) for i in range(n)
+    ]
+    db.add_table(
+        Table("contact", ["id", "client_id", "channel"], contacts, primary_key="id")
+    )
+    db.add_foreign_key("account", "client_id", "client", "id")
+    db.add_foreign_key("purchase", "account_id", "account", "id")
+    db.add_foreign_key("contact", "client_id", "client", "id")
+    return db, groups
+
+
+class TestCrossClus:
+    def test_recovers_planted_groups(self, bank_db):
+        db, groups = bank_db
+        model = CrossClus(
+            db, "client", 2, guidance=(("client", "account"), "region"), seed=0
+        ).fit()
+        assert clustering_accuracy(groups, model.labels_) >= 0.9
+
+    def test_selects_pertinent_feature(self, bank_db):
+        db, _ = bank_db
+        model = CrossClus(
+            db, "client", 2, guidance=(("client", "account"), "region"),
+            min_similarity=0.3, seed=0,
+        ).fit()
+        selected = {str(f) for f in model.selected_features_}
+        assert any("purchase.product" in s for s in selected)
+
+    def test_noise_feature_scores_lower(self, bank_db):
+        db, _ = bank_db
+        model = CrossClus(
+            db, "client", 2, guidance=(("client", "account"), "region"),
+            min_similarity=0.0, seed=0,
+        ).fit()
+        sims = {str(k): v for k, v in model.feature_similarities_.items()}
+        product = next(v for k, v in sims.items() if "purchase.product" in k)
+        channel = next(v for k, v in sims.items() if "contact.channel" in k)
+        assert product > channel
+
+    def test_max_hops_zero_restricts_to_target(self, bank_db):
+        db, _ = bank_db
+        model = CrossClus(
+            db, "client", 2, guidance=(("client", "account"), "region"),
+            max_hops=0, min_similarity=0.0, seed=0,
+        )
+        specs = model._candidate_features()
+        assert all(len(s.path) == 1 for s in specs)
+
+    def test_guidance_path_validation(self, bank_db):
+        db, _ = bank_db
+        with pytest.raises(ValueError, match="must start"):
+            CrossClus(db, "client", 2, guidance=(("account",), "region"))
+
+    def test_parameter_validation(self, bank_db):
+        db, _ = bank_db
+        g = (("client", "account"), "region")
+        with pytest.raises(ValueError):
+            CrossClus(db, "client", 2, guidance=g, min_similarity=1.5)
+        with pytest.raises(ValueError):
+            CrossClus(db, "client", 0, guidance=g)
+        with pytest.raises(ValueError):
+            CrossClus(db, "client", 2, guidance=g, max_features=0)
+
+    def test_not_fitted(self, bank_db):
+        db, _ = bank_db
+        model = CrossClus(db, "client", 2, guidance=(("client", "account"), "region"))
+        with pytest.raises(NotFittedError):
+            model.predict_labels()
+
+    def test_target_without_pk(self, bank_db):
+        db, _ = bank_db
+        db.add_table(Table("nopk", ["x"], [(1,)]))
+        model = CrossClus(db, "nopk", 1, guidance=(("nopk",), "x"))
+        with pytest.raises(RelationalError):
+            model.fit()
+
+    def test_feature_vectors_row_stochastic(self, bank_db):
+        db, _ = bank_db
+        model = CrossClus(db, "client", 2, guidance=(("client", "account"), "region"))
+        v = model.feature_vectors(FeatureSpec(("client", "account", "purchase"), "product"))
+        sums = np.asarray(v.sum(axis=1)).ravel()
+        assert np.allclose(sums[sums > 0], 1.0)
+        assert v.shape[0] == 20
+
+    def test_feature_similarity_self_is_one(self, bank_db):
+        db, _ = bank_db
+        model = CrossClus(db, "client", 2, guidance=(("client", "account"), "region"))
+        v = model.feature_vectors(model.guidance)
+        assert CrossClus.feature_similarity(v, v) == pytest.approx(1.0)
+
+    def test_reproducible(self, bank_db):
+        db, groups = bank_db
+        g = (("client", "account"), "region")
+        a = CrossClus(db, "client", 2, guidance=g, seed=3).fit()
+        b = CrossClus(db, "client", 2, guidance=g, seed=3).fit()
+        assert np.array_equal(a.labels_, b.labels_)

@@ -1,0 +1,136 @@
+"""Unit tests for clustering metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    adjusted_rand_index,
+    clustering_accuracy,
+    confusion_matrix,
+    normalized_mutual_information,
+    pairwise_f1,
+    purity,
+)
+
+
+class TestConfusionMatrix:
+    def test_basic(self):
+        table = confusion_matrix([0, 0, 1, 1], [1, 1, 0, 1])
+        assert table.tolist() == [[0, 2], [1, 1]]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            confusion_matrix([0, 1], [0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([], [])
+
+
+class TestAccuracy:
+    def test_perfect_after_relabel(self):
+        assert clustering_accuracy([0, 0, 1, 1], [1, 1, 0, 0]) == 1.0
+
+    def test_partial(self):
+        assert clustering_accuracy([0, 0, 1, 1], [0, 1, 1, 1]) == 0.75
+
+    def test_one_to_one_matching(self):
+        # Two predicted clusters cannot both map to class 0.
+        acc = clustering_accuracy([0, 0, 0, 0], [0, 0, 1, 1])
+        assert acc == 0.5
+
+    def test_noise_excluded_by_default(self):
+        acc = clustering_accuracy([0, 0, 1, 1], [0, -1, 1, 1])
+        assert acc == 1.0
+
+    def test_noise_counted_when_asked(self):
+        acc = clustering_accuracy([0, 0, 1, 1], [0, -1, 1, 1], include_noise=True)
+        assert acc == 0.75
+
+    def test_all_noise(self):
+        assert clustering_accuracy([0, 1], [-1, -1]) == 0.0
+
+
+class TestPurity:
+    def test_pure_clusters(self):
+        assert purity([0, 0, 1, 1], [2, 2, 5, 5]) == 1.0
+
+    def test_majority(self):
+        assert purity([0, 0, 1], [0, 0, 0]) == pytest.approx(2 / 3)
+
+    def test_noise_handling(self):
+        assert purity([0, 0, 1, 1], [0, 0, 1, -1]) == 1.0
+        assert purity([0, 0, 1, 1], [0, 0, 1, -1], include_noise=True) == 0.75
+
+
+class TestNMI:
+    def test_identical_partitions(self):
+        assert normalized_mutual_information([0, 0, 1, 1], [5, 5, 3, 3]) == pytest.approx(1.0)
+
+    def test_independent_partitions(self):
+        nmi = normalized_mutual_information([0, 1, 0, 1], [0, 0, 1, 1])
+        assert nmi == pytest.approx(0.0, abs=1e-12)
+
+    def test_intermediate(self):
+        nmi = normalized_mutual_information([0, 0, 1, 1], [0, 0, 0, 1])
+        assert 0.0 < nmi < 1.0
+
+    def test_single_cluster_both(self):
+        assert normalized_mutual_information([0, 0], [1, 1]) == 1.0
+
+    def test_matches_known_value(self):
+        # Hand computation: C=[[2,1],[0,3]], MI = (1/3)ln2 + (1/6)ln(1/2)
+        # + (1/2)ln(3/2) = 0.31823; H(T)=ln2, H(P)=0.63651;
+        # NMI = MI / ((H(T)+H(P))/2) = 0.47870.
+        t = [0, 0, 0, 1, 1, 1]
+        p = [0, 0, 1, 1, 1, 1]
+        assert normalized_mutual_information(t, p) == pytest.approx(0.47870, abs=1e-4)
+
+    def test_symmetric(self):
+        t = [0, 0, 1, 1, 2]
+        p = [0, 1, 1, 2, 2]
+        assert normalized_mutual_information(t, p) == pytest.approx(
+            normalized_mutual_information(p, t)
+        )
+
+
+class TestARI:
+    def test_identical(self):
+        assert adjusted_rand_index([0, 0, 1, 1], [1, 1, 0, 0]) == 1.0
+
+    def test_known_value(self):
+        # sklearn.metrics.adjusted_rand_score([0,0,1,1],[0,0,1,2]) = 0.5714...
+        ari = adjusted_rand_index([0, 0, 1, 1], [0, 0, 1, 2])
+        assert ari == pytest.approx(0.5714285, abs=1e-5)
+
+    def test_random_near_zero(self):
+        rng = np.random.default_rng(0)
+        t = rng.integers(0, 4, 2000)
+        p = rng.integers(0, 4, 2000)
+        assert abs(adjusted_rand_index(t, p)) < 0.02
+
+    def test_single_cluster(self):
+        assert adjusted_rand_index([0, 0, 0], [0, 0, 0]) == 1.0
+
+
+class TestPairwiseF1:
+    def test_perfect(self):
+        p, r, f1 = pairwise_f1([0, 0, 1, 1], [3, 3, 7, 7])
+        assert (p, r, f1) == (1.0, 1.0, 1.0)
+
+    def test_over_merging_hurts_precision(self):
+        p, r, f1 = pairwise_f1([0, 0, 1, 1], [0, 0, 0, 0])
+        assert r == 1.0
+        assert p == pytest.approx(2 / 6)
+
+    def test_over_splitting_hurts_recall(self):
+        p, r, f1 = pairwise_f1([0, 0, 0, 0], [0, 0, 1, 1])
+        assert p == 1.0
+        assert r == pytest.approx(2 / 6)
+
+    def test_singletons(self):
+        p, r, f1 = pairwise_f1([0, 1, 2], [0, 1, 2])
+        # no pairs at all: conventionally perfect
+        assert p == 1.0 and r == 1.0

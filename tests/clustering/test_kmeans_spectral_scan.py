@@ -1,0 +1,200 @@
+"""Unit tests for k-means, spectral clustering and SCAN."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    clustering_accuracy,
+    kmeans,
+    scan,
+    spectral_clustering,
+    spectral_embedding,
+    structural_similarity,
+)
+from repro.networks import Graph, planted_partition, planted_partition_with_anomalies
+
+
+def _blobs(seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(loc=(0, 0), scale=0.3, size=(30, 2))
+    b = rng.normal(loc=(5, 5), scale=0.3, size=(30, 2))
+    c = rng.normal(loc=(0, 5), scale=0.3, size=(30, 2))
+    x = np.vstack([a, b, c])
+    y = np.repeat([0, 1, 2], 30)
+    return x, y
+
+
+class TestKMeans:
+    def test_separable_blobs(self):
+        x, y = _blobs()
+        result = kmeans(x, 3, seed=0)
+        assert clustering_accuracy(y, result.labels) == 1.0
+        assert result.centers.shape == (3, 2)
+        assert result.inertia > 0
+
+    def test_reproducible(self):
+        x, _ = _blobs()
+        a = kmeans(x, 3, seed=42)
+        b = kmeans(x, 3, seed=42)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_cosine_metric(self):
+        rng = np.random.default_rng(1)
+        # two directions on the unit circle, different magnitudes
+        d1 = np.array([1.0, 0.1])
+        d2 = np.array([0.1, 1.0])
+        x = np.vstack(
+            [d1 * m for m in rng.uniform(0.5, 5, 20)]
+            + [d2 * m for m in rng.uniform(0.5, 5, 20)]
+        )
+        y = np.repeat([0, 1], 20)
+        result = kmeans(x, 2, metric="cosine", seed=0)
+        assert clustering_accuracy(y, result.labels) == 1.0
+
+    def test_k_equals_n(self):
+        x = np.arange(8, dtype=float).reshape(4, 2)
+        result = kmeans(x, 4, seed=0)
+        assert len(set(result.labels.tolist())) == 4
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_k_one(self):
+        x, _ = _blobs()
+        result = kmeans(x, 1, seed=0)
+        assert (result.labels == 0).all()
+
+    def test_validation(self):
+        x = np.ones((5, 2))
+        with pytest.raises(ValueError):
+            kmeans(x, 0)
+        with pytest.raises(ValueError):
+            kmeans(x, 6)
+        with pytest.raises(ValueError):
+            kmeans(x, 2, metric="manhattan")
+        with pytest.raises(ValueError):
+            kmeans(x, 2, n_init=0)
+        with pytest.raises(ValueError):
+            kmeans(np.ones(5), 2)
+
+    def test_duplicate_points(self):
+        x = np.zeros((10, 3))
+        result = kmeans(x, 2, seed=0)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_sparse_input(self):
+        import scipy.sparse as sp
+
+        x, y = _blobs()
+        result = kmeans(sp.csr_matrix(x), 3, seed=0)
+        assert clustering_accuracy(y, result.labels) == 1.0
+
+
+class TestSpectral:
+    def test_two_cliques(self, two_cliques):
+        graph, labels = two_cliques
+        pred = spectral_clustering(graph, 2, seed=0)
+        assert clustering_accuracy(labels, pred) == 1.0
+
+    def test_planted_partition(self):
+        graph, labels = planted_partition(30, 3, 0.4, 0.02, seed=0)
+        pred = spectral_clustering(graph, 3, seed=0)
+        assert clustering_accuracy(labels, pred) > 0.9
+
+    def test_embedding_shape(self, two_cliques):
+        graph, _ = two_cliques
+        emb = spectral_embedding(graph, 3)
+        assert emb.shape == (8, 3)
+
+    def test_embedding_k_validation(self, triangle):
+        with pytest.raises(ValueError):
+            spectral_embedding(triangle, 0)
+        with pytest.raises(ValueError):
+            spectral_embedding(triangle, 9)
+
+    def test_large_graph_lanczos_path(self):
+        graph, labels = planted_partition(300, 2, 0.1, 0.005, seed=1)
+        pred = spectral_clustering(graph, 2, seed=0)
+        assert clustering_accuracy(labels, pred) > 0.9
+
+
+class TestStructuralSimilarity:
+    def test_values_on_triangle(self, triangle):
+        sim = structural_similarity(triangle).toarray()
+        # every pair shares all 3 closed neighbours: 3/sqrt(3*3) = 1
+        assert sim[0, 1] == pytest.approx(1.0)
+
+    def test_path_value(self, path_graph):
+        sim = structural_similarity(path_graph).toarray()
+        # nodes 0 (Γ={0,1}) and 1 (Γ={0,1,2}): common {0,1} -> 2/sqrt(6)
+        assert sim[0, 1] == pytest.approx(2 / np.sqrt(6))
+
+    def test_only_edges_stored(self, path_graph):
+        sim = structural_similarity(path_graph)
+        assert sim[0, 2] == 0.0
+
+    def test_symmetric(self, two_cliques):
+        graph, _ = two_cliques
+        sim = structural_similarity(graph)
+        assert (sim != sim.T).nnz == 0
+
+
+class TestScan:
+    def test_two_cliques(self, two_cliques):
+        graph, labels = two_cliques
+        result = scan(graph, eps=0.6, mu=3)
+        assert result.n_clusters == 2
+        assert clustering_accuracy(labels, result.labels) == 1.0
+
+    def test_planted_with_anomalies(self):
+        graph, labels = planted_partition_with_anomalies(
+            20, 3, 0.6, 0.01, n_hubs=2, n_outliers=4, hub_degree=9, seed=0
+        )
+        result = scan(graph, eps=0.5, mu=3)
+        member_mask = labels >= 0
+        acc = clustering_accuracy(labels[member_mask], result.labels[member_mask])
+        assert acc > 0.9
+        # outliers (single-edge attachments) must not join clusters
+        for o in np.flatnonzero(labels == -1):
+            assert result.labels[o] < 0
+
+    def test_hub_detection(self):
+        # two triangles bridged by node 6 touching both
+        edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (6, 0), (6, 3)]
+        g = Graph.from_edges(7, edges)
+        result = scan(g, eps=0.6, mu=3)
+        assert result.n_clusters == 2
+        assert result.labels[6] == -2  # hub: touches both clusters
+
+    def test_outlier_detection(self):
+        # sigma(0, 3) = 2/sqrt(4*2) = 0.707, below eps=0.75, so the pendant
+        # node 3 is not reachable from the triangle's cores.
+        edges = [(0, 1), (1, 2), (0, 2), (3, 0)]
+        g = Graph.from_edges(4, edges)
+        result = scan(g, eps=0.75, mu=3)
+        assert result.labels[3] == -1
+
+    def test_empty_graph(self):
+        result = scan(Graph.empty(0))
+        assert result.n_clusters == 0
+
+    def test_eps_extremes(self, two_cliques):
+        graph, _ = two_cliques
+        none = scan(graph, eps=1.0, mu=4)
+        # eps=1 requires identical closed neighbourhoods
+        assert none.n_clusters <= 2
+        everything = scan(graph, eps=0.01, mu=2)
+        assert everything.n_clusters == 1  # bridge merges all
+
+    def test_validation(self, triangle):
+        with pytest.raises(ValueError):
+            scan(triangle, eps=1.5)
+        with pytest.raises(ValueError):
+            scan(triangle, mu=0)
+
+    def test_result_properties(self, two_cliques):
+        graph, _ = two_cliques
+        result = scan(graph, eps=0.6, mu=3)
+        assert result.hubs.size == 0
+        assert result.outliers.size == 0
+        assert result.cores.any()

@@ -1,0 +1,96 @@
+"""Unit tests for LinkClus SimTrees."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import LinkClus, clustering_accuracy
+from repro.exceptions import NotFittedError
+from repro.utils.rng import ensure_rng
+
+
+def _block_bipartite(n_a=24, n_b=18, k=3, noise=0.02, seed=0):
+    """Block-diagonal bipartite relation with planted co-clusters."""
+    rng = ensure_rng(seed)
+    w = (rng.random((n_a, n_b)) < noise).astype(float)
+    a_labels = np.repeat(np.arange(k), n_a // k)
+    b_labels = np.repeat(np.arange(k), n_b // k)
+    for i in range(n_a):
+        for j in range(n_b):
+            if a_labels[i] == b_labels[j] and rng.random() < 0.7:
+                w[i, j] = 1.0
+    # guarantee no empty rows/columns
+    for i in range(n_a):
+        if w[i].sum() == 0:
+            w[i, int(a_labels[i] * (n_b // k))] = 1.0
+    for j in range(n_b):
+        if w[:, j].sum() == 0:
+            w[int(b_labels[j] * (n_a // k)), j] = 1.0
+    return w, a_labels, b_labels
+
+
+class TestLinkClus:
+    def test_recovers_planted_blocks(self):
+        w, a_labels, b_labels = _block_bipartite()
+        model = LinkClus(n_clusters=3, seed=0).fit(w)
+        assert clustering_accuracy(a_labels, model.labels_a_) > 0.85
+        assert clustering_accuracy(b_labels, model.labels_b_) > 0.8
+
+    def test_label_shapes(self):
+        w, _, _ = _block_bipartite()
+        model = LinkClus(n_clusters=3, seed=0).fit(w)
+        assert model.labels_a_.shape == (24,)
+        assert model.labels_b_.shape == (18,)
+        assert set(model.labels_a_.tolist()) == {0, 1, 2}
+
+    def test_similarity_properties(self):
+        w, a_labels, _ = _block_bipartite()
+        model = LinkClus(n_clusters=3, seed=0).fit(w)
+        # self-similarity is exactly 1
+        assert model.similarity(0, 0) == 1.0
+        # within-block similarity beats cross-block on average
+        within, across = [], []
+        for i in range(0, 8):
+            for j in range(i + 1, 8):
+                within.append(model.similarity(i, j))
+            for j in range(8, 16):
+                across.append(model.similarity(i, j))
+        assert np.mean(within) > np.mean(across)
+
+    def test_similarity_side_b(self):
+        w, _, _ = _block_bipartite()
+        model = LinkClus(n_clusters=3, seed=0).fit(w)
+        s = model.similarity(0, 1, side="b")
+        assert 0.0 <= s <= 1.0 + 1e-9
+
+    def test_reproducible(self):
+        w, _, _ = _block_bipartite()
+        a = LinkClus(n_clusters=3, seed=7).fit(w)
+        b = LinkClus(n_clusters=3, seed=7).fit(w)
+        assert np.array_equal(a.labels_a_, b.labels_a_)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            LinkClus(n_clusters=2).similarity(0, 1)
+
+    def test_validation(self):
+        w, _, _ = _block_bipartite()
+        with pytest.raises(ValueError):
+            LinkClus(n_clusters=0)
+        with pytest.raises(ValueError):
+            LinkClus(n_clusters=2, branching=1)
+        with pytest.raises(ValueError):
+            LinkClus(n_clusters=99).fit(w)
+        with pytest.raises(ValueError):
+            LinkClus(n_clusters=2).fit(np.ones((1, 5)))
+
+    def test_no_restructure_path(self):
+        w, a_labels, _ = _block_bipartite()
+        model = LinkClus(n_clusters=3, restructure=False, seed=0).fit(w)
+        assert clustering_accuracy(a_labels, model.labels_a_) > 0.7
+
+    def test_k_larger_than_blocks(self):
+        w, _, _ = _block_bipartite()
+        model = LinkClus(n_clusters=5, seed=0).fit(w)
+        assert len(set(model.labels_a_.tolist())) == 5

@@ -1,0 +1,78 @@
+"""Unit tests for greedy modularity clustering."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.clustering import clustering_accuracy, greedy_modularity, modularity
+from repro.networks import Graph, planted_partition
+
+
+class TestModularityScore:
+    def test_matches_networkx(self):
+        g, labels = planted_partition(15, 3, 0.4, 0.05, seed=0)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(g.n_nodes))
+        nxg.add_edges_from((u, v) for u, v, _ in g.edges())
+        communities = [set(np.flatnonzero(labels == c)) for c in range(3)]
+        ours = modularity(g, labels)
+        theirs = nx.algorithms.community.modularity(nxg, communities)
+        assert ours == pytest.approx(theirs, abs=1e-10)
+
+    def test_single_community_zero(self, triangle):
+        assert modularity(triangle, [0, 0, 0]) == pytest.approx(0.0)
+
+    def test_singletons_negative(self, triangle):
+        assert modularity(triangle, [0, 1, 2]) < 0
+
+    def test_edgeless(self):
+        assert modularity(Graph.empty(4), [0, 1, 0, 1]) == 0.0
+
+    def test_label_shape_validated(self, triangle):
+        with pytest.raises(ValueError):
+            modularity(triangle, [0, 1])
+
+
+class TestGreedyModularity:
+    def test_two_cliques(self, two_cliques):
+        graph, labels = two_cliques
+        pred = greedy_modularity(graph)
+        assert clustering_accuracy(labels, pred) == 1.0
+        assert len(set(pred.tolist())) == 2
+
+    def test_planted_partition(self):
+        g, labels = planted_partition(20, 3, 0.5, 0.02, seed=0)
+        pred = greedy_modularity(g)
+        assert clustering_accuracy(labels, pred) > 0.9
+
+    def test_quality_reasonable_vs_truth(self):
+        g, labels = planted_partition(20, 3, 0.5, 0.02, seed=1)
+        pred = greedy_modularity(g)
+        assert modularity(g, pred) >= modularity(g, labels) - 0.05
+
+    def test_min_communities_respected(self, two_cliques):
+        graph, _ = two_cliques
+        pred = greedy_modularity(graph, min_communities=4)
+        assert len(set(pred.tolist())) >= 4
+
+    def test_isolated_nodes_stay_singletons(self):
+        g = Graph.from_edges(5, [(0, 1), (1, 2), (0, 2)])
+        pred = greedy_modularity(g)
+        assert pred[3] != pred[0]
+        assert pred[4] != pred[0]
+        assert pred[3] != pred[4]
+
+    def test_empty_and_edgeless(self):
+        assert greedy_modularity(Graph.empty(0)).size == 0
+        pred = greedy_modularity(Graph.empty(3))
+        assert len(set(pred.tolist())) == 3
+
+    def test_deterministic(self):
+        g, _ = planted_partition(10, 2, 0.5, 0.05, seed=2)
+        assert np.array_equal(greedy_modularity(g), greedy_modularity(g))
+
+    def test_validation(self, triangle):
+        with pytest.raises(ValueError):
+            greedy_modularity(triangle, min_communities=0)

@@ -1,0 +1,68 @@
+"""Unit tests for the SimTree structure underlying LinkClus."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import LinkClus, SimTree
+
+
+@pytest.fixture
+def fitted_tree():
+    # 8 x 6 bipartite with two clean blocks
+    w = np.kron(np.eye(2), np.ones((4, 3)))
+    model = LinkClus(n_clusters=2, seed=0).fit(w)
+    return model.tree_a_
+
+
+class TestSimTree:
+    def test_levels_and_counts(self, fitted_tree):
+        assert fitted_tree.n_levels >= 1
+        assert fitted_tree.n_nodes(0) == 8
+        # node counts shrink monotonically
+        for level in range(fitted_tree.n_levels):
+            assert fitted_tree.n_nodes(level + 1) <= fitted_tree.n_nodes(level)
+
+    def test_ancestors_chain(self, fitted_tree):
+        anc = fitted_tree.ancestors(0)
+        assert len(anc) == fitted_tree.n_levels
+        # root is shared by everyone
+        assert fitted_tree.ancestors(7)[-1] == anc[-1]
+
+    def test_members_partition_leaves(self, fitted_tree):
+        level = 1
+        all_members = []
+        for node in range(fitted_tree.n_nodes(level)):
+            all_members.extend(fitted_tree.members(level, node).tolist())
+        assert sorted(all_members) == list(range(8))
+
+    def test_similarity_bounds_and_identity(self, fitted_tree):
+        for a in range(8):
+            assert fitted_tree.similarity(a, a) == 1.0
+            for b in range(8):
+                s = fitted_tree.similarity(a, b)
+                assert -1e-9 <= s <= 1.0 + 1e-9
+
+    def test_similarity_symmetric(self, fitted_tree):
+        for a in range(8):
+            for b in range(8):
+                assert fitted_tree.similarity(a, b) == pytest.approx(
+                    fitted_tree.similarity(b, a)
+                )
+
+    def test_block_structure_reflected(self, fitted_tree):
+        within = np.mean(
+            [fitted_tree.similarity(a, b) for a in range(4) for b in range(4) if a != b]
+        )
+        across = np.mean(
+            [fitted_tree.similarity(a, b) for a in range(4) for b in range(4, 8)]
+        )
+        assert within > across
+
+    def test_degenerate_tree_similarity(self):
+        # a tree with no levels knows nothing: distinct leaves score 0,
+        # identical leaves score 1
+        tree = SimTree(parent=[])
+        assert tree.similarity(0, 0) == 1.0
+        assert tree.similarity(0, 1) == 0.0

@@ -1,0 +1,87 @@
+"""Shared fixtures: small, hand-checkable networks used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.networks import HIN, Graph, NetworkSchema
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """Undirected triangle 0-1-2."""
+    return Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)], directed=False)
+
+
+@pytest.fixture
+def path_graph() -> Graph:
+    """Undirected path 0-1-2-3-4."""
+    return Graph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)], directed=False)
+
+
+@pytest.fixture
+def directed_cycle() -> Graph:
+    """Directed 4-cycle 0->1->2->3->0."""
+    return Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)], directed=True)
+
+
+@pytest.fixture
+def two_cliques() -> tuple[Graph, np.ndarray]:
+    """Two 4-cliques joined by a single bridge edge; labels 0/1."""
+    edges = []
+    for base in (0, 4):
+        for i in range(4):
+            for j in range(i + 1, 4):
+                edges.append((base + i, base + j))
+    edges.append((3, 4))
+    labels = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+    return Graph.from_edges(8, edges, directed=False), labels
+
+
+@pytest.fixture
+def bib_schema() -> NetworkSchema:
+    """Author–paper–venue–term star schema (papers at the center)."""
+    return NetworkSchema(
+        ["author", "paper", "venue", "term"],
+        [
+            ("writes", "author", "paper"),
+            ("published_in", "paper", "venue"),
+            ("mentions", "paper", "term"),
+        ],
+    )
+
+
+@pytest.fixture
+def small_bib(bib_schema) -> HIN:
+    """A tiny bibliographic HIN with two visible communities.
+
+    Authors 0,1 publish in venue 0 using terms 0,1; authors 2,3 publish in
+    venue 1 using terms 2,3.  Paper 2 is a cross-community paper.
+    """
+    return HIN.from_edges(
+        bib_schema,
+        nodes={
+            "author": ["a0", "a1", "a2", "a3"],
+            "paper": ["p0", "p1", "p2", "p3", "p4"],
+            "venue": ["v0", "v1"],
+            "term": ["t0", "t1", "t2", "t3"],
+        },
+        edges={
+            "writes": [
+                (0, 0), (1, 0),
+                (0, 1), (1, 1),
+                (1, 2), (2, 2),
+                (2, 3), (3, 3),
+                (2, 4), (3, 4),
+            ],
+            "published_in": [(0, 0), (1, 0), (2, 0), (3, 1), (4, 1)],
+            "mentions": [
+                (0, 0), (0, 1),
+                (1, 0), (1, 1),
+                (2, 1), (2, 2),
+                (3, 2), (3, 3),
+                (4, 2), (4, 3),
+            ],
+        },
+    )

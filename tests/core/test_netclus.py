@@ -1,0 +1,120 @@
+"""Unit tests for NetClus."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import clustering_accuracy, normalized_mutual_information
+from repro.core import NetClus
+from repro.datasets import make_dblp_four_area
+from repro.exceptions import NotFittedError, SchemaError
+
+
+@pytest.fixture(scope="module")
+def dblp():
+    return make_dblp_four_area(
+        authors_per_area=60, papers_per_area=150, seed=0
+    )
+
+
+@pytest.fixture(scope="module")
+def fitted(dblp):
+    return NetClus(n_clusters=4, seed=0).fit(dblp.hin)
+
+
+class TestNetClus:
+    def test_recovers_planted_areas(self, dblp, fitted):
+        assert clustering_accuracy(dblp.paper_labels, fitted.labels_) >= 0.9
+        assert normalized_mutual_information(dblp.paper_labels, fitted.labels_) >= 0.8
+
+    def test_venue_assignment(self, dblp, fitted):
+        acc = clustering_accuracy(
+            dblp.venue_labels, fitted.attribute_labels_["venue"]
+        )
+        assert acc >= 0.9
+
+    def test_author_assignment(self, dblp, fitted):
+        acc = clustering_accuracy(
+            dblp.author_labels, fitted.attribute_labels_["author"]
+        )
+        assert acc >= 0.75
+
+    def test_posterior_shape(self, dblp, fitted):
+        assert fitted.posterior_.shape == (dblp.n_papers, 4)
+        assert np.allclose(fitted.posterior_.sum(axis=1), 1.0)
+
+    def test_rank_distributions_normalized(self, fitted):
+        for t in ("author", "venue", "term"):
+            for c in range(4):
+                dist = fitted.rank_distribution(t, c)
+                assert dist.sum() == pytest.approx(1.0, abs=1e-6)
+                assert dist.min() >= 0
+
+    def test_venue_clusters_are_coherent(self, dblp, fitted):
+        # each cluster's top-5 venues should share one planted area
+        for c in range(4):
+            top = [name for name, _ in fitted.top_objects("venue", c, 5)]
+            idx = [dblp.hin.index_of("venue", name) for name in top]
+            areas = dblp.venue_labels[idx]
+            assert len(set(areas.tolist())) == 1
+
+    def test_top_objects_center_type(self, fitted):
+        top = fitted.top_objects("paper", 0, 3)
+        assert len(top) == 3
+        scores = [s for _, s in top]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_simple_ranking_variant(self, dblp):
+        model = NetClus(n_clusters=4, ranking="simple", seed=0, n_init=2).fit(dblp.hin)
+        assert clustering_accuracy(dblp.paper_labels, model.labels_) >= 0.7
+
+    def test_explicit_center_type(self, dblp):
+        model = NetClus(n_clusters=2, seed=0, n_init=1, max_iter=3).fit(
+            dblp.hin, center_type="paper"
+        )
+        assert model.center_type_ == "paper"
+
+    def test_non_star_schema_rejected(self):
+        from repro.networks import HIN, NetworkSchema
+
+        schema = NetworkSchema(
+            ["a", "b", "c"],
+            [("r1", "a", "b"), ("r2", "b", "c"), ("r3", "a", "c")],
+        )
+        hin = HIN.from_edges(schema, nodes={"a": 3, "b": 3, "c": 3}, edges={})
+        with pytest.raises(SchemaError):
+            NetClus(n_clusters=2).fit(hin)
+
+    def test_k_too_large(self, dblp):
+        with pytest.raises(ValueError, match="exceeds"):
+            NetClus(n_clusters=10**6).fit(dblp.hin)
+
+    def test_unknown_type_queries(self, fitted):
+        with pytest.raises(KeyError):
+            fitted.rank_distribution("zzz", 0)
+        with pytest.raises(KeyError):
+            fitted.top_objects("zzz", 0, 3)
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            NetClus(n_clusters=2).top_objects("venue", 0, 1)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            NetClus(n_clusters=0)
+        with pytest.raises(ValueError):
+            NetClus(n_clusters=2, ranking="zzz")
+        with pytest.raises(ValueError):
+            NetClus(n_clusters=2, lambda_background=1.2)
+
+    def test_reproducible(self, dblp):
+        a = NetClus(n_clusters=4, seed=9, n_init=2).fit(dblp.hin)
+        b = NetClus(n_clusters=4, seed=9, n_init=2).fit(dblp.hin)
+        assert np.array_equal(a.labels_, b.labels_)
+
+    def test_background_component_off(self, dblp):
+        model = NetClus(
+            n_clusters=4, lambda_background=0.0, seed=0, n_init=2
+        ).fit(dblp.hin)
+        assert clustering_accuracy(dblp.paper_labels, model.labels_) >= 0.8

@@ -1,0 +1,121 @@
+"""Unit tests for the Flickr and relational-bank generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    FLICKR_TOPICS,
+    make_flickr,
+    make_relational_bank,
+)
+
+
+class TestFlickr:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return make_flickr(photos_per_topic=50, seed=0)
+
+    def test_star_schema(self, net):
+        assert net.hin.schema.is_star_schema()
+        assert net.hin.schema.center_type() == "photo"
+
+    def test_counts(self, net):
+        assert net.n_photos == 50 * len(FLICKR_TOPICS)
+        assert net.hin.node_count("user") == 25 * len(FLICKR_TOPICS)
+
+    def test_every_photo_has_owner_and_tags(self, net):
+        up = net.hin.relation_matrix("uploaded_by")
+        tw = net.hin.relation_matrix("tagged_with")
+        assert np.allclose(np.asarray(up.sum(axis=1)).ravel(), 1.0)
+        assert (np.asarray(tw.sum(axis=1)).ravel() >= 3).all()
+
+    def test_tags_mostly_topical(self, net):
+        tw = net.hin.relation_matrix("tagged_with").tocoo()
+        topical = net.tag_labels[tw.col] >= 0
+        same = (
+            net.tag_labels[tw.col[topical]] == net.photo_labels[tw.row[topical]]
+        ).mean()
+        assert same > 0.8
+
+    def test_generic_tags_widely_used(self, net):
+        tw = net.hin.relation_matrix("tagged_with")
+        per_tag = np.asarray(tw.sum(axis=0)).ravel()
+        generic = net.tag_labels == -1
+        # generic tags attach across topics, so they are used heavily
+        assert per_tag[generic].mean() > per_tag[~generic].mean()
+
+    def test_reproducible(self):
+        a = make_flickr(photos_per_topic=20, seed=5)
+        b = make_flickr(photos_per_topic=20, seed=5)
+        assert (
+            a.hin.relation_matrix("tagged_with")
+            != b.hin.relation_matrix("tagged_with")
+        ).nnz == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_flickr(cross_topic_prob=1.4)
+        with pytest.raises(ValueError):
+            make_flickr(generic_tags=-1)
+
+
+class TestRelationalBank:
+    @pytest.fixture(scope="class")
+    def bank(self):
+        return make_relational_bank(n_clients=60, seed=0)
+
+    def test_tables_and_fks(self, bank):
+        assert set(bank.db.table_names) == {
+            "district", "client", "account", "loan", "transaction"
+        }
+        assert len(bank.db.foreign_keys) == 4
+
+    def test_labels_match_risk_column(self, bank):
+        risk = bank.db.table("client").column("risk")
+        for lab, r in zip(bank.labels, risk):
+            assert (lab == 1) == (r == "risky")
+
+    def test_signal_lives_across_joins(self, bank):
+        # risky clients' loans are mostly consumer_debt
+        client = bank.db.table("client")
+        account = bank.db.table("account")
+        loan = bank.db.table("loan")
+        acct_client = {row[0]: row[1] for row in account}
+        risky_clients = {
+            row[0] for row, lab in zip(client, bank.labels) if lab == 1
+        }
+        risky_purposes = [
+            row[2] for row in loan if acct_client[row[1]] in risky_clients
+        ]
+        frac = np.mean([p == "consumer_debt" for p in risky_purposes])
+        assert frac > 0.75
+
+    def test_client_table_carries_no_signal(self, bank):
+        # gender is independent of the class
+        client = bank.db.table("client")
+        genders = np.array(client.column("gender"))
+        corr = abs(
+            np.mean(bank.labels[genders == "male"])
+            - np.mean(bank.labels[genders == "female"])
+        )
+        assert corr < 0.25
+
+    def test_zero_signal_strength(self):
+        noise = make_relational_bank(n_clients=60, signal_strength=0.0, seed=1)
+        loan = noise.db.table("loan")
+        purposes = np.array(loan.column("purpose"))
+        assert len(set(purposes)) == 3  # all purposes occur
+
+    def test_reproducible(self):
+        a = make_relational_bank(n_clients=30, seed=2)
+        b = make_relational_bank(n_clients=30, seed=2)
+        assert np.array_equal(a.labels, b.labels)
+        assert a.db.table("loan").rows == b.db.table("loan").rows
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_relational_bank(risky_fraction=1.5)
+        with pytest.raises(ValueError):
+            make_relational_bank(n_districts=1)

@@ -1,0 +1,131 @@
+"""Unit tests for the synthetic bi-type and DBLP four-area generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    AREAS,
+    RANKCLUS_CONFIGS,
+    VENUES_BY_AREA,
+    make_bitype_network,
+    make_dblp_four_area,
+)
+
+
+class TestBitypeNetwork:
+    def test_shapes(self):
+        net = make_bitype_network(
+            n_clusters=3, targets_per_cluster=5, attributes_per_cluster=20, seed=0
+        )
+        assert net.w_xy.shape == (15, 60)
+        assert net.w_yy.shape == (60, 60)
+        assert net.target_labels.shape == (15,)
+        assert net.n_clusters == 3
+
+    def test_assortative_links(self):
+        net = make_bitype_network(cross_prob=0.1, seed=0)
+        w = net.w_xy.tocoo()
+        same = (net.target_labels[w.row] == net.attribute_labels[w.col]) * w.data
+        frac_same = same.sum() / w.data.sum()
+        assert frac_same > 0.75
+
+    def test_cross_prob_extremes(self):
+        pure = make_bitype_network(cross_prob=0.0, seed=0)
+        w = pure.w_xy.tocoo()
+        assert (pure.target_labels[w.row] == pure.attribute_labels[w.col]).all()
+
+    def test_coauthor_matrix_symmetric(self):
+        net = make_bitype_network(seed=0)
+        assert (net.w_yy != net.w_yy.T).nnz == 0
+
+    def test_reproducible(self):
+        a = make_bitype_network(seed=3)
+        b = make_bitype_network(seed=3)
+        assert (a.w_xy != b.w_xy).nnz == 0
+
+    def test_configs_exist(self):
+        assert len(RANKCLUS_CONFIGS) == 5
+        for cfg in RANKCLUS_CONFIGS.values():
+            net = make_bitype_network(
+                targets_per_cluster=4, attributes_per_cluster=10, seed=0, **cfg
+            )
+            assert net.w_xy.nnz > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_bitype_network(cross_prob=1.5)
+        with pytest.raises(ValueError):
+            make_bitype_network(papers_range=(5, 2))
+        with pytest.raises(ValueError):
+            make_bitype_network(n_clusters=0)
+
+
+class TestDblpFourArea:
+    @pytest.fixture(scope="class")
+    def dblp(self):
+        return make_dblp_four_area(
+            authors_per_area=40, papers_per_area=80, seed=0
+        )
+
+    def test_star_schema(self, dblp):
+        assert dblp.hin.schema.is_star_schema()
+        assert dblp.hin.schema.center_type() == "paper"
+
+    def test_counts(self, dblp):
+        assert dblp.hin.node_count("venue") == 20
+        assert dblp.hin.node_count("author") == 160
+        assert dblp.hin.node_count("paper") == 320
+        assert dblp.n_papers == 320
+
+    def test_venue_names_match_areas(self, dblp):
+        names = dblp.hin.names("venue")
+        assert names[:5] == VENUES_BY_AREA["database"]
+        assert dblp.venue_labels[:5].tolist() == [0] * 5
+
+    def test_every_paper_has_one_venue(self, dblp):
+        pv = dblp.hin.relation_matrix("published_in")
+        assert np.allclose(np.asarray(pv.sum(axis=1)).ravel(), 1.0)
+
+    def test_every_paper_has_authors_and_terms(self, dblp):
+        ap = dblp.hin.relation_matrix("writes")
+        pt = dblp.hin.relation_matrix("mentions")
+        assert (np.asarray(ap.sum(axis=0)).ravel() >= 1).all()
+        assert (np.asarray(pt.sum(axis=1)).ravel() >= 4).all()
+
+    def test_papers_mostly_cite_own_area_authors(self, dblp):
+        ap = dblp.hin.relation_matrix("writes").tocoo()
+        same = (dblp.author_labels[ap.row] == dblp.paper_labels[ap.col]).mean()
+        assert same > 0.85
+
+    def test_flagship_venues_have_most_papers(self, dblp):
+        pv = dblp.hin.relation_matrix("published_in")
+        per_venue = np.asarray(pv.sum(axis=0)).ravel()
+        for area_idx in range(4):
+            block = per_venue[area_idx * 5 : (area_idx + 1) * 5]
+            assert block[0] == block.max()  # flagship is venue 0 of the block
+
+    def test_heavy_tailed_productivity(self, dblp):
+        deg = dblp.hin.degree("author", "writes")
+        assert deg.max() > 5 * max(np.median(deg), 1.0)
+
+    def test_years_in_range(self, dblp):
+        assert dblp.paper_years.min() >= 1998
+        assert dblp.paper_years.max() <= 2009
+
+    def test_shared_terms_labelled_minus_one(self, dblp):
+        assert (dblp.term_labels == -1).sum() == 40
+
+    def test_reproducible(self):
+        a = make_dblp_four_area(authors_per_area=10, papers_per_area=20, seed=2)
+        b = make_dblp_four_area(authors_per_area=10, papers_per_area=20, seed=2)
+        assert (
+            a.hin.relation_matrix("writes") != b.hin.relation_matrix("writes")
+        ).nnz == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_dblp_four_area(cross_area_prob=2.0)
+        with pytest.raises(ValueError):
+            make_dblp_four_area(shared_terms=-1)

@@ -1,0 +1,101 @@
+"""Unit tests for copying detection in truth discovery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_conflicting_facts
+from repro.integration import (
+    CopyAwareTruthFinder,
+    TruthFinder,
+    estimate_source_dependence,
+    majority_vote,
+)
+
+
+@pytest.fixture(scope="module")
+def copier_data():
+    return make_conflicting_facts(
+        n_objects=100, n_good_sources=5, n_bad_sources=2,
+        good_accuracy=0.9, bad_accuracy=0.15, n_copiers=6, seed=1,
+    )
+
+
+class TestDependenceEstimation:
+    def test_copier_pairs_score_high(self, copier_data):
+        dep = estimate_source_dependence(copier_data.claims)
+        assert dep[("bad_0", "copier_0")] > 0.95
+        assert dep[("copier_0", "copier_1")] > 0.95
+
+    def test_independent_pairs_score_lower(self, copier_data):
+        dep = estimate_source_dependence(copier_data.claims)
+        good_pairs = [
+            v for (a, b), v in dep.items()
+            if a.startswith("good") and b.startswith("good")
+        ]
+        assert max(good_pairs, default=0.0) < 0.9
+
+    def test_min_overlap_filters(self):
+        claims = [("a", "x", 1), ("b", "x", 1)]
+        assert estimate_source_dependence(claims, min_overlap=3) == {}
+
+    def test_symmetric_key_ordering(self, copier_data):
+        dep = estimate_source_dependence(copier_data.claims)
+        for a, b in dep:
+            assert a < b
+
+
+class TestCopyAwareTruthFinder:
+    def test_finds_the_copier_clique(self, copier_data):
+        model = CopyAwareTruthFinder(max_iter=200).fit(copier_data.claims)
+        assert len(model.cliques_) == 1
+        clique = model.cliques_[0]
+        assert "bad_0" in clique
+        assert {f"copier_{i}" for i in range(6)} <= clique
+        assert not any(s.startswith("good") for s in clique)
+
+    def test_fixes_the_copier_failure(self, copier_data):
+        aware = CopyAwareTruthFinder(max_iter=200).fit(copier_data.claims)
+        plain = TruthFinder(max_iter=200).fit(copier_data.claims)
+        acc_aware = copier_data.accuracy_of(aware.truth_)
+        acc_plain = copier_data.accuracy_of(plain.truth_)
+        acc_mv = copier_data.accuracy_of(majority_vote(copier_data.claims))
+        assert acc_aware > max(acc_plain, acc_mv) + 0.3
+        assert acc_aware > 0.9
+
+    def test_no_false_positives_on_clean_data(self):
+        clean = make_conflicting_facts(
+            n_objects=100, n_good_sources=6, n_bad_sources=6, seed=0
+        )
+        model = CopyAwareTruthFinder(max_iter=200).fit(clean.claims)
+        assert model.cliques_ == []
+        assert clean.accuracy_of(model.truth_) > 0.85
+
+    def test_trust_shared_within_clique(self, copier_data):
+        model = CopyAwareTruthFinder(max_iter=200).fit(copier_data.claims)
+        trusts = {model.source_trust_[f"copier_{i}"] for i in range(6)}
+        assert len(trusts) == 1
+        assert model.source_trust_["bad_0"] == trusts.pop()
+
+    def test_clique_trust_below_good_sources(self, copier_data):
+        model = CopyAwareTruthFinder(max_iter=200).fit(copier_data.claims)
+        good = np.mean([model.source_trust_[f"good_{i}"] for i in range(5)])
+        assert model.source_trust_["copier_0"] < good
+
+    def test_accuracy_helper(self, copier_data):
+        model = CopyAwareTruthFinder(max_iter=200).fit(copier_data.claims)
+        assert model.accuracy_against(copier_data.truth) == pytest.approx(
+            copier_data.accuracy_of(model.truth_)
+        )
+        assert model.accuracy_against({}) == 0.0
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            CopyAwareTruthFinder().accuracy_against({"x": 1})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CopyAwareTruthFinder(dependence_threshold=1.5)
+        with pytest.raises(ValueError):
+            CopyAwareTruthFinder(min_overlap=0)

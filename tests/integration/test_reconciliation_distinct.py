@@ -1,0 +1,142 @@
+"""Unit tests for LinkReconciler and Distinct."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import pairwise_f1
+from repro.exceptions import NotFittedError
+from repro.integration import Distinct, LinkReconciler, string_similarity
+from repro.utils.rng import ensure_rng
+
+
+def _entity_contexts(n_entities=10, n_context=60, refs_per_entity=2, seed=0):
+    """Each entity has a sparse context signature; every reference samples
+    most of its entity's signature plus noise."""
+    rng = ensure_rng(seed)
+    signatures = (rng.random((n_entities, n_context)) < 0.15).astype(float)
+    for e in range(n_entities):  # ensure non-empty signatures
+        if signatures[e].sum() < 3:
+            signatures[e, rng.choice(n_context, 3, replace=False)] = 1.0
+    refs = []
+    owners = []
+    for e in range(n_entities):
+        for _ in range(refs_per_entity):
+            keep = signatures[e] * (rng.random(n_context) < 0.8)
+            noise = (rng.random(n_context) < 0.01).astype(float)
+            refs.append(np.maximum(keep, noise))
+            owners.append(e)
+    return np.array(refs), np.array(owners)
+
+
+class TestStringSimilarity:
+    def test_identical(self):
+        assert string_similarity("wei wang", "wei wang") == 1.0
+
+    def test_disjoint(self):
+        assert string_similarity("abc", "xyz") == 0.0
+
+    def test_partial(self):
+        assert 0.0 < string_similarity("j. smith", "john smith") < 1.0
+
+
+class TestLinkReconciler:
+    def test_matches_by_links_alone(self):
+        refs, owners = _entity_contexts(seed=0)
+        left = refs[::2]   # first reference of each entity
+        right = refs[1::2]  # second reference of each entity
+        rec = LinkReconciler(alpha=0.0, threshold=0.3).fit(left, right)
+        correct = sum(1 for m in rec.matches_ if m.left == m.right)
+        assert correct >= 8  # of 10
+
+    def test_names_help_when_links_are_thin(self):
+        rng = ensure_rng(1)
+        left = (rng.random((4, 30)) < 0.05).astype(float)
+        right = left.copy()
+        names = ["alice", "bob", "carol", "dave"]
+        rec = LinkReconciler(alpha=0.7, threshold=0.5).fit(
+            left, right, names, list(names)
+        )
+        assert all(m.left == m.right for m in rec.matches_)
+        assert len(rec.matches_) == 4
+
+    def test_one_to_one(self):
+        refs, _ = _entity_contexts(seed=2)
+        rec = LinkReconciler(alpha=0.0, threshold=0.0).fit(refs[::2], refs[1::2])
+        lefts = [m.left for m in rec.matches_]
+        rights = [m.right for m in rec.matches_]
+        assert len(lefts) == len(set(lefts))
+        assert len(rights) == len(set(rights))
+
+    def test_threshold_filters(self):
+        refs, _ = _entity_contexts(seed=3)
+        strict = LinkReconciler(alpha=0.0, threshold=0.99).fit(refs[::2], refs[1::2])
+        lax = LinkReconciler(alpha=0.0, threshold=0.01).fit(refs[::2], refs[1::2])
+        assert len(strict.matches_) <= len(lax.matches_)
+
+    def test_context_space_mismatch(self):
+        with pytest.raises(ValueError, match="context spaces"):
+            LinkReconciler().fit(np.ones((2, 3)), np.ones((2, 4)))
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            LinkReconciler().match_pairs()
+
+    def test_match_pairs_helper(self):
+        refs, _ = _entity_contexts(seed=4)
+        rec = LinkReconciler(alpha=0.0, threshold=0.3).fit(refs[::2], refs[1::2])
+        pairs = rec.match_pairs()
+        assert pairs == [(m.left, m.right) for m in rec.matches_]
+
+
+class TestDistinct:
+    def test_discovers_entity_count(self):
+        refs, owners = _entity_contexts(n_entities=5, refs_per_entity=4, seed=0)
+        model = Distinct(threshold=0.4).fit(refs)
+        _, _, f1 = pairwise_f1(owners, model.labels_)
+        assert f1 > 0.85
+        assert 4 <= model.n_entities_ <= 7
+
+    def test_known_k(self):
+        refs, owners = _entity_contexts(n_entities=5, refs_per_entity=4, seed=1)
+        model = Distinct(n_clusters=5).fit(refs)
+        assert model.n_entities_ == 5
+        _, _, f1 = pairwise_f1(owners, model.labels_)
+        assert f1 > 0.85
+
+    def test_similarity_matrix_properties(self):
+        refs, _ = _entity_contexts(n_entities=3, refs_per_entity=2, seed=2)
+        model = Distinct().fit(refs)
+        s = model.similarity_
+        assert np.allclose(np.diag(s), 1.0)
+        assert s.min() >= 0 and s.max() <= 1.0
+
+    def test_threshold_one_keeps_singletons(self):
+        refs, _ = _entity_contexts(n_entities=3, refs_per_entity=2, seed=3)
+        model = Distinct(threshold=1.0).fit(refs)
+        assert model.n_entities_ == len(refs)
+
+    def test_threshold_zero_merges_everything(self):
+        refs, _ = _entity_contexts(n_entities=3, refs_per_entity=2, seed=4)
+        model = Distinct(threshold=0.0).fit(refs)
+        assert model.n_entities_ == 1
+
+    def test_single_reference(self):
+        model = Distinct().fit(np.ones((1, 4)))
+        assert model.n_entities_ == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Distinct().fit(np.zeros((0, 4)))
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            Distinct().predict_entities()
+
+    def test_walk_weight_extremes(self):
+        refs, owners = _entity_contexts(n_entities=4, refs_per_entity=3, seed=5)
+        for w in (0.0, 1.0):
+            model = Distinct(threshold=0.3, walk_weight=w).fit(refs)
+            _, _, f1 = pairwise_f1(owners, model.labels_)
+            assert f1 > 0.6

@@ -1,0 +1,146 @@
+"""Cross-module integration tests: the full database→network→knowledge
+pipelines the tutorial describes, exercised end to end."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.classification import GNetMine
+from repro.clustering import clustering_accuracy
+from repro.core import NetClus, RankClus
+from repro.datasets import AREAS, make_dblp_four_area
+from repro.networks import read_hin, write_hin
+from repro.olap import Dimension, InfoNetCube
+from repro.relational import Database, Table, infer_hin
+from repro.similarity import PathSim
+
+
+@pytest.fixture(scope="module")
+def dblp():
+    return make_dblp_four_area(authors_per_area=40, papers_per_area=100, seed=0)
+
+
+class TestDatabaseToKnowledge:
+    """Tutorial §1: a relational database becomes a mined network."""
+
+    @pytest.fixture(scope="class")
+    def bib_db(self):
+        rng = np.random.default_rng(0)
+        db = Database("bib")
+        n_venues, n_authors, n_papers = 4, 40, 120
+        venue_area = [v % 2 for v in range(n_venues)]
+        author_area = [a % 2 for a in range(n_authors)]
+        db.add_table(
+            Table("venue", ["id", "name"],
+                  [(v, f"venue{v}") for v in range(n_venues)], primary_key="id")
+        )
+        db.add_table(
+            Table("author", ["id", "name"],
+                  [(a, f"author{a}") for a in range(n_authors)], primary_key="id")
+        )
+        papers, authorship = [], []
+        paper_area = []
+        for p in range(n_papers):
+            area = p % 2
+            paper_area.append(area)
+            venues = [v for v in range(n_venues) if venue_area[v] == area]
+            papers.append((p, f"paper{p}", int(rng.choice(venues))))
+            authors = [a for a in range(n_authors) if author_area[a] == area]
+            for a in rng.choice(authors, size=2, replace=False):
+                authorship.append((int(a), p))
+        db.add_table(
+            Table("paper", ["id", "title", "venue_id"], papers, primary_key="id")
+        )
+        db.add_table(Table("authorship", ["author_id", "paper_id"], authorship))
+        db.add_foreign_key("paper", "venue_id", "venue", "id")
+        db.add_foreign_key("authorship", "author_id", "author", "id")
+        db.add_foreign_key("authorship", "paper_id", "paper", "id")
+        return db, np.array(paper_area)
+
+    def test_infer_then_netclus(self, bib_db):
+        db, paper_area = bib_db
+        hin = infer_hin(db)
+        assert hin.schema.is_star_schema()
+        model = NetClus(n_clusters=2, seed=0, n_init=2).fit(hin)
+        acc = clustering_accuracy(paper_area, model.labels_)
+        assert acc > 0.9
+
+    def test_infer_then_rankclus_on_venues(self, bib_db):
+        db, _ = bib_db
+        hin = infer_hin(db)
+        center = hin.schema.center_type()
+        w = hin.commuting_matrix(f"venue-{center}-author")
+        model = RankClus(n_clusters=2, seed=0).fit(w)
+        # venues 0,2 vs 1,3 were planted as the two areas
+        assert model.labels_[0] == model.labels_[2]
+        assert model.labels_[1] == model.labels_[3]
+        assert model.labels_[0] != model.labels_[1]
+
+
+class TestPersistenceConsistency:
+    """Serialization must not change any analysis result."""
+
+    def test_pathsim_survives_round_trip(self, dblp):
+        buf = io.StringIO()
+        write_hin(dblp.hin, buf)
+        buf.seek(0)
+        reloaded = read_hin(buf)
+        original = PathSim("venue-paper-author-paper-venue").fit(dblp.hin)
+        restored = PathSim("venue-paper-author-paper-venue").fit(reloaded)
+        for venue in ("SIGMOD", "KDD"):
+            assert original.top_k(venue, 5) == restored.top_k(venue, 5)
+
+    def test_netclus_survives_round_trip(self, dblp):
+        buf = io.StringIO()
+        write_hin(dblp.hin, buf)
+        buf.seek(0)
+        reloaded = read_hin(buf)
+        a = NetClus(n_clusters=4, seed=0, n_init=2).fit(dblp.hin)
+        b = NetClus(n_clusters=4, seed=0, n_init=2).fit(reloaded)
+        assert np.array_equal(a.labels_, b.labels_)
+
+
+class TestClusterThenCube:
+    """Tutorial §7: mined clusters become OLAP dimensions."""
+
+    def test_netclus_labels_as_dimension(self, dblp):
+        model = NetClus(n_clusters=4, seed=0).fit(dblp.hin)
+        cube = InfoNetCube(
+            dblp.hin,
+            "paper",
+            [
+                Dimension("cluster", model.labels_.tolist()),
+                Dimension("year", dblp.paper_years.tolist()),
+            ],
+        )
+        cells = cube.group_by("cluster")
+        assert sum(c.count for c in cells) == dblp.n_papers
+        # each discovered cluster's top venue matches its papers' area
+        for cell in cells:
+            top = cell.top_ranked("venue", 1)[0][0]
+            member_areas = dblp.paper_labels[cell.members]
+            majority = np.bincount(member_areas).argmax()
+            venue_idx = dblp.hin.index_of("venue", top)
+            assert dblp.venue_labels[venue_idx] == majority
+
+
+class TestClassifyThenRank:
+    """Labels propagated by GNetMine agree with PathSim's peer structure."""
+
+    def test_gnetmine_labels_align_with_pathsim_peers(self, dblp):
+        mask = np.ones(20, dtype=bool)
+        model = GNetMine().fit(
+            dblp.hin, seeds={"venue": (dblp.venue_labels, mask)}
+        )
+        ps = PathSim("venue-paper-author-paper-venue").fit(dblp.hin)
+        venue_labels = model.labels_["venue"]
+        # the top peer of each venue carries the same propagated label
+        agreements = 0
+        for v, name in enumerate(dblp.hin.names("venue")):
+            peer_name = ps.top_k(name, 1)[0][0]
+            peer = dblp.hin.index_of("venue", peer_name)
+            agreements += venue_labels[v] == venue_labels[peer]
+        assert agreements >= 18

@@ -1,0 +1,71 @@
+"""Unit tests for density and degree statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.measures import (
+    average_degree,
+    degree_histogram,
+    degree_statistics,
+    density,
+)
+from repro.networks import Graph
+
+
+class TestDensity:
+    def test_complete_graph(self, triangle):
+        assert density(triangle) == 1.0
+
+    def test_path(self, path_graph):
+        assert density(path_graph) == 4 / 10
+
+    def test_directed(self, directed_cycle):
+        assert density(directed_cycle) == 4 / 12
+
+    def test_empty_and_tiny(self):
+        assert density(Graph.empty(0)) == 0.0
+        assert density(Graph.empty(1)) == 0.0
+        assert density(Graph.empty(5)) == 0.0
+
+    def test_self_loops_ignored(self):
+        g = Graph.from_edges(2, [(0, 0), (0, 1)])
+        assert density(g) == 1.0
+
+
+class TestAverageDegree:
+    def test_triangle(self, triangle):
+        assert average_degree(triangle) == 2.0
+
+    def test_weighted(self):
+        g = Graph.from_edges(2, [(0, 1, 3.0)])
+        assert average_degree(g, weighted=True) == 3.0
+
+    def test_empty(self):
+        assert average_degree(Graph.empty(0)) == 0.0
+
+
+class TestDegreeHistogram:
+    def test_path(self, path_graph):
+        hist = degree_histogram(path_graph)
+        assert hist[1] == 2 and hist[2] == 3
+
+    def test_empty_graph(self):
+        hist = degree_histogram(Graph.empty(3))
+        assert hist[0] == 3
+
+    def test_zero_nodes(self):
+        assert degree_histogram(Graph.empty(0)).sum() == 0
+
+
+class TestDegreeStatistics:
+    def test_path(self, path_graph):
+        stats = degree_statistics(path_graph)
+        assert stats["min"] == 1.0
+        assert stats["max"] == 2.0
+        assert stats["mean"] == 8 / 5
+        assert stats["median"] == 2.0
+
+    def test_empty(self):
+        stats = degree_statistics(Graph.empty(0))
+        assert stats["mean"] == 0.0

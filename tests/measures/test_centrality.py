@@ -1,0 +1,107 @@
+"""Unit tests for centrality measures, checked against networkx oracles."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.measures import (
+    betweenness_centrality,
+    closeness_centrality,
+    degree_centrality,
+    eigenvector_centrality,
+)
+from repro.networks import Graph, erdos_renyi
+
+
+def _to_nx(graph: Graph) -> nx.Graph:
+    g = nx.DiGraph() if graph.directed else nx.Graph()
+    g.add_nodes_from(range(graph.n_nodes))
+    for u, v, w in graph.edges():
+        g.add_edge(u, v, weight=w)
+    return g
+
+
+@pytest.fixture
+def star() -> Graph:
+    return Graph.from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)])
+
+
+class TestDegreeCentrality:
+    def test_star(self, star):
+        c = degree_centrality(star)
+        assert c[0] == 1.0
+        assert np.allclose(c[1:], 0.25)
+
+    def test_single_node(self):
+        assert degree_centrality(Graph.empty(1)).tolist() == [0.0]
+
+
+class TestCloseness:
+    def test_star_center_highest(self, star):
+        c = closeness_centrality(star)
+        assert c[0] == c.max()
+        assert np.allclose(c[1:], c[1])
+
+    def test_matches_networkx(self):
+        g = erdos_renyi(25, 0.2, seed=3)
+        ours = closeness_centrality(g)
+        theirs = nx.closeness_centrality(_to_nx(g), wf_improved=True)
+        for v in range(g.n_nodes):
+            assert ours[v] == pytest.approx(theirs[v], abs=1e-10)
+
+    def test_isolated_node_zero(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        assert closeness_centrality(g)[2] == 0.0
+
+
+class TestBetweenness:
+    def test_path_middle_highest(self, path_graph):
+        b = betweenness_centrality(path_graph, normalized=False)
+        # Node 2 lies on paths 0-3,0-4,1-3,1-4 => 4
+        assert b[2] == pytest.approx(4.0)
+        assert b[0] == 0.0
+
+    def test_matches_networkx_undirected(self):
+        g = erdos_renyi(20, 0.25, seed=1)
+        ours = betweenness_centrality(g)
+        theirs = nx.betweenness_centrality(_to_nx(g), normalized=True)
+        for v in range(g.n_nodes):
+            assert ours[v] == pytest.approx(theirs[v], abs=1e-10)
+
+    def test_matches_networkx_directed(self):
+        g = erdos_renyi(15, 0.2, directed=True, seed=2)
+        ours = betweenness_centrality(g)
+        theirs = nx.betweenness_centrality(_to_nx(g), normalized=True)
+        for v in range(g.n_nodes):
+            assert ours[v] == pytest.approx(theirs[v], abs=1e-10)
+
+    def test_star_center(self, star):
+        b = betweenness_centrality(star)
+        assert b[0] == pytest.approx(1.0)
+        assert np.allclose(b[1:], 0.0)
+
+
+class TestEigenvector:
+    def test_star_center_highest(self, star):
+        c = eigenvector_centrality(star)
+        assert c[0] == c.max()
+
+    def test_matches_networkx(self):
+        g = erdos_renyi(20, 0.3, seed=5)
+        ours = eigenvector_centrality(g, max_iter=2000, tol=1e-12)
+        theirs = nx.eigenvector_centrality_numpy(_to_nx(g))
+        arr = np.array([theirs[v] for v in range(g.n_nodes)])
+        arr /= np.linalg.norm(arr)
+        assert np.allclose(ours, arr, atol=1e-5)
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(GraphError):
+            eigenvector_centrality(Graph.empty(3))
+
+    def test_reproducible(self, star):
+        a = eigenvector_centrality(star, seed=0)
+        b = eigenvector_centrality(star, seed=0)
+        assert np.allclose(a, b)

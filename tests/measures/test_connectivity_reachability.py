@@ -1,0 +1,126 @@
+"""Unit tests for connectivity and reachability measures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NodeNotFoundError
+from repro.measures import (
+    average_path_length,
+    component_sizes,
+    connected_components,
+    diameter,
+    effective_diameter,
+    is_connected,
+    largest_component,
+    n_components,
+    reachable_set,
+    shortest_path_lengths,
+)
+from repro.networks import Graph
+
+
+@pytest.fixture
+def two_parts() -> Graph:
+    """Path 0-1-2 plus isolated edge 3-4 plus isolated node 5."""
+    return Graph.from_edges(6, [(0, 1), (1, 2), (3, 4)])
+
+
+class TestComponents:
+    def test_counts(self, two_parts):
+        assert n_components(two_parts) == 3
+        assert not is_connected(two_parts)
+
+    def test_labels_consistent(self, two_parts):
+        labels = connected_components(two_parts)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[5] not in (labels[0], labels[3])
+
+    def test_sizes_sorted(self, two_parts):
+        assert component_sizes(two_parts).tolist() == [3, 2, 1]
+
+    def test_connected(self, triangle):
+        assert is_connected(triangle)
+        assert n_components(triangle) == 1
+
+    def test_empty_graph(self):
+        assert n_components(Graph.empty(0)) == 0
+        assert not is_connected(Graph.empty(0))
+
+    def test_strong_components(self):
+        # 0->1->2->0 cycle plus 2->3 dangling
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)], directed=True)
+        assert n_components(g, strong=True) == 2
+        assert n_components(g, strong=False) == 1
+
+    def test_largest_component(self, two_parts):
+        giant, nodes = largest_component(two_parts)
+        assert giant.n_nodes == 3
+        assert nodes.tolist() == [0, 1, 2]
+
+
+class TestShortestPaths:
+    def test_path_distances(self, path_graph):
+        d = shortest_path_lengths(path_graph, 0)
+        assert d.tolist() == [0, 1, 2, 3, 4]
+
+    def test_unreachable_inf(self, two_parts):
+        d = shortest_path_lengths(two_parts, 0)
+        assert np.isinf(d[3]) and np.isinf(d[5])
+
+    def test_directed_asymmetry(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)], directed=True)
+        assert shortest_path_lengths(g, 0)[2] == 2
+        assert np.isinf(shortest_path_lengths(g, 2)[0])
+
+    def test_source_validation(self, triangle):
+        with pytest.raises(NodeNotFoundError):
+            shortest_path_lengths(triangle, 9)
+
+    def test_reachable_set(self, two_parts):
+        assert reachable_set(two_parts, 0).tolist() == [0, 1, 2]
+        assert reachable_set(two_parts, 5).tolist() == [5]
+
+
+class TestDiameters:
+    def test_path_diameter(self, path_graph):
+        assert diameter(path_graph) == 4.0
+
+    def test_triangle(self, triangle):
+        assert diameter(triangle) == 1.0
+
+    def test_disconnected_ignores_inf(self, two_parts):
+        assert diameter(two_parts) == 2.0
+
+    def test_tiny(self):
+        assert diameter(Graph.empty(1)) == 0.0
+
+    def test_effective_diameter_below_true(self, path_graph):
+        eff = effective_diameter(path_graph, percentile=90.0)
+        assert 0 < eff <= 4.0
+
+    def test_effective_diameter_full_percentile(self, path_graph):
+        assert effective_diameter(path_graph, percentile=100.0) == 4.0
+
+    def test_effective_diameter_validation(self, path_graph):
+        with pytest.raises(ValueError):
+            effective_diameter(path_graph, percentile=0.0)
+
+    def test_sampled_close_to_exact(self):
+        from repro.networks import barabasi_albert
+
+        g = barabasi_albert(150, 2, seed=0)
+        exact = diameter(g)
+        sampled = diameter(g, n_sources=80, seed=1)
+        assert sampled <= exact
+        assert sampled >= exact - 1
+
+    def test_average_path_length_path(self, path_graph):
+        # pairs (ordered): sum of distances / count
+        expected = 2 * (1 + 2 + 3 + 4 + 1 + 2 + 3 + 1 + 2 + 1) / 20
+        assert average_path_length(path_graph) == pytest.approx(expected)
+
+    def test_average_path_length_triangle(self, triangle):
+        assert average_path_length(triangle) == 1.0

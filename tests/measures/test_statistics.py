@@ -1,0 +1,173 @@
+"""Unit tests for power-law fitting, small-world metrics, densification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.measures import (
+    average_clustering,
+    diameter_series,
+    fit_densification,
+    fit_power_law,
+    local_clustering,
+    power_law_ccdf,
+    small_world_sigma,
+    snapshots_by_node_arrival,
+    transitivity,
+)
+from repro.networks import (
+    Graph,
+    barabasi_albert,
+    erdos_renyi,
+    forest_fire,
+    watts_strogatz,
+)
+from repro.utils.rng import ensure_rng
+
+
+class TestPowerLaw:
+    def test_recovers_planted_exponent(self):
+        # Sample from a discrete power law with alpha=2.5 via inverse CDF.
+        # xmin=5: the continuous-approximation MLE is accurate for xmin >= ~6
+        # (Clauset et al. 2009, Sec 3.1); at xmin=1 it is known to be biased.
+        rng = ensure_rng(0)
+        u = rng.random(20000)
+        xmin = 5
+        alpha = 2.5
+        samples = np.floor((xmin - 0.5) * (1 - u) ** (-1 / (alpha - 1)) + 0.5)
+        fit = fit_power_law(samples, xmin=xmin)
+        assert fit.alpha == pytest.approx(2.5, abs=0.1)
+
+    def test_scan_finds_cutoff(self):
+        rng = ensure_rng(1)
+        u = rng.random(5000)
+        tail = np.floor(4.5 * (1 - u) ** (-1 / 1.5) + 0.5)  # alpha=2.5, xmin=5
+        body = rng.integers(1, 5, size=3000)  # non-power-law body
+        fit = fit_power_law(np.concatenate([tail, body]))
+        assert fit.xmin >= 4
+        assert fit.alpha == pytest.approx(2.5, abs=0.2)
+
+    def test_ba_graph_heavy_tail(self):
+        g = barabasi_albert(2000, 2, seed=0)
+        fit = fit_power_law(g.degree())
+        assert 1.5 < fit.alpha < 4.0
+        assert fit.ks_distance < 0.1
+
+    def test_er_fits_worse_than_ba(self):
+        ba = barabasi_albert(1500, 2, seed=0)
+        er = erdos_renyi(1500, 4 / 1500, seed=0)
+        fit_ba = fit_power_law(ba.degree(), xmin=2)
+        fit_er = fit_power_law(er.degree()[er.degree() > 0], xmin=2)
+        assert fit_ba.ks_distance < fit_er.ks_distance
+
+    def test_ccdf_monotone(self):
+        x = np.arange(1, 50)
+        ccdf = power_law_ccdf(x, alpha=2.5, xmin=1)
+        assert np.all(np.diff(ccdf) < 0)
+        assert ccdf[0] == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0])
+        with pytest.raises(ValueError):
+            fit_power_law([1.5, 2.5, 3.5])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2, 3], xmin=0)
+        with pytest.raises(ValueError):
+            fit_power_law([1, 1, 1, 2], xmin=10)
+
+    def test_zeros_dropped(self):
+        fit = fit_power_law([0, 0, 1, 1, 2, 3, 4, 8, 16, 2, 1, 1], xmin=1)
+        assert fit.n_tail == 10
+
+
+class TestClustering:
+    def test_triangle_fully_clustered(self, triangle):
+        assert np.allclose(local_clustering(triangle), 1.0)
+        assert transitivity(triangle) == 1.0
+
+    def test_path_no_triangles(self, path_graph):
+        assert average_clustering(path_graph) == 0.0
+        assert transitivity(path_graph) == 0.0
+
+    def test_paw_graph(self):
+        # Triangle 0-1-2 plus pendant 3 attached to 0.
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (0, 2), (0, 3)])
+        c = local_clustering(g)
+        assert c[0] == pytest.approx(1 / 3)
+        assert c[1] == 1.0 and c[2] == 1.0 and c[3] == 0.0
+        # transitivity = 3 triangles-paths / triples = 3*1/(3+1+1+0)
+        assert transitivity(g) == pytest.approx(3 / 5)
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        g = erdos_renyi(40, 0.15, seed=4)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(g.n_nodes))
+        nxg.add_edges_from((u, v) for u, v, _ in g.edges())
+        ours = local_clustering(g)
+        theirs = nx.clustering(nxg)
+        for v in range(g.n_nodes):
+            assert ours[v] == pytest.approx(theirs[v], abs=1e-12)
+        assert transitivity(g) == pytest.approx(nx.transitivity(nxg), abs=1e-12)
+
+    def test_weights_ignored(self):
+        a = Graph.from_edges(3, [(0, 1, 5.0), (1, 2, 0.1), (0, 2, 2.0)])
+        assert np.allclose(local_clustering(a), 1.0)
+
+
+class TestSmallWorld:
+    def test_ws_is_small_world(self):
+        g = watts_strogatz(300, 6, 0.1, seed=0)
+        sigma = small_world_sigma(g, n_random=3, seed=1)
+        assert sigma > 1.5
+
+    def test_er_is_not(self):
+        g = erdos_renyi(300, 6 / 299, seed=0)
+        sigma = small_world_sigma(g, n_random=3, seed=1)
+        assert sigma < 1.5
+
+    def test_too_small_raises(self, triangle):
+        with pytest.raises(ValueError):
+            small_world_sigma(Graph.empty(2))
+
+
+class TestDensification:
+    def test_snapshots(self):
+        g = barabasi_albert(100, 2, seed=0)
+        snaps = snapshots_by_node_arrival(g, [25, 50, 100])
+        assert [s.n_nodes for s in snaps] == [25, 50, 100]
+        assert snaps[0].n_edges < snaps[1].n_edges < snaps[2].n_edges
+
+    def test_snapshot_validation(self, triangle):
+        with pytest.raises(ValueError):
+            snapshots_by_node_arrival(triangle, [0])
+        with pytest.raises(ValueError):
+            snapshots_by_node_arrival(triangle, [9])
+
+    def test_ba_exponent_near_one(self):
+        # BA adds a constant number of edges per node: e ~ m*n => a ~ 1.
+        g = barabasi_albert(2000, 3, seed=0)
+        snaps = snapshots_by_node_arrival(g, np.linspace(200, 2000, 8))
+        fit = fit_densification(snaps)
+        assert fit.exponent == pytest.approx(1.0, abs=0.1)
+        assert fit.r_squared > 0.99
+
+    def test_forest_fire_densifies(self):
+        g = forest_fire(800, 0.42, seed=1)
+        snaps = snapshots_by_node_arrival(g, np.linspace(100, 800, 8))
+        fit = fit_densification(snaps)
+        assert fit.exponent > 1.02
+
+    def test_fit_requires_two_snapshots(self):
+        with pytest.raises(ValueError):
+            fit_densification([Graph.empty(5)])
+
+    def test_diameter_series(self):
+        g = forest_fire(300, 0.4, seed=2)
+        snaps = snapshots_by_node_arrival(g, [50, 150, 300])
+        series = diameter_series(snaps, seed=0)
+        assert len(series) == 3
+        assert all(s >= 0 for s in series)

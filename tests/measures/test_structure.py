@@ -1,0 +1,86 @@
+"""Unit tests for assortativity and k-core decomposition."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.measures import degree_assortativity, k_core, k_core_decomposition
+from repro.networks import Graph, barabasi_albert, erdos_renyi
+
+
+def _to_nx(graph: Graph) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.n_nodes))
+    g.add_edges_from((u, v) for u, v, _ in graph.edges())
+    return g
+
+
+class TestAssortativity:
+    def test_star_is_disassortative(self):
+        g = Graph.from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)])
+        assert degree_assortativity(g) < -0.9
+
+    def test_regular_graph_zero(self, triangle):
+        assert degree_assortativity(triangle) == 0.0
+
+    def test_matches_networkx(self):
+        g = erdos_renyi(60, 0.1, seed=0)
+        ours = degree_assortativity(g)
+        theirs = nx.degree_assortativity_coefficient(_to_nx(g))
+        assert ours == pytest.approx(theirs, abs=1e-10)
+
+    def test_ba_is_not_assortative(self):
+        g = barabasi_albert(500, 2, seed=0)
+        assert degree_assortativity(g) < 0.1
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            degree_assortativity(Graph.empty(3))
+
+
+class TestKCore:
+    def test_clique_core(self):
+        g = Graph.from_edges(4, [(i, j) for i in range(4) for j in range(i + 1, 4)])
+        assert (k_core_decomposition(g) == 3).all()
+
+    def test_clique_plus_pendant(self):
+        edges = [(i, j) for i in range(4) for j in range(i + 1, 4)] + [(4, 0)]
+        g = Graph.from_edges(5, edges)
+        cores = k_core_decomposition(g)
+        assert cores[4] == 1
+        assert (cores[:4] == 3).all()
+
+    def test_path_core_one(self, path_graph):
+        assert (k_core_decomposition(path_graph) == 1).all()
+
+    def test_matches_networkx(self):
+        g = erdos_renyi(80, 0.08, seed=1)
+        ours = k_core_decomposition(g)
+        theirs = nx.core_number(_to_nx(g))
+        for v in range(g.n_nodes):
+            assert ours[v] == theirs[v]
+
+    def test_k_core_subgraph(self):
+        edges = [(i, j) for i in range(4) for j in range(i + 1, 4)] + [(4, 0), (5, 4)]
+        g = Graph.from_edges(6, edges)
+        sub, nodes = k_core(g, 3)
+        assert sorted(nodes.tolist()) == [0, 1, 2, 3]
+        assert sub.n_edges == 6
+
+    def test_k_core_empty_result(self, path_graph):
+        sub, nodes = k_core(path_graph, 5)
+        assert nodes.size == 0
+        assert sub.n_nodes == 0
+
+    def test_k_validation(self, triangle):
+        with pytest.raises(ValueError):
+            k_core(triangle, -1)
+
+    def test_empty_graph(self):
+        assert k_core_decomposition(Graph.empty(0)).size == 0
+
+    def test_isolated_nodes_core_zero(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        assert k_core_decomposition(g)[2] == 0

@@ -1,0 +1,137 @@
+"""Unit tests for random-graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.networks import (
+    barabasi_albert,
+    erdos_renyi,
+    forest_fire,
+    planted_partition,
+    planted_partition_with_anomalies,
+    watts_strogatz,
+)
+
+
+class TestErdosRenyi:
+    def test_size_and_reproducibility(self):
+        a = erdos_renyi(50, 0.1, seed=7)
+        b = erdos_renyi(50, 0.1, seed=7)
+        assert a.n_nodes == 50
+        assert a == b
+
+    def test_edge_count_near_expectation(self):
+        g = erdos_renyi(200, 0.05, seed=0)
+        expected = 0.05 * 200 * 199 / 2
+        assert 0.7 * expected < g.n_edges < 1.3 * expected
+
+    def test_p_zero_and_one(self):
+        assert erdos_renyi(10, 0.0, seed=0).n_edges == 0
+        assert erdos_renyi(10, 1.0, seed=0).n_edges == 45
+
+    def test_directed(self):
+        g = erdos_renyi(30, 0.2, directed=True, seed=0)
+        assert g.directed
+        assert not g.has_edge(0, 0)  # no self-loops
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(10, 1.5)
+        with pytest.raises(ValueError):
+            erdos_renyi(0, 0.5)
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        g = barabasi_albert(100, 3, seed=0)
+        # star seed gives m edges, then (n - m - 1) nodes add m each
+        assert g.n_edges == 3 + (100 - 4) * 3
+
+    def test_no_isolated_nodes(self):
+        g = barabasi_albert(80, 2, seed=1)
+        assert g.degree().min() >= 1
+
+    def test_heavy_tail(self):
+        g = barabasi_albert(600, 2, seed=2)
+        degs = g.degree()
+        # hubs exist: max degree far above the median
+        assert degs.max() > 6 * np.median(degs)
+
+    def test_reproducible(self):
+        assert barabasi_albert(50, 2, seed=3) == barabasi_albert(50, 2, seed=3)
+
+    def test_m_too_large(self):
+        with pytest.raises(GraphError):
+            barabasi_albert(5, 5)
+
+
+class TestWattsStrogatz:
+    def test_p_zero_is_lattice(self):
+        g = watts_strogatz(20, 4, 0.0, seed=0)
+        assert g.n_edges == 20 * 2
+        assert np.allclose(g.degree(), 4)
+
+    def test_rewiring_preserves_edge_count(self):
+        g = watts_strogatz(40, 4, 0.5, seed=1)
+        assert g.n_edges == 40 * 2
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(GraphError, match="even"):
+            watts_strogatz(10, 3, 0.1)
+
+    def test_k_too_large(self):
+        with pytest.raises(GraphError):
+            watts_strogatz(4, 4, 0.1)
+
+
+class TestForestFire:
+    def test_connected_growth(self):
+        g = forest_fire(50, 0.3, seed=0)
+        assert g.n_nodes == 50
+        # every non-seed node linked at least once
+        assert (g.degree()[1:] >= 1).all()
+
+    def test_densification_with_higher_p(self):
+        sparse_g = forest_fire(120, 0.1, seed=1)
+        dense_g = forest_fire(120, 0.45, seed=1)
+        assert dense_g.n_edges > sparse_g.n_edges
+
+    def test_reproducible(self):
+        assert forest_fire(40, 0.3, seed=5) == forest_fire(40, 0.3, seed=5)
+
+
+class TestPlantedPartition:
+    def test_labels_shape(self):
+        g, labels = planted_partition(10, 3, 0.5, 0.01, seed=0)
+        assert g.n_nodes == 30
+        assert labels.shape == (30,)
+        assert set(labels) == {0, 1, 2}
+
+    def test_assortativity(self):
+        g, labels = planted_partition(25, 2, 0.5, 0.01, seed=0)
+        within = between = 0
+        for u, v, _ in g.edges():
+            if labels[u] == labels[v]:
+                within += 1
+            else:
+                between += 1
+        assert within > 5 * between
+
+    def test_with_anomalies(self):
+        g, labels = planted_partition_with_anomalies(
+            15, 2, 0.5, 0.02, n_hubs=2, n_outliers=3, seed=0
+        )
+        assert g.n_nodes == 30 + 2 + 3
+        assert (labels == -2).sum() == 2
+        assert (labels == -1).sum() == 3
+        # outliers have degree exactly 1
+        for node in range(32, 35):
+            assert g.degree(node) == 1.0
+        # hubs have the requested degree (default 6) and touch >= 2 clusters
+        for node in range(30, 32):
+            assert g.degree(node) >= 2
+            touched = {labels[v] for v in g.neighbors(node)}
+            assert len(touched) >= 2

@@ -1,0 +1,184 @@
+"""Unit tests for NetworkSchema, Relation and MetaPath."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    MetaPathError,
+    RelationNotFoundError,
+    SchemaError,
+    TypeNotFoundError,
+)
+from repro.networks import MetaPath, NetworkSchema, Relation
+
+
+class TestRelation:
+    def test_basic(self):
+        rel = Relation("writes", "author", "paper")
+        assert rel.connects("author", "paper")
+        assert rel.connects("paper", "author")
+        assert not rel.connects("author", "venue")
+
+    def test_reversed(self):
+        rel = Relation("writes", "author", "paper")
+        assert rel.reversed == Relation("writes", "paper", "author")
+
+    def test_str(self):
+        assert "writes" in str(Relation("writes", "a", "p"))
+
+    def test_rejects_empty_fields(self):
+        with pytest.raises(SchemaError):
+            Relation("", "a", "b")
+        with pytest.raises(SchemaError):
+            Relation("r", "a", "")
+
+
+class TestNetworkSchema:
+    def test_types_and_relations(self, bib_schema):
+        assert bib_schema.node_types == ["author", "paper", "venue", "term"]
+        assert [r.name for r in bib_schema.relations] == [
+            "writes",
+            "published_in",
+            "mentions",
+        ]
+
+    def test_duplicate_type_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            NetworkSchema(["a", "a"])
+
+    def test_duplicate_relation_name_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            NetworkSchema(["a", "b"], [("r", "a", "b"), ("r", "b", "a")])
+
+    def test_relation_with_unknown_type_rejected(self):
+        with pytest.raises(TypeNotFoundError):
+            NetworkSchema(["a"], [("r", "a", "zzz")])
+
+    def test_relation_lookup(self, bib_schema):
+        assert bib_schema.relation("writes").source == "author"
+        with pytest.raises(RelationNotFoundError):
+            bib_schema.relation("nope")
+
+    def test_relations_between(self, bib_schema):
+        rels = bib_schema.relations_between("paper", "author")
+        assert len(rels) == 1 and rels[0].name == "writes"
+        assert bib_schema.relations_between("author", "venue") == []
+        with pytest.raises(TypeNotFoundError):
+            bib_schema.relations_between("author", "zzz")
+
+    def test_neighbors_of_type(self, bib_schema):
+        assert bib_schema.neighbors_of_type("paper") == ["author", "venue", "term"]
+        assert bib_schema.neighbors_of_type("author") == ["paper"]
+
+    def test_star_schema_detection(self, bib_schema):
+        assert bib_schema.is_star_schema()
+        assert bib_schema.center_type() == "paper"
+        assert bib_schema.attribute_types() == ["author", "venue", "term"]
+
+    def test_non_star_schema(self):
+        schema = NetworkSchema(
+            ["a", "b", "c"],
+            [("r1", "a", "b"), ("r2", "b", "c"), ("r3", "a", "c")],
+        )
+        # Triangle: every relation must touch the center, impossible here.
+        assert not schema.is_star_schema()
+        with pytest.raises(SchemaError):
+            schema.center_type()
+
+    def test_single_type_not_star(self):
+        assert not NetworkSchema(["a"]).is_star_schema()
+
+    def test_bi_type_is_star(self):
+        schema = NetworkSchema(["conf", "author"], [("pub", "conf", "author")])
+        assert schema.is_star_schema()
+
+    def test_equality(self, bib_schema):
+        other = NetworkSchema(
+            ["author", "paper", "venue", "term"],
+            [
+                ("writes", "author", "paper"),
+                ("published_in", "paper", "venue"),
+                ("mentions", "paper", "term"),
+            ],
+        )
+        assert bib_schema == other
+
+
+class TestMetaPath:
+    def test_from_types(self, bib_schema):
+        mp = MetaPath.from_types(["author", "paper", "venue"], bib_schema)
+        assert mp.length == 2
+        assert mp.node_types() == ["author", "paper", "venue"]
+        assert mp.source_type == "author"
+        assert mp.target_type == "venue"
+
+    def test_parse_plain(self, bib_schema):
+        mp = bib_schema.meta_path("author-paper-venue")
+        assert str(mp) == "author-paper-venue"
+
+    def test_parse_bracketed_relation(self, bib_schema):
+        mp = bib_schema.meta_path("author-[writes]-paper")
+        assert mp.length == 1
+        assert mp.steps()[0][0].name == "writes"
+
+    def test_parse_bad_relation_endpoint(self, bib_schema):
+        with pytest.raises(MetaPathError):
+            bib_schema.meta_path("author-[published_in]-paper")
+
+    def test_symmetry(self, bib_schema):
+        assert bib_schema.meta_path("author-paper-author").is_symmetric()
+        assert bib_schema.meta_path("author-paper-venue-paper-author").is_symmetric()
+        assert not bib_schema.meta_path("author-paper-venue").is_symmetric()
+
+    def test_reversed(self, bib_schema):
+        mp = bib_schema.meta_path("author-paper-venue")
+        rev = mp.reversed()
+        assert rev.node_types() == ["venue", "paper", "author"]
+        assert rev.reversed() == mp
+
+    def test_concat(self, bib_schema):
+        a = bib_schema.meta_path("author-paper")
+        b = bib_schema.meta_path("paper-venue")
+        assert str(a.concat(b)) == "author-paper-venue"
+
+    def test_concat_type_mismatch(self, bib_schema):
+        a = bib_schema.meta_path("author-paper")
+        with pytest.raises(MetaPathError):
+            a.concat(a)
+
+    def test_no_relation_between_types(self, bib_schema):
+        with pytest.raises(MetaPathError, match="no relation"):
+            bib_schema.meta_path("author-venue")
+
+    def test_ambiguous_pair_needs_brackets(self):
+        schema = NetworkSchema(
+            ["u", "v"], [("r1", "u", "v"), ("r2", "v", "u")]
+        )
+        with pytest.raises(MetaPathError, match="disambiguate"):
+            schema.meta_path("u-v")
+        mp = schema.meta_path("u-[r2]-v")
+        assert mp.steps()[0][0].name == "r2"
+        assert mp.steps()[0][1] is False  # traversed backwards
+
+    def test_too_short(self, bib_schema):
+        with pytest.raises(MetaPathError):
+            MetaPath.from_types(["author"], bib_schema)
+
+    def test_must_start_and_end_with_type(self, bib_schema):
+        with pytest.raises(MetaPathError):
+            bib_schema.meta_path("[writes]-paper")
+
+    def test_hashable_and_eq(self, bib_schema):
+        a = bib_schema.meta_path("author-paper-author")
+        b = bib_schema.meta_path("author-paper-author")
+        assert a == b and hash(a) == hash(b)
+        assert len(a) == 2
+
+    def test_meta_path_passthrough(self, bib_schema):
+        mp = bib_schema.meta_path("author-paper")
+        assert bib_schema.meta_path(mp) is mp
+
+    def test_meta_path_from_list(self, bib_schema):
+        mp = bib_schema.meta_path(["paper", "term"])
+        assert str(mp) == "paper-term"

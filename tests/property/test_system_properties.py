@@ -1,0 +1,93 @@
+"""Property-based tests: end-to-end invariants of the bigger systems."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.integration import TruthFinder, majority_vote
+from repro.olap import Dimension, InfoNetCube
+
+
+@st.composite
+def claim_sets(draw):
+    n_sources = draw(st.integers(2, 6))
+    n_objects = draw(st.integers(1, 6))
+    claims = []
+    for s in range(n_sources):
+        for o in range(n_objects):
+            if draw(st.booleans()):
+                claims.append((f"s{s}", f"o{o}", draw(st.integers(0, 3))))
+    if not claims:
+        claims.append(("s0", "o0", 0))
+    return claims
+
+
+class TestTruthFinderProperties:
+    @given(claim_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_truth_is_a_claimed_value(self, claims):
+        tf = TruthFinder(max_iter=50).fit(claims)
+        claimed: dict = {}
+        for _, obj, value in claims:
+            claimed.setdefault(obj, set()).add(value)
+        for obj, value in tf.truth_.items():
+            assert value in claimed[obj]
+
+    @given(claim_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_scores_bounded(self, claims):
+        tf = TruthFinder(max_iter=50).fit(claims)
+        for trust in tf.source_trust_.values():
+            assert 0.0 <= trust <= 1.0
+        for conf in tf.fact_confidence_.values():
+            assert 0.0 <= conf <= 1.0
+
+    @given(claim_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_majority_vote_covers_all_objects(self, claims):
+        votes = majority_vote(claims)
+        objects = {obj for _, obj, _ in claims}
+        assert set(votes) == objects
+
+
+class TestCubeProperties:
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_group_by_partitions_facts(self, data):
+        from repro.networks import HIN, NetworkSchema
+
+        n = data.draw(st.integers(1, 20))
+        schema = NetworkSchema(["fact", "attr"], [("r", "fact", "attr")])
+        hin = HIN.from_edges(
+            schema, nodes={"fact": n, "attr": 3},
+            edges={"r": [(i, i % 3) for i in range(n)]},
+        )
+        values = [data.draw(st.sampled_from(["x", "y", "z"])) for _ in range(n)]
+        cube = InfoNetCube(hin, "fact", [Dimension("d", values)])
+        cells = cube.group_by("d")
+        assert sum(c.count for c in cells) == n
+        seen = set()
+        for c in cells:
+            members = set(c.members.tolist())
+            assert not (members & seen)
+            seen |= members
+        assert seen == set(range(n))
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_dice_count_matches_cell(self, data):
+        from repro.networks import HIN, NetworkSchema
+
+        n = data.draw(st.integers(2, 20))
+        schema = NetworkSchema(["fact", "attr"], [("r", "fact", "attr")])
+        hin = HIN.from_edges(
+            schema, nodes={"fact": n, "attr": 2},
+            edges={"r": [(i, 0) for i in range(n)]},
+        )
+        values = [data.draw(st.sampled_from(["x", "y"])) for _ in range(n)]
+        cube = InfoNetCube(hin, "fact", [Dimension("d", values)])
+        if "x" not in values:
+            return
+        assert cube.slice("d", "x").n_center == cube.cell(d="x").count

@@ -1,0 +1,115 @@
+"""Unit tests for HITS and Personalized PageRank."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.networks import Graph, erdos_renyi
+from repro.ranking import (
+    hits,
+    hits_scores,
+    personalized_pagerank,
+    ppr_top_k,
+    random_walk_with_restart,
+)
+
+
+class TestHits:
+    def test_distributions(self, directed_cycle):
+        hubs, auths, info = hits(directed_cycle)
+        assert hubs.sum() == pytest.approx(1.0)
+        assert auths.sum() == pytest.approx(1.0)
+        assert info.converged
+
+    def test_hub_authority_split(self):
+        # 0 and 1 both point at 2 and 3: 0,1 are hubs; 2,3 authorities.
+        g = Graph.from_edges(4, [(0, 2), (0, 3), (1, 2), (1, 3)], directed=True)
+        hubs, auths = hits_scores(g)
+        assert hubs[0] == pytest.approx(hubs[1])
+        assert hubs[0] > hubs[2]
+        assert auths[2] == pytest.approx(auths[3])
+        assert auths[2] > auths[0]
+
+    def test_matches_networkx(self):
+        g = erdos_renyi(25, 0.15, directed=True, seed=0)
+        hubs, auths = hits_scores(g, tol=1e-12, max_iter=1000)
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(range(g.n_nodes))
+        nxg.add_edges_from((u, v) for u, v, _ in g.edges())
+        nx_h, nx_a = nx.hits(nxg, max_iter=1000, tol=1e-12)
+        assert np.allclose(hubs, [nx_h[i] for i in range(25)], atol=1e-6)
+        assert np.allclose(auths, [nx_a[i] for i in range(25)], atol=1e-6)
+
+    def test_empty_edges_raises(self):
+        with pytest.raises(GraphError):
+            hits(Graph.empty(3))
+
+    def test_zero_nodes(self):
+        hubs, auths, info = hits(Graph.empty(0))
+        assert hubs.size == 0 and info.converged
+
+
+class TestPersonalizedPageRank:
+    def test_seed_gets_highest_score(self, path_graph):
+        # Low damping: restart mass dominates, so the seed must rank first.
+        scores, info = personalized_pagerank(path_graph, 0, damping=0.5)
+        assert info.converged
+        assert scores[0] == scores.max()
+        # monotone decay along the path
+        assert scores[1] > scores[3]
+
+    def test_high_damping_mass_spreads(self, path_graph):
+        # At damping 0.85 on an undirected path, the seed's neighbour can
+        # out-score the seed (it collects flow from both sides) — the
+        # distribution still concentrates near the seed.
+        scores, info = personalized_pagerank(path_graph, 0, damping=0.85)
+        assert info.converged
+        assert scores[0] + scores[1] > 0.5
+        assert scores[4] == scores.min()
+
+    def test_multiple_seeds(self, path_graph):
+        scores, _ = personalized_pagerank(path_graph, [0, 4])
+        # seeds are symmetric on the path, so scores must mirror
+        assert scores[0] == pytest.approx(scores[4], rel=1e-6)
+        assert scores[1] == pytest.approx(scores[3], rel=1e-6)
+        assert scores.sum() == pytest.approx(1.0)
+
+    def test_seed_validation(self, path_graph):
+        with pytest.raises(ValueError):
+            personalized_pagerank(path_graph, 99)
+        with pytest.raises(ValueError):
+            personalized_pagerank(path_graph, [])
+
+    def test_rwr_alias(self, path_graph):
+        a = random_walk_with_restart(path_graph, 0, restart_prob=0.15)
+        b, _ = personalized_pagerank(path_graph, 0, damping=0.85)
+        assert np.allclose(a, b)
+
+
+class TestPprTopK:
+    def test_excludes_source(self, path_graph):
+        top = ppr_top_k(path_graph, 0, 2)
+        nodes = [n for n, _ in top]
+        assert 0 not in nodes
+        assert nodes[0] == 1  # nearest neighbour ranks first
+
+    def test_include_source(self, path_graph):
+        top = ppr_top_k(path_graph, 0, 5, exclude_source=False)
+        assert 0 in [n for n, _ in top]
+        assert len(top) == 5
+
+    def test_k_larger_than_graph(self, triangle):
+        top = ppr_top_k(triangle, 0, 10)
+        assert len(top) == 2
+
+    def test_k_validation(self, triangle):
+        with pytest.raises(ValueError):
+            ppr_top_k(triangle, 0, -1)
+
+    def test_scores_sorted(self, path_graph):
+        top = ppr_top_k(path_graph, 2, 4)
+        scores = [s for _, s in top]
+        assert scores == sorted(scores, reverse=True)

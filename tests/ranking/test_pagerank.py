@@ -1,0 +1,96 @@
+"""Unit tests for PageRank, checked against networkx."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceWarning
+from repro.networks import Graph, erdos_renyi
+from repro.ranking import pagerank, pagerank_scores
+
+
+def _nx_pagerank(graph: Graph, **kwargs) -> np.ndarray:
+    g = nx.DiGraph() if graph.directed else nx.Graph()
+    g.add_nodes_from(range(graph.n_nodes))
+    for u, v, w in graph.edges():
+        g.add_edge(u, v, weight=w)
+    scores = nx.pagerank(g, tol=1e-12, max_iter=500, **kwargs)
+    return np.array([scores[i] for i in range(graph.n_nodes)])
+
+
+class TestPageRank:
+    def test_sums_to_one(self, directed_cycle):
+        scores, info = pagerank(directed_cycle)
+        assert scores.sum() == pytest.approx(1.0)
+        assert info.converged
+
+    def test_cycle_is_uniform(self, directed_cycle):
+        scores, _ = pagerank(directed_cycle)
+        assert np.allclose(scores, 0.25)
+
+    def test_matches_networkx_undirected(self):
+        g = erdos_renyi(30, 0.15, seed=0)
+        ours = pagerank_scores(g, tol=1e-12)
+        theirs = _nx_pagerank(g)
+        assert np.allclose(ours, theirs, atol=1e-8)
+
+    def test_matches_networkx_directed(self):
+        g = erdos_renyi(30, 0.1, directed=True, seed=1)
+        ours = pagerank_scores(g, tol=1e-12)
+        theirs = _nx_pagerank(g)
+        assert np.allclose(ours, theirs, atol=1e-8)
+
+    def test_matches_networkx_weighted(self):
+        g = Graph.from_edges(
+            4, [(0, 1, 3.0), (1, 2, 1.0), (2, 0, 2.0), (2, 3, 5.0)], directed=True
+        )
+        ours = pagerank_scores(g, tol=1e-12)
+        theirs = _nx_pagerank(g)
+        assert np.allclose(ours, theirs, atol=1e-8)
+
+    def test_dangling_nodes_handled(self):
+        # 0 -> 1, 1 dangling
+        g = Graph.from_edges(2, [(0, 1)], directed=True)
+        scores, info = pagerank(g)
+        assert info.converged
+        assert scores.sum() == pytest.approx(1.0)
+        assert scores[1] > scores[0]
+        theirs = _nx_pagerank(g)
+        assert np.allclose(scores, theirs, atol=1e-8)
+
+    def test_personalization(self):
+        g = erdos_renyi(20, 0.2, seed=2)
+        person = np.zeros(20)
+        person[3] = 1.0
+        ours = pagerank_scores(g, personalization=person, tol=1e-12)
+        theirs = _nx_pagerank(g, personalization={i: person[i] for i in range(20)})
+        assert np.allclose(ours, theirs, atol=1e-8)
+        assert ours[3] == ours.max()
+
+    def test_damping_zero_gives_personalization(self):
+        g = erdos_renyi(10, 0.3, seed=3)
+        scores = pagerank_scores(g, damping=0.0)
+        assert np.allclose(scores, 0.1)
+
+    def test_empty_graph(self):
+        scores, info = pagerank(Graph.empty(0))
+        assert scores.size == 0 and info.converged
+
+    def test_validation(self, triangle):
+        with pytest.raises(ValueError):
+            pagerank(triangle, damping=1.5)
+        with pytest.raises(ValueError):
+            pagerank(triangle, personalization=np.ones(7))
+        with pytest.raises(ValueError):
+            pagerank(triangle, personalization=np.zeros(3))
+        with pytest.raises(ValueError):
+            pagerank(triangle, personalization=np.array([1.0, -1.0, 1.0]))
+
+    def test_non_convergence_warns(self, path_graph):
+        # A path graph is not regular, so the uniform start is not already
+        # stationary and one iteration cannot reach tol.
+        with pytest.warns(ConvergenceWarning):
+            _, info = pagerank(path_graph, max_iter=1, tol=1e-15)
+        assert not info.converged

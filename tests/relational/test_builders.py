@@ -1,0 +1,138 @@
+"""Unit tests for database -> HIN builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ForeignKeyError, RelationalError
+from repro.relational import Database, LinkSpec, Table, build_hin, infer_hin
+
+
+@pytest.fixture
+def bib_db() -> Database:
+    """Author/paper/venue with a junction table for authorship."""
+    db = Database("bib")
+    db.add_table(
+        Table("author", ["id", "name"], [(1, "ada"), (2, "bob")], primary_key="id")
+    )
+    db.add_table(
+        Table("venue", ["id", "name"], [(100, "kdd")], primary_key="id")
+    )
+    db.add_table(
+        Table(
+            "paper",
+            ["id", "title", "venue_id"],
+            [(10, "p1", 100), (11, "p2", 100)],
+            primary_key="id",
+        )
+    )
+    db.add_table(
+        Table(
+            "authorship",
+            ["author_id", "paper_id"],
+            [(1, 10), (1, 11), (2, 11)],
+        )
+    )
+    db.add_foreign_key("paper", "venue_id", "venue", "id")
+    db.add_foreign_key("authorship", "author_id", "author", "id")
+    db.add_foreign_key("authorship", "paper_id", "paper", "id")
+    return db
+
+
+class TestBuildHin:
+    def test_junction_and_direct(self, bib_db):
+        hin = build_hin(
+            bib_db,
+            ["author", "paper", "venue"],
+            [
+                LinkSpec("writes", "authorship", "author_id", "paper_id"),
+                LinkSpec("published_in", "paper", None, "venue_id"),
+            ],
+        )
+        assert hin.node_count("author") == 2
+        assert hin.node_count("paper") == 2
+        writes = hin.relation_matrix("writes")
+        assert writes.shape == (2, 2)
+        assert writes[0, 1] == 1.0  # ada -> p2
+        pub = hin.relation_matrix("published_in")
+        assert pub.shape == (2, 1)
+        assert pub.nnz == 2
+
+    def test_node_names_are_keys(self, bib_db):
+        hin = build_hin(
+            bib_db,
+            ["author", "paper", "venue"],
+            [LinkSpec("writes", "authorship", "author_id", "paper_id")],
+        )
+        assert hin.names("author") == [1, 2]
+        assert hin.index_of("paper", 11) == 1
+
+    def test_duplicate_rows_accumulate_weight(self):
+        db = Database()
+        db.add_table(Table("u", ["id"], [(1,)], primary_key="id"))
+        db.add_table(Table("v", ["id"], [(2,)], primary_key="id"))
+        db.add_table(Table("uv", ["u_id", "v_id"], [(1, 2), (1, 2)]))
+        db.add_foreign_key("uv", "u_id", "u", "id")
+        db.add_foreign_key("uv", "v_id", "v", "id")
+        hin = build_hin(db, ["u", "v"], [LinkSpec("r", "uv", "u_id", "v_id")])
+        assert hin.relation_matrix("r")[0, 0] == 2.0
+
+    def test_null_fk_skipped(self):
+        db = Database()
+        db.add_table(Table("u", ["id", "v_id"], [(1, None), (2, 5)], primary_key="id"))
+        db.add_table(Table("v", ["id"], [(5,)], primary_key="id"))
+        db.add_foreign_key("u", "v_id", "v", "id")
+        hin = build_hin(db, ["u", "v"], [LinkSpec("r", "u", None, "v_id")])
+        assert hin.relation_matrix("r").nnz == 1
+
+    def test_entity_without_pk_rejected(self, bib_db):
+        bib_db.add_table(Table("junk", ["x"], [(1,)]))
+        with pytest.raises(RelationalError, match="primary key"):
+            build_hin(bib_db, ["junk"], [])
+
+    def test_missing_fk_rejected(self, bib_db):
+        with pytest.raises(ForeignKeyError):
+            build_hin(
+                bib_db,
+                ["author", "paper"],
+                [LinkSpec("bad", "authorship", "author_id", "author_id2")],
+            )
+
+    def test_link_to_non_entity_rejected(self, bib_db):
+        with pytest.raises(RelationalError, match="not an entity"):
+            build_hin(
+                bib_db,
+                ["author", "paper"],  # venue missing
+                [LinkSpec("published_in", "paper", None, "venue_id")],
+            )
+
+
+class TestInferHin:
+    def test_infers_star(self, bib_db):
+        hin = infer_hin(bib_db)
+        types = set(hin.schema.node_types)
+        assert {"author", "paper", "venue"} <= types
+        assert "authorship" not in types
+        rel_names = {r.name for r in hin.schema.relations}
+        assert "paper_venue_id" in rel_names
+        assert "authorship_author_id_paper_id" in rel_names
+
+    def test_no_entities_raises(self):
+        db = Database()
+        db.add_table(Table("t", ["a"], [(1,)]))
+        with pytest.raises(RelationalError, match="infer"):
+            infer_hin(db)
+
+    def test_inferred_matches_explicit(self, bib_db):
+        inferred = infer_hin(bib_db)
+        explicit = build_hin(
+            bib_db,
+            ["author", "venue", "paper"],
+            [
+                LinkSpec("writes", "authorship", "author_id", "paper_id"),
+                LinkSpec("published_in", "paper", None, "venue_id"),
+            ],
+        )
+        a = inferred.relation_matrix("authorship_author_id_paper_id")
+        b = explicit.relation_matrix("writes")
+        assert (a != b).nnz == 0

@@ -1,0 +1,78 @@
+"""Unit tests for the Database substrate and its FK validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ForeignKeyError, RelationalError, TableNotFoundError
+from repro.relational import Database, Table
+
+
+@pytest.fixture
+def uni() -> Database:
+    db = Database("uni")
+    db.add_table(Table("dept", ["id", "name"], [(1, "CS"), (2, "EE")], primary_key="id"))
+    db.add_table(
+        Table(
+            "prof",
+            ["id", "name", "dept_id"],
+            [(10, "ada", 1), (11, "bob", 2), (12, "cyd", 1)],
+            primary_key="id",
+        )
+    )
+    db.add_foreign_key("prof", "dept_id", "dept", "id")
+    return db
+
+
+class TestTables:
+    def test_lookup(self, uni):
+        assert uni.table("dept").name == "dept"
+        assert "prof" in uni
+        assert uni.table_names == ["dept", "prof"]
+
+    def test_missing_table(self, uni):
+        with pytest.raises(TableNotFoundError):
+            uni.table("zzz")
+
+    def test_duplicate_table(self, uni):
+        with pytest.raises(RelationalError):
+            uni.add_table(Table("dept", ["x"]))
+
+
+class TestForeignKeys:
+    def test_declared(self, uni):
+        fks = uni.foreign_keys_of("prof")
+        assert len(fks) == 1
+        assert str(fks[0]) == "prof.dept_id -> dept.id"
+        assert uni.foreign_keys_into("dept") == fks
+
+    def test_joinable(self, uni):
+        assert uni.joinable_tables("prof") == ["dept"]
+        assert uni.joinable_tables("dept") == ["prof"]
+
+    def test_broken_reference_rejected(self, uni):
+        uni.add_table(Table("course", ["id", "dept_id"], [(1, 99)], primary_key="id"))
+        with pytest.raises(ForeignKeyError, match="missing"):
+            uni.add_foreign_key("course", "dept_id", "dept", "id")
+
+    def test_null_fk_allowed(self, uni):
+        uni.add_table(Table("course", ["id", "dept_id"], [(1, None)], primary_key="id"))
+        uni.add_foreign_key("course", "dept_id", "dept", "id")
+        assert len(uni.foreign_keys_of("course")) == 1
+
+    def test_must_reference_primary_key(self, uni):
+        with pytest.raises(ForeignKeyError, match="primary key"):
+            uni.add_foreign_key("prof", "dept_id", "dept", "name")
+
+    def test_duplicate_fk_rejected(self, uni):
+        with pytest.raises(ForeignKeyError, match="duplicate"):
+            uni.add_foreign_key("prof", "dept_id", "dept", "id")
+
+    def test_unknown_column(self, uni):
+        from repro.exceptions import ColumnNotFoundError
+
+        with pytest.raises(ColumnNotFoundError):
+            uni.add_foreign_key("prof", "zzz", "dept", "id")
+
+    def test_repr(self, uni):
+        assert "uni" in repr(uni)

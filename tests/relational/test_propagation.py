@@ -1,0 +1,74 @@
+"""Unit tests for the tuple-ID propagation primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RelationalError
+from repro.relational import Database, Table
+from repro.relational.propagation import join_matrix, value_indicator
+
+
+@pytest.fixture
+def shop_db() -> Database:
+    db = Database("shop")
+    db.add_table(
+        Table("customer", ["id", "tier"], [(1, "gold"), (2, "basic"), (3, None)],
+              primary_key="id")
+    )
+    db.add_table(
+        Table(
+            "order",
+            ["id", "customer_id", "item"],
+            [(10, 1, "book"), (11, 1, "pen"), (12, 2, "book"), (13, None, "pen")],
+            primary_key="id",
+        )
+    )
+    db.add_foreign_key("order", "customer_id", "customer", "id")
+    return db
+
+
+class TestJoinMatrix:
+    def test_forward_direction(self, shop_db):
+        m = join_matrix(shop_db, "order", "customer")
+        assert m.shape == (4, 3)
+        assert m[0, 0] == 1.0  # order 10 -> customer 1
+        assert m[3].sum() == 0  # NULL FK row drops out
+
+    def test_reverse_direction_is_transpose(self, shop_db):
+        fwd = join_matrix(shop_db, "order", "customer")
+        back = join_matrix(shop_db, "customer", "order")
+        assert (fwd.T != back).nnz == 0
+
+    def test_customer_degree(self, shop_db):
+        m = join_matrix(shop_db, "customer", "order")
+        orders_per_customer = np.asarray(m.sum(axis=1)).ravel()
+        assert orders_per_customer.tolist() == [2.0, 1.0, 0.0]
+
+    def test_unjoined_tables_raise(self, shop_db):
+        shop_db.add_table(Table("misc", ["id"], [(1,)], primary_key="id"))
+        with pytest.raises(RelationalError, match="no foreign key"):
+            join_matrix(shop_db, "customer", "misc")
+
+
+class TestValueIndicator:
+    def test_one_hot(self, shop_db):
+        m, vocab = value_indicator(shop_db, "order", "item")
+        assert vocab == ["book", "pen"]
+        assert m.shape == (4, 2)
+        assert m[0, 0] == 1.0 and m[1, 1] == 1.0
+
+    def test_none_rows_zero(self, shop_db):
+        m, vocab = value_indicator(shop_db, "customer", "tier")
+        assert vocab == ["gold", "basic"]
+        assert m[2].sum() == 0  # None tier
+
+    def test_propagated_counts(self, shop_db):
+        prop = join_matrix(shop_db, "customer", "order")
+        indicator, vocab = value_indicator(shop_db, "order", "item")
+        counts = prop.dot(indicator).toarray()
+        # customer 1 bought book+pen, customer 2 one book
+        assert counts[0].tolist() == [1.0, 1.0]
+        assert counts[1].tolist() == [1.0, 0.0]
+        assert counts[2].tolist() == [0.0, 0.0]

@@ -1,0 +1,124 @@
+"""Unit tests for the Table substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ColumnNotFoundError, RelationalError
+from repro.relational import Table
+
+
+@pytest.fixture
+def people() -> Table:
+    return Table(
+        "people",
+        ["id", "name", "city"],
+        [(1, "ada", "london"), (2, "bob", "paris"), (3, "cyd", "london")],
+        primary_key="id",
+    )
+
+
+class TestConstruction:
+    def test_basic(self, people):
+        assert len(people) == 3
+        assert people.columns == ["id", "name", "city"]
+        assert people.primary_key == "id"
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(RelationalError, match="duplicate"):
+            Table("t", ["a", "a"])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(RelationalError):
+            Table("t", [])
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(RelationalError):
+            Table("", ["a"])
+
+    def test_row_arity_checked(self):
+        with pytest.raises(RelationalError, match="columns"):
+            Table("t", ["a", "b"], [(1,)])
+
+    def test_duplicate_pk_rejected(self):
+        with pytest.raises(RelationalError, match="duplicate primary key"):
+            Table("t", ["id"], [(1,), (1,)], primary_key="id")
+
+    def test_null_pk_rejected(self):
+        with pytest.raises(RelationalError, match="NULL"):
+            Table("t", ["id"], [(None,)], primary_key="id")
+
+
+class TestInsertAndLookup:
+    def test_insert_maintains_pk(self, people):
+        people.insert((4, "dee", "rome"))
+        assert people.value(4, "name") == "dee"
+        with pytest.raises(RelationalError):
+            people.insert((4, "eve", "oslo"))
+
+    def test_insert_null_pk(self, people):
+        with pytest.raises(RelationalError):
+            people.insert((None, "eve", "oslo"))
+
+    def test_row_by_key(self, people):
+        assert people.row_by_key(2) == (2, "bob", "paris")
+        with pytest.raises(RelationalError, match="no row"):
+            people.row_by_key(99)
+
+    def test_has_key(self, people):
+        assert people.has_key(1)
+        assert not people.has_key(42)
+
+    def test_no_pk_operations_raise(self):
+        t = Table("t", ["a"], [(1,)])
+        with pytest.raises(RelationalError):
+            t.row_by_key(1)
+        with pytest.raises(RelationalError):
+            t.has_key(1)
+
+    def test_column_access(self, people):
+        assert people.column("name") == ["ada", "bob", "cyd"]
+        with pytest.raises(ColumnNotFoundError):
+            people.column("zzz")
+
+    def test_distinct(self, people):
+        assert people.distinct("city") == ["london", "paris"]
+
+
+class TestRelationalOps:
+    def test_select(self, people):
+        londoners = people.select(lambda r: r["city"] == "london")
+        assert len(londoners) == 2
+        assert londoners.primary_key == "id"
+
+    def test_project(self, people):
+        names = people.project(["name"])
+        assert names.columns == ["name"]
+        assert names.rows == [("ada",), ("bob",), ("cyd",)]
+
+    def test_group_by(self, people):
+        groups = people.group_by("city")
+        assert sorted(groups) == ["london", "paris"]
+        assert len(groups["london"]) == 2
+        assert groups["paris"][0]["name"] == "bob"
+
+    def test_join(self, people):
+        orders = Table(
+            "orders", ["oid", "person_id"], [(100, 1), (101, 1), (102, 3)]
+        )
+        joined = orders.join(people, "person_id", "id")
+        assert len(joined) == 3
+        assert "people.name" in joined.columns
+        names = joined.column("people.name")
+        assert names.count("ada") == 2
+
+    def test_join_no_matches(self, people):
+        empty = Table("orders", ["oid", "person_id"], [(1, 99)])
+        assert len(empty.join(people, "person_id", "id")) == 0
+
+    def test_to_dicts(self, people):
+        dicts = people.to_dicts()
+        assert dicts[0] == {"id": 1, "name": "ada", "city": "london"}
+
+    def test_iter(self, people):
+        assert list(people)[1] == (2, "bob", "paris")

@@ -1,0 +1,161 @@
+"""Unit tests for PathSim and the meta-path measure family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MetaPathError, NotFittedError
+from repro.similarity import (
+    PathSim,
+    pairwise_random_walk_matrix,
+    path_count_matrix,
+    pathsim_matrix,
+    random_walk_matrix,
+)
+
+APA = "author-paper-author"
+VPV = "venue-paper-venue"
+APVPA = "author-paper-venue-paper-author"
+
+
+class TestPathsimMatrix:
+    def test_diagonal_one(self, small_bib):
+        s = pathsim_matrix(small_bib, APA)
+        assert np.allclose(np.diag(s), 1.0)
+
+    def test_symmetric_bounded(self, small_bib):
+        s = pathsim_matrix(small_bib, APVPA)
+        assert np.allclose(s, s.T)
+        assert s.min() >= 0 and s.max() <= 1 + 1e-12
+
+    def test_hand_computed_value(self, small_bib):
+        # M = APA commuting: a0: papers {p0,p1}; a1: {p0,p1,p2}.
+        # M[0,1] = 2, M[0,0] = 2, M[1,1] = 3 -> s = 2*2/(2+3) = 0.8
+        s = pathsim_matrix(small_bib, APA)
+        assert s[0, 1] == pytest.approx(0.8)
+        # a0 and a3 share nothing
+        assert s[0, 3] == 0.0
+
+    def test_asymmetric_path_rejected(self, small_bib):
+        with pytest.raises(MetaPathError, match="symmetric"):
+            pathsim_matrix(small_bib, "author-paper-venue")
+
+    def test_zero_participation_row_zero(self, bib_schema):
+        from repro.networks import HIN
+
+        hin = HIN.from_edges(
+            bib_schema,
+            nodes={"author": 2, "paper": 1, "venue": 1, "term": 1},
+            edges={"writes": [(0, 0)]},  # author 1 writes nothing
+        )
+        s = pathsim_matrix(hin, APA)
+        assert s[1, 1] == 0.0  # invisible under this path
+        assert s[0, 0] == 1.0
+
+
+class TestPathSimIndex:
+    def test_top_k_names(self, small_bib):
+        ps = PathSim(APA).fit(small_bib)
+        top = ps.top_k("a0", 2)
+        assert top[0][0] == "a1"
+        assert top[0][1] == pytest.approx(0.8)
+
+    def test_top_k_sorted_and_k_respected(self, small_bib):
+        ps = PathSim(APVPA).fit(small_bib)
+        top = ps.top_k(0, 3)
+        scores = [s for _, s in top]
+        assert scores == sorted(scores, reverse=True)
+        assert len(top) == 3
+
+    def test_similarity_by_name_and_index(self, small_bib):
+        ps = PathSim(APA).fit(small_bib)
+        assert ps.similarity("a0", "a1") == ps.similarity(0, 1)
+
+    def test_symmetry(self, small_bib):
+        ps = PathSim(VPV).fit(small_bib)
+        assert ps.similarity(0, 1) == pytest.approx(ps.similarity(1, 0))
+
+    def test_matrix_matches_function(self, small_bib):
+        ps = PathSim(APA).fit(small_bib)
+        assert np.allclose(ps.matrix(), pathsim_matrix(small_bib, APA))
+
+    def test_not_fitted(self):
+        ps = PathSim(APA)
+        with pytest.raises(NotFittedError):
+            ps.top_k(0, 1)
+        with pytest.raises(NotFittedError):
+            ps.object_type
+
+    def test_object_type(self, small_bib):
+        assert PathSim(VPV).fit(small_bib).object_type == "venue"
+
+    def test_k_validation(self, small_bib):
+        ps = PathSim(APA).fit(small_bib)
+        with pytest.raises(ValueError):
+            ps.top_k(0, -1)
+
+    def test_asymmetric_rejected_at_fit(self, small_bib):
+        with pytest.raises(MetaPathError):
+            PathSim("author-paper").fit(small_bib)
+
+
+class TestMetaPathMeasures:
+    def test_path_count_is_commuting(self, small_bib):
+        a = path_count_matrix(small_bib, APA).toarray()
+        b = small_bib.commuting_matrix(APA).toarray()
+        assert np.allclose(a, b)
+
+    def test_random_walk_rows_stochastic(self, small_bib):
+        rw = random_walk_matrix(small_bib, APA).toarray()
+        sums = rw.sum(axis=1)
+        assert np.allclose(sums[sums > 0], 1.0)
+
+    def test_random_walk_asymmetric(self, small_bib):
+        rw = random_walk_matrix(small_bib, APA).toarray()
+        assert not np.allclose(rw, rw.T)
+
+    def test_prw_symmetric_path(self, small_bib):
+        prw = pairwise_random_walk_matrix(small_bib, APA).toarray()
+        assert prw.shape == (4, 4)
+        assert prw.min() >= 0
+        # rows are meeting probabilities; a0 most likely meets itself or a1
+        assert prw[0, 1] > prw[0, 3]
+
+    def test_prw_odd_path_rejected(self, small_bib):
+        with pytest.raises(MetaPathError, match="even"):
+            pairwise_random_walk_matrix(small_bib, "author-paper")
+
+    def test_prw_equals_rw_product(self, small_bib):
+        # For APA, PRW = RW(A->P) . RW(A->P)^T
+        from repro.utils.sparse import row_normalize
+
+        ap = row_normalize(small_bib.relation_matrix("writes"))
+        expected = ap.dot(ap.T).toarray()
+        got = pairwise_random_walk_matrix(small_bib, APA).toarray()
+        assert np.allclose(got, expected)
+
+    def test_pathsim_fixes_visibility_bias(self, bib_schema):
+        # One mega-author connected to everything dominates RW rankings
+        # from any source, but PathSim ranks the structurally-similar
+        # peer first.
+        from repro.networks import HIN
+
+        hin = HIN.from_edges(
+            bib_schema,
+            nodes={"author": 3, "paper": 6, "venue": 1, "term": 1},
+            edges={
+                "writes": [
+                    # a0: 2 papers; a1 identical profile to a0; a2 mega
+                    (0, 0), (0, 1),
+                    (1, 0), (1, 1),
+                    (2, 0), (2, 1), (2, 2), (2, 3), (2, 4), (2, 5),
+                ]
+            },
+        )
+        rw = random_walk_matrix(hin, APA).toarray()
+        ps = pathsim_matrix(hin, APA)
+        # RW from a0 scores the mega-author at least as high as the peer
+        assert rw[0, 2] >= rw[0, 1]
+        # PathSim prefers the true peer
+        assert ps[0, 1] > ps[0, 2]

@@ -1,0 +1,113 @@
+"""Unit tests for SimRank (homogeneous and bipartite), vs networkx oracle."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.networks import Graph, erdos_renyi
+from repro.similarity import simrank, simrank_bipartite
+
+
+class TestSimrank:
+    def test_identity_diagonal(self, triangle):
+        s, info = simrank(triangle, tol=1e-6)
+        assert np.allclose(np.diag(s), 1.0)
+        assert info.converged
+
+    def test_symmetric_and_bounded(self):
+        g = erdos_renyi(20, 0.2, seed=0)
+        s, _ = simrank(g, tol=1e-6)
+        assert np.allclose(s, s.T)
+        assert s.min() >= 0.0 and s.max() <= 1.0 + 1e-12
+
+    def test_matches_networkx(self):
+        g = erdos_renyi(15, 0.25, seed=1)
+        s, _ = simrank(g, c=0.8, tol=1e-10, max_iter=200)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(g.n_nodes))
+        nxg.add_edges_from((u, v) for u, v, _ in g.edges())
+        theirs = nx.simrank_similarity(nxg, importance_factor=0.8, tolerance=1e-10)
+        arr = np.array(
+            [[theirs[u][v] for v in range(15)] for u in range(15)]
+        )
+        assert np.allclose(s, arr, atol=1e-4)
+
+    def test_matches_networkx_directed(self):
+        g = erdos_renyi(12, 0.25, directed=True, seed=3)
+        s, _ = simrank(g, c=0.8, tol=1e-10, max_iter=200)
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(range(g.n_nodes))
+        nxg.add_edges_from((u, v) for u, v, _ in g.edges())
+        theirs = nx.simrank_similarity(nxg, importance_factor=0.8, tolerance=1e-10)
+        arr = np.array(
+            [[theirs[u][v] for v in range(12)] for u in range(12)]
+        )
+        assert np.allclose(s, arr, atol=1e-4)
+
+    def test_structural_equivalence_high(self):
+        # 4-cycle: pairs (1,2) and (0,3) have identical neighbourhoods and
+        # must tie; adjacent pairs are strictly less similar.
+        g = Graph.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        s, _ = simrank(g, tol=1e-8, max_iter=300)
+        assert s[1, 2] == pytest.approx(s[0, 3])
+        adjacent = [s[0, 1], s[0, 2], s[1, 3], s[2, 3]]
+        assert s[1, 2] > max(adjacent)
+
+    def test_no_inneighbors_zero(self):
+        # Directed: node 0 has no in-neighbours.
+        g = Graph.from_edges(3, [(0, 1), (0, 2)], directed=True)
+        s, _ = simrank(g, tol=1e-8)
+        assert s[0, 1] == 0.0 and s[0, 2] == 0.0
+        assert s[1, 2] > 0.0  # both pointed at by 0
+
+    def test_empty_graph(self):
+        s, info = simrank(Graph.empty(0))
+        assert s.shape == (0, 0) and info.converged
+
+    def test_c_validated(self, triangle):
+        with pytest.raises(ValueError):
+            simrank(triangle, c=1.7)
+
+
+class TestSimrankBipartite:
+    def test_shapes_and_diagonals(self):
+        w = np.array([[1.0, 1.0, 0.0], [0.0, 1.0, 1.0]])
+        s_a, s_b, info = simrank_bipartite(w, tol=1e-8)
+        assert s_a.shape == (2, 2) and s_b.shape == (3, 3)
+        assert np.allclose(np.diag(s_a), 1.0)
+        assert np.allclose(np.diag(s_b), 1.0)
+        assert info.converged
+
+    def test_identical_rows_most_similar(self):
+        # A0 and A1 link to exactly the same B objects.
+        w = np.array(
+            [
+                [1.0, 1.0, 0.0, 0.0],
+                [1.0, 1.0, 0.0, 0.0],
+                [0.0, 0.0, 1.0, 1.0],
+            ]
+        )
+        s_a, s_b, _ = simrank_bipartite(w, tol=1e-8, max_iter=300)
+        assert s_a[0, 1] > s_a[0, 2]
+        assert s_a[0, 1] > 0.5
+        # B0/B1 shared by the same As
+        assert s_b[0, 1] > s_b[0, 2]
+
+    def test_values_bounded(self):
+        rng = np.random.default_rng(0)
+        w = (rng.random((8, 10)) < 0.3).astype(float)
+        s_a, s_b, _ = simrank_bipartite(w, tol=1e-6)
+        for s in (s_a, s_b):
+            assert s.min() >= 0 and s.max() <= 1 + 1e-12
+            assert np.allclose(s, s.T)
+
+    def test_empty_side(self):
+        s_a, s_b, info = simrank_bipartite(np.zeros((0, 3)))
+        assert s_a.shape == (0, 0) and s_b.shape == (3, 3)
+        assert info.converged
+
+    def test_c_validated(self):
+        with pytest.raises(ValueError):
+            simrank_bipartite(np.ones((2, 2)), c=-0.1)

@@ -1,0 +1,162 @@
+"""Edge-case and failure-injection tests across modules.
+
+Degenerate inputs the library must handle gracefully: empty types,
+single-node networks, all-identical data, saturated/disconnected graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import kmeans, scan, spectral_clustering
+from repro.core import NetClus, RankClus
+from repro.datasets import make_dblp_four_area
+from repro.integration import Distinct, TruthFinder
+from repro.networks import HIN, Graph, NetworkSchema
+from repro.olap import Dimension, InfoNetCube
+from repro.ranking import authority_ranking, pagerank
+from repro.similarity import PathSim, simrank
+
+
+class TestEmptyAndTinyNetworks:
+    def test_hin_with_empty_type(self):
+        schema = NetworkSchema(["a", "b"], [("r", "a", "b")])
+        hin = HIN.from_edges(schema, nodes={"a": 3, "b": 0}, edges={})
+        assert hin.node_count("b") == 0
+        assert hin.commuting_matrix("a-b-a").shape == (3, 3)
+
+    def test_pathsim_on_empty_relation(self):
+        schema = NetworkSchema(["a", "b"], [("r", "a", "b")])
+        hin = HIN.from_edges(schema, nodes={"a": 3, "b": 2}, edges={})
+        ps = PathSim("a-b-a").fit(hin)
+        assert ps.similarity(0, 1) == 0.0
+        assert ps.top_k(0, 2) == [(1, 0.0), (2, 0.0)]
+
+    def test_single_node_graph_measures(self):
+        from repro.measures import average_path_length, density, diameter
+
+        g = Graph.empty(1)
+        assert density(g) == 0.0
+        assert diameter(g) == 0.0
+        assert average_path_length(g) == 0.0
+
+    def test_scan_on_complete_graph(self):
+        n = 6
+        g = Graph.from_edges(
+            n, [(i, j) for i in range(n) for j in range(i + 1, n)]
+        )
+        result = scan(g, eps=0.9, mu=2)
+        assert result.n_clusters == 1
+        assert (result.labels == 0).all()
+
+    def test_spectral_on_disconnected_components(self):
+        g = Graph.from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        labels = spectral_clustering(g, 2, seed=0)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+
+class TestDegenerateModelInputs:
+    def test_rankclus_k_equals_n(self):
+        w = np.eye(4) + 0.1
+        model = RankClus(n_clusters=4, seed=0, max_iter=5, n_init=2).fit(w)
+        assert len(set(model.labels_.tolist())) == 4
+
+    def test_rankclus_target_without_links(self):
+        w = np.zeros((5, 6))
+        w[:4, :4] = np.eye(4) * 3
+        model = RankClus(n_clusters=2, seed=0, max_iter=5, n_init=2).fit(w)
+        assert model.labels_.shape == (5,)
+
+    def test_netclus_k_one(self):
+        dblp = make_dblp_four_area(
+            authors_per_area=10, papers_per_area=20, seed=0
+        )
+        model = NetClus(n_clusters=1, seed=0, n_init=1, max_iter=3).fit(dblp.hin)
+        assert (model.labels_ == 0).all()
+
+    def test_authority_ranking_zero_matrix(self):
+        r = authority_ranking(np.zeros((3, 4)))
+        assert np.allclose(r.target_scores, 1 / 3)
+        assert np.allclose(r.attribute_scores, 1 / 4)
+
+    def test_pagerank_all_dangling(self):
+        g = Graph.empty(4)
+        g2 = Graph(g.adjacency, directed=True)
+        scores, info = pagerank(g2)
+        assert np.allclose(scores, 0.25)
+        assert info.converged
+
+    def test_simrank_star(self):
+        g = Graph.from_edges(4, [(0, 1), (0, 2), (0, 3)])
+        s, _ = simrank(g, tol=1e-6)
+        # the three leaves are structurally identical
+        assert s[1, 2] == pytest.approx(s[2, 3])
+        assert s[1, 2] > s[0, 1]
+
+    def test_kmeans_single_point(self):
+        result = kmeans(np.array([[1.0, 2.0]]), 1, seed=0)
+        assert result.labels.tolist() == [0]
+        assert result.inertia == 0.0
+
+    def test_truthfinder_single_source_single_fact(self):
+        tf = TruthFinder().fit([("s", "o", 42)])
+        assert tf.truth_["o"] == 42
+
+    def test_truthfinder_unanimous(self):
+        claims = [(f"s{i}", "o", 7) for i in range(5)]
+        tf = TruthFinder().fit(claims)
+        assert tf.truth_["o"] == 7
+        assert all(t > 0.5 for t in tf.source_trust_.values())
+
+    def test_distinct_identical_references(self):
+        refs = np.tile(np.array([1.0, 0.0, 1.0, 0.0]), (4, 1))
+        model = Distinct(threshold=0.5).fit(refs)
+        assert model.n_entities_ == 1
+
+
+class TestCubeEdgeCases:
+    def test_single_value_dimension(self):
+        schema = NetworkSchema(["f", "a"], [("r", "f", "a")])
+        hin = HIN.from_edges(
+            schema, nodes={"f": 5, "a": 2}, edges={"r": [(i, 0) for i in range(5)]}
+        )
+        cube = InfoNetCube(hin, "f", [Dimension("d", ["x"] * 5)])
+        cells = cube.group_by("d")
+        assert len(cells) == 1 and cells[0].count == 5
+
+    def test_cell_with_no_links(self):
+        schema = NetworkSchema(["f", "a"], [("r", "f", "a")])
+        hin = HIN.from_edges(schema, nodes={"f": 3, "a": 2}, edges={})
+        cube = InfoNetCube(hin, "f", [Dimension("d", ["x", "x", "y"])])
+        cell = cube.cell(d="x")
+        assert cell.link_count() == 0
+        assert cell.attribute_count("a") == 0
+        assert cell.top_ranked("a", 3) == []
+
+    def test_mixed_type_dimension_values(self):
+        schema = NetworkSchema(["f", "a"], [("r", "f", "a")])
+        hin = HIN.from_edges(schema, nodes={"f": 4, "a": 1}, edges={})
+        cube = InfoNetCube(hin, "f", [Dimension("d", [1, "one", 1, "one"])])
+        assert len(cube.group_by("d")) == 2
+
+
+class TestWeightedGraphHandling:
+    def test_scan_ignores_weights(self):
+        edges_w = [(0, 1, 9.0), (1, 2, 0.1), (0, 2, 5.0)]
+        edges_u = [(0, 1), (1, 2), (0, 2)]
+        a = scan(Graph.from_edges(3, edges_w), eps=0.5, mu=2)
+        b = scan(Graph.from_edges(3, edges_u), eps=0.5, mu=2)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_pagerank_respects_weights(self):
+        g = Graph.from_edges(3, [(0, 1, 100.0), (0, 2, 1.0)], directed=True)
+        scores, _ = pagerank(g)
+        assert scores[1] > scores[2]
+
+    def test_projection_weight_accumulation(self, small_bib):
+        g = small_bib.homogeneous_projection("paper-author-paper")
+        # p0 and p1 share two authors
+        assert g.edge_weight(0, 1) == 2.0

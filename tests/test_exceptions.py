@@ -1,0 +1,65 @@
+"""Unit tests for the exception hierarchy's contracts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    ColumnNotFoundError,
+    ConvergenceWarning,
+    CubeError,
+    DataWarning,
+    DimensionError,
+    EdgeError,
+    ForeignKeyError,
+    GraphError,
+    MetaPathError,
+    NodeNotFoundError,
+    NotFittedError,
+    RelationNotFoundError,
+    RelationalError,
+    ReproError,
+    SchemaError,
+    TableNotFoundError,
+    TypeNotFoundError,
+)
+
+
+class TestHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for exc in (
+            GraphError, NodeNotFoundError, EdgeError, SchemaError,
+            MetaPathError, RelationNotFoundError, TypeNotFoundError,
+            RelationalError, TableNotFoundError, ColumnNotFoundError,
+            ForeignKeyError, CubeError, DimensionError, NotFittedError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_lookup_errors_are_key_errors(self):
+        for exc in (
+            NodeNotFoundError, RelationNotFoundError, TypeNotFoundError,
+            TableNotFoundError, ColumnNotFoundError, DimensionError,
+        ):
+            assert issubclass(exc, KeyError)
+
+    def test_not_fitted_is_runtime_error(self):
+        assert issubclass(NotFittedError, RuntimeError)
+
+    def test_warnings_are_user_warnings(self):
+        assert issubclass(ConvergenceWarning, UserWarning)
+        assert issubclass(DataWarning, UserWarning)
+
+    def test_keyerror_str_is_readable(self):
+        # plain KeyError str() repr()s its message; ours must not
+        err = NodeNotFoundError("no node named 'x'")
+        assert str(err) == "no node named 'x'"
+
+    def test_single_catch_point(self):
+        from repro.networks import Graph
+
+        with pytest.raises(ReproError):
+            Graph.empty(2).neighbors(99)
+        from repro.relational import Database
+
+        with pytest.raises(ReproError):
+            Database().table("missing")

@@ -1,0 +1,76 @@
+"""Public-API regression guard: every documented name imports and
+every subpackage's ``__all__`` is truthful."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+SUBPACKAGES = [
+    "repro",
+    "repro.networks",
+    "repro.relational",
+    "repro.measures",
+    "repro.ranking",
+    "repro.similarity",
+    "repro.clustering",
+    "repro.core",
+    "repro.integration",
+    "repro.classification",
+    "repro.olap",
+    "repro.datasets",
+    "repro.utils",
+]
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_all_names_resolve(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__"), f"{name} must declare __all__"
+    for symbol in module.__all__:
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_headline_classes_reachable_from_root():
+    import repro
+
+    assert repro.core.RankClus
+    assert repro.core.NetClus
+    assert repro.similarity.PathSim
+    assert repro.integration.TruthFinder
+    assert repro.integration.CopyAwareTruthFinder
+    assert repro.classification.CrossMine
+    assert repro.classification.GNetMine
+    assert repro.clustering.LinkClus
+    assert repro.clustering.CrossClus
+    assert repro.olap.InfoNetCube
+
+
+def test_module_docstrings_exist():
+    for name in SUBPACKAGES:
+        module = importlib.import_module(name)
+        assert module.__doc__, f"{name} needs a module docstring"
+
+
+def test_quickstart_docstring_flow():
+    # the README quickstart, executed
+    from repro.core import NetClus
+    from repro.datasets import make_dblp_four_area
+    from repro.similarity import PathSim
+
+    dblp = make_dblp_four_area(
+        authors_per_area=20, papers_per_area=40, seed=0
+    )
+    model = NetClus(n_clusters=4, seed=0, n_init=2, max_iter=5).fit(dblp.hin)
+    tops = [v for v, _ in model.top_objects("venue", 0, 3)]
+    assert len(tops) == 3
+    ps = PathSim("venue-paper-author-paper-venue").fit(dblp.hin)
+    peers = ps.top_k("SIGMOD", 3)
+    assert len(peers) == 3
