@@ -2,15 +2,16 @@
 """Quickstart: from a relational database to ranked clusters in ~40 lines.
 
 Builds a tiny bibliographic database with foreign keys, turns it into a
-heterogeneous information network (the tutorial's opening move), and runs
+heterogeneous information network (the tutorial's opening move), runs
 RankClus to get clusters of venues *with* their conditional author
-rankings — the "clustering and ranking are one task" demonstration.
+rankings — the "clustering and ranking are one task" demonstration — and
+serves top-k PathSim queries through the network's meta-path engine.
 
 Run:  python examples/quickstart.py
 """
 
 from repro.core import RankClus
-from repro.datasets import make_bitype_network
+from repro.datasets import make_bitype_network, make_dblp_four_area
 from repro.relational import Database, LinkSpec, Table, build_hin
 
 
@@ -64,6 +65,23 @@ def rank_while_clustering() -> None:
     print()
 
 
+def serve_pathsim_queries() -> None:
+    """Top-k peer search through the shared meta-path engine."""
+    dblp = make_dblp_four_area(seed=0)
+    engine = dblp.hin.engine()
+
+    print("=== PathSim serving: who is similar to SIGMOD? ===")
+    for venue, score in engine.pathsim_top_k(
+        "venue-paper-author-paper-venue", "SIGMOD", k=4
+    ):
+        print(f"  {venue:8s} {score:.3f}")
+    info = engine.cache_info()
+    print(f"engine cache: {info.currsize} matrices, "
+          f"{info.hits} hits / {info.misses} misses")
+    print()
+
+
 if __name__ == "__main__":
     database_to_network()
     rank_while_clustering()
+    serve_pathsim_queries()

@@ -24,6 +24,7 @@ from repro import (
     clustering,
     core,
     datasets,
+    engine,
     integration,
     measures,
     networks,
@@ -32,6 +33,7 @@ from repro import (
     relational,
     similarity,
 )
+from repro.engine import MetaPathEngine
 from repro.exceptions import ReproError
 from repro.networks import HIN, Graph, MetaPath, NetworkSchema, Relation
 
@@ -43,8 +45,10 @@ __all__ = [
     "NetworkSchema",
     "Relation",
     "MetaPath",
+    "MetaPathEngine",
     "ReproError",
     "networks",
+    "engine",
     "relational",
     "measures",
     "ranking",

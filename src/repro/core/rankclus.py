@@ -147,12 +147,17 @@ class RankClus:
                 raise ValueError(
                     "target_type and attribute_type are required with hin="
                 )
+            # Route matrix construction through the network's shared
+            # engine: refitting (other K, other paths over shared
+            # prefixes) reuses materialized products instead of
+            # rebuilding them.
+            engine = hin.engine()
             if target_attribute_path is None:
-                w_xy = hin.matrix_between(target_type, attribute_type)
+                w_xy = engine.matrix_between(target_type, attribute_type)
             else:
-                w_xy = hin.commuting_matrix(target_attribute_path)
+                w_xy = engine.commuting_matrix(target_attribute_path)
             if attribute_attribute_path is not None:
-                w_yy = hin.commuting_matrix(attribute_attribute_path)
+                w_yy = engine.commuting_matrix(attribute_attribute_path)
         if w_xy is None:
             raise ValueError("either w_xy or hin= must be provided")
         w = to_csr(w_xy)

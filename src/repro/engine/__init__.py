@@ -1,0 +1,13 @@
+"""Meta-path query engine: shared materialization + top-k serving.
+
+This package is the serving layer between the network structures
+(:mod:`repro.networks`) and the algorithms that consume meta-path
+products (:mod:`repro.similarity`, :mod:`repro.core`, :mod:`repro.olap`).
+See :mod:`repro.engine.engine` for the design and
+``docs/ARCHITECTURE.md`` for how it fits the layer diagram.
+"""
+
+from repro.engine.engine import MetaPathEngine
+from repro.engine.topk import top_k_indices
+
+__all__ = ["MetaPathEngine", "top_k_indices"]

@@ -133,6 +133,8 @@ class HIN:
                 self._matrices[rel.name] = sp.csr_matrix(
                     (self._counts[rel.source], self._counts[rel.target])
                 )
+        self._transposes: dict[str, sp.csr_matrix] = {}
+        self._engine = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -251,6 +253,24 @@ class HIN:
         except KeyError:
             raise RelationNotFoundError(f"no relation named {name!r}") from None
 
+    def oriented_matrix(self, relation: str | Relation, forward: bool = True) -> sp.csr_matrix:
+        """Relation matrix oriented along the traversal direction.
+
+        ``forward=True`` is the declared ``source -> target`` orientation;
+        ``forward=False`` returns the transpose, converted to CSR once and
+        cached — meta-path products traverse relations backwards
+        constantly, and re-transposing per query is pure waste.
+        """
+        name = relation.name if isinstance(relation, Relation) else relation
+        m = self.relation_matrix(name)
+        if forward:
+            return m
+        cached = self._transposes.get(name)
+        if cached is None:
+            cached = m.T.tocsr()
+            self._transposes[name] = cached
+        return cached
+
     def matrix_between(self, source: str, target: str) -> sp.csr_matrix:
         """Matrix of the unique relation joining *source* and *target*,
         oriented ``source -> target`` (transposed if declared the other way).
@@ -266,8 +286,7 @@ class HIN:
                 f"use relation_matrix() with an explicit name"
             )
         rel = rels[0]
-        m = self._matrices[rel.name]
-        return m if rel.source == source else m.T.tocsr()
+        return self.oriented_matrix(rel, rel.source == source)
 
     # ------------------------------------------------------------------
     # Meta-path machinery
@@ -276,20 +295,47 @@ class HIN:
         """Resolve *spec* (string / list of types / MetaPath) against the schema."""
         return self.schema.meta_path(spec)
 
+    def step_matrices(self, path) -> list[sp.csr_matrix]:
+        """The oriented relation matrices of *path*'s steps, in order.
+
+        Each matrix maps the step's from-type to its to-type; their product
+        is the commuting matrix.  Backward traversals come from the
+        transpose cache (:meth:`oriented_matrix`).
+        """
+        mp = self.meta_path(path)
+        return [self.oriented_matrix(rel, forward) for rel, forward in mp.steps()]
+
     def commuting_matrix(self, path) -> sp.csr_matrix:
         """The commuting matrix ``M_P`` of meta-path *path*.
 
         ``M_P[i, j]`` counts the path instances from node *i* of the source
         type to node *j* of the target type — the quantity at the heart of
         PathSim and of meta-path-based features.
+
+        This computes the product fresh on every call; query-serving code
+        should go through :meth:`engine`, which memoizes the products (and
+        their shared prefixes) in an LRU-bounded cache.
         """
-        mp = self.meta_path(path)
         product: sp.csr_matrix | None = None
-        for rel, forward in mp.steps():
-            m = self._matrices[rel.name]
-            step = m if forward else m.T.tocsr()
+        for step in self.step_matrices(path):
             product = step if product is None else product.dot(step)
         return product.tocsr()
+
+    def engine(self, **kwargs):
+        """The :class:`~repro.engine.MetaPathEngine` attached to this network.
+
+        Created on first use and memoized, so every caller — PathSim,
+        RankClus, NetClus, OLAP — shares one commuting-matrix cache.
+        Keyword arguments (e.g. ``max_cached_matrices``) construct a fresh,
+        unattached engine instead of the shared one.
+        """
+        from repro.engine import MetaPathEngine
+
+        if kwargs:
+            return MetaPathEngine(self, **kwargs)
+        if self._engine is None:
+            self._engine = MetaPathEngine(self)
+        return self._engine
 
     def homogeneous_projection(self, path, *, remove_self_loops: bool = True) -> Graph:
         """Project the HIN onto a homogeneous graph along meta-path *path*.

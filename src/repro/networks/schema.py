@@ -348,6 +348,26 @@ class MetaPath:
     def target_type(self) -> str:
         return self._steps[-1].to_type
 
+    def canonical_key(self) -> tuple[tuple[str, bool], ...]:
+        """Hashable canonical form: one ``(relation name, forward)`` pair per step.
+
+        Two specs that traverse the same relations in the same directions
+        produce equal keys regardless of how they were written (string,
+        type list, or explicit :class:`MetaPath`), so caches keyed on this
+        value — the commuting-matrix cache of :mod:`repro.engine` — share
+        materializations across spellings, and a prefix of a longer path
+        keys the same entry as the shorter path itself.
+        """
+        return tuple((s.relation.name, s.forward) for s in self._steps)
+
+    def prefix(self, length: int) -> "MetaPath":
+        """The sub-path consisting of the first *length* steps."""
+        if not 1 <= length <= self.length:
+            raise MetaPathError(
+                f"prefix length must be in [1, {self.length}], got {length}"
+            )
+        return MetaPath(self._steps[:length])
+
     def is_symmetric(self) -> bool:
         """True when the path reads the same forwards and backwards.
 

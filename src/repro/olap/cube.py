@@ -112,7 +112,7 @@ class CubeCell:
 
     def attribute_count(self, node_type: str) -> int:
         """Distinct objects of *node_type* linked to the cell's members."""
-        m = self._cube.hin.matrix_between(self._cube.center_type, node_type)
+        m = self._cube.hin.engine().matrix_between(self._cube.center_type, node_type)
         sub = m[self.members]
         return int(np.unique(sub.tocoo().col).size)
 
@@ -120,7 +120,7 @@ class CubeCell:
         """Ranked measure: top-*k* attribute objects within the cell
         (degree-share ranking of the cell's sub-network).  A cell whose
         members carry no links of this relation ranks nothing."""
-        m = self._cube.hin.matrix_between(self._cube.center_type, node_type)
+        m = self._cube.hin.engine().matrix_between(self._cube.center_type, node_type)
         sub = m[self.members]
         if sub.nnz == 0:
             return []

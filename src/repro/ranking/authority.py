@@ -165,15 +165,16 @@ def rank_bi_type(
     ``attribute_attribute_path`` (e.g. ``"author-paper-author"``) supplies
     the W_YY matrix for authority ranking's propagation step.
     """
+    engine = hin.engine()
     if target_attribute_path is None:
-        w_xy = hin.matrix_between(target_type, attribute_type)
+        w_xy = engine.matrix_between(target_type, attribute_type)
     else:
         mp = hin.meta_path(target_attribute_path)
         if (mp.source_type, mp.target_type) != (target_type, attribute_type):
             raise ValueError(
                 f"path {mp} does not go {target_type!r} -> {attribute_type!r}"
             )
-        w_xy = hin.commuting_matrix(mp)
+        w_xy = engine.commuting_matrix(mp)
     if method == "simple":
         return simple_ranking(w_xy)
     if method != "authority":
@@ -185,5 +186,5 @@ def rank_bi_type(
             raise ValueError(
                 f"path {mp} does not go {attribute_type!r} -> {attribute_type!r}"
             )
-        w_yy = hin.commuting_matrix(mp)
+        w_yy = engine.commuting_matrix(mp)
     return authority_ranking(w_xy, w_yy, alpha=alpha, **kwargs)

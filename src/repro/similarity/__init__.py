@@ -1,4 +1,11 @@
-"""Similarity measures: SimRank, meta-path measures, and PathSim top-k search."""
+"""Similarity measures: SimRank, meta-path measures, and PathSim top-k search.
+
+The meta-path family (PathSim and its comparison measures) is served by
+the network's shared :class:`~repro.engine.MetaPathEngine`, so sweeping
+several measures — or fitting several indices — over the same paths
+materializes each commuting matrix once.  SimRank is graph-based and
+independent of the engine.
+"""
 
 from repro.similarity.metapath import (
     pairwise_random_walk_matrix,

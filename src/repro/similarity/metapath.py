@@ -12,12 +12,14 @@ meta-path commuting matrix ``M`` into a similarity:
 * **PathSim** — the normalized measure in :mod:`repro.similarity.pathsim`.
 
 All helpers take the HIN plus a path spec, so benchmark code can sweep
-measures uniformly.
+measures uniformly.  Commuting matrices and half-path products come from
+the network's shared :class:`~repro.engine.MetaPathEngine`, so sweeping
+several measures over the same path materializes each product once; pass
+``engine=`` to use an isolated cache instead.
 """
 
 from __future__ import annotations
 
-import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import MetaPathError
@@ -32,12 +34,13 @@ __all__ = [
 ]
 
 
-def path_count_matrix(hin: HIN, path) -> sp.csr_matrix:
-    """Raw path-instance counts ``M_P`` (alias of ``hin.commuting_matrix``)."""
-    return hin.commuting_matrix(path)
+def path_count_matrix(hin: HIN, path, *, engine=None) -> sp.csr_matrix:
+    """Raw path-instance counts ``M_P`` (the engine's cached commuting matrix)."""
+    engine = engine if engine is not None else hin.engine()
+    return engine.commuting_matrix(path)
 
 
-def random_walk_matrix(hin: HIN, path) -> sp.csr_matrix:
+def random_walk_matrix(hin: HIN, path, *, engine=None) -> sp.csr_matrix:
     """Row-stochastic walk probabilities along the meta-path.
 
     ``RW[x, y]`` is the probability that a random walker constrained to
@@ -45,7 +48,8 @@ def random_walk_matrix(hin: HIN, path) -> sp.csr_matrix:
     attract probability mass regardless of the source's perspective —
     exactly the bias PathSim was designed to remove.
     """
-    return row_normalize(hin.commuting_matrix(path))
+    engine = engine if engine is not None else hin.engine()
+    return row_normalize(engine.commuting_matrix(path))
 
 
 def path_constrained_random_walk(hin: HIN, path) -> sp.csr_matrix:
@@ -58,41 +62,33 @@ def path_constrained_random_walk(hin: HIN, path) -> sp.csr_matrix:
     path-constrained relational retrieval (Lao & Cohen), one of PathSim's
     comparison points.
     """
-    mp = hin.meta_path(path)
     product: sp.csr_matrix | None = None
-    for rel, forward in mp.steps():
-        m = hin.relation_matrix(rel.name)
-        step = row_normalize(m if forward else m.T.tocsr())
+    for m in hin.step_matrices(path):
+        step = row_normalize(m)
         product = step if product is None else product.dot(step)
     return product.tocsr()
 
 
-def pairwise_random_walk_matrix(hin: HIN, path) -> sp.csr_matrix:
+def pairwise_random_walk_matrix(hin: HIN, path, *, engine=None) -> sp.csr_matrix:
     """Pairwise random walk: both endpoints walk half the path and meet.
 
     Requires an even-length path; splits it as ``P = (P₁, P₂)`` at the
     midpoint and returns ``PRW[x, y] = Σ_m RW₁[x, m] · RW₂ᵀ[m, y]`` where
-    both halves are row-normalized from their own endpoint.
+    both halves are row-normalized from their own endpoint.  The two
+    un-normalized half products are engine materializations, shared with
+    any PathSim index on the same path.
     """
-    mp = hin.meta_path(path)
+    engine = engine if engine is not None else hin.engine()
+    mp = engine.path(path)
     if mp.length % 2 != 0:
         raise MetaPathError(
             f"pairwise random walk needs an even-length path, got length {mp.length}"
         )
-    steps = mp.steps()
-    half = len(steps) // 2
-
-    first = None
-    for rel, forward in steps[:half]:
-        m = hin.relation_matrix(rel.name)
-        step = m if forward else m.T.tocsr()
-        first = step if first is None else first.dot(step)
-    second = None
-    # Second half traversed backwards from the path's target endpoint.
-    for rel, forward in reversed(steps[half:]):
-        m = hin.relation_matrix(rel.name)
-        step = m.T.tocsr() if forward else m
-        second = step if second is None else second.dot(step)
+    half = mp.length // 2
+    first = engine.commuting_matrix(mp.prefix(half))
+    # Second half traversed backwards from the path's target endpoint —
+    # i.e. the first half of the reversed path.
+    second = engine.commuting_matrix(mp.reversed().prefix(half))
     rw1 = row_normalize(first)
     rw2 = row_normalize(second)
     return rw1.dot(rw2.T.tocsr()).tocsr()

@@ -9,50 +9,48 @@ random-walk measures, the normalization by self-visibility stops hugely
 prolific objects (e.g. mega-conferences) from dominating every ranking —
 the property the PathSim case study ("who is similar to SIGMOD?")
 demonstrates.
+
+Queries are served by the network's shared
+:class:`~repro.engine.MetaPathEngine` (``hin.engine()``): the symmetric
+half-product ``W`` (``M = W W^T``) is materialized once into the engine's
+LRU cache, single-source queries slice one sparse row of ``W`` instead of
+building the n×n matrix, and every other consumer of the same meta-path
+(or of a shared prefix) reuses the materialization.
 """
 
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as sp
 
-from repro.exceptions import MetaPathError, NotFittedError
+from repro.exceptions import NotFittedError
 from repro.networks.hin import HIN
 
 __all__ = ["PathSim", "pathsim_matrix"]
 
 
-def pathsim_matrix(hin: HIN, path) -> np.ndarray:
+def pathsim_matrix(hin: HIN, path, *, engine=None) -> np.ndarray:
     """Dense all-pairs PathSim matrix for a symmetric meta-path.
 
     Values are in [0, 1] with unit diagonal for every object that has at
     least one path instance to itself; objects with zero self-count (no
     participation in the path) have similarity 0 everywhere, diagonal
     included — they are invisible under this meta-path.
+
+    This is the full-materialization entry point; for serving queries use
+    :class:`PathSim` or the engine's row/top-k methods directly.
     """
-    mp = hin.meta_path(path)
-    if not mp.is_symmetric():
-        raise MetaPathError(
-            f"PathSim requires a symmetric meta-path, got {mp}"
-        )
-    m = hin.commuting_matrix(mp)
-    diag = m.diagonal()
-    denom = diag[:, None] + diag[None, :]
-    dense = m.toarray()
-    out = np.divide(
-        2.0 * dense,
-        denom,
-        out=np.zeros_like(dense),
-        where=denom != 0,
-    )
-    return out
+    engine = engine if engine is not None else hin.engine()
+    return engine.pathsim_matrix(path)
 
 
 class PathSim:
     """Reusable PathSim index over one HIN and one symmetric meta-path.
 
-    Computes the commuting matrix once at :meth:`fit`; queries then run on
-    the sparse structure, so repeated top-k searches stay cheap.
+    A thin, sklearn-style view over the network's shared
+    :class:`~repro.engine.MetaPathEngine`: :meth:`fit` validates the path
+    and materializes its symmetric decomposition into the engine's cache;
+    queries then run on sparse row slices, so repeated top-k searches stay
+    cheap — and two ``PathSim`` objects on the same HIN share the work.
 
     Example
     -------
@@ -63,32 +61,28 @@ class PathSim:
 
     def __init__(self, path):
         self.path = path
-        self._m: sp.csr_matrix | None = None
-        self._diag: np.ndarray | None = None
-        self._hin: HIN | None = None
+        self._engine = None
+        self._mp = None
         self._type: str | None = None
 
-    def fit(self, hin: HIN) -> "PathSim":
-        """Compute and cache the commuting matrix of the meta-path."""
-        mp = hin.meta_path(self.path)
-        if not mp.is_symmetric():
-            raise MetaPathError(f"PathSim requires a symmetric meta-path, got {mp}")
-        self._m = hin.commuting_matrix(mp)
-        self._diag = self._m.diagonal()
-        self._hin = hin
+    def fit(self, hin: HIN, *, engine=None) -> "PathSim":
+        """Validate the path and materialize its commuting-matrix parts.
+
+        ``engine`` overrides the network's shared engine (useful for an
+        isolated cache in tests); by default ``hin.engine()`` is used.
+        """
+        eng = engine if engine is not None else hin.engine()
+        mp = eng.symmetric_path(self.path)
+        eng.prewarm([mp])
+        self._engine = eng
+        self._mp = mp
         self._type = mp.source_type
         return self
 
     # ------------------------------------------------------------------
     def _check_fitted(self) -> None:
-        if self._m is None:
+        if self._engine is None:
             raise NotFittedError("call fit(hin) before querying PathSim")
-
-    def _resolve(self, obj) -> int:
-        self._check_fitted()
-        if isinstance(obj, (int, np.integer)):
-            return int(obj)
-        return self._hin.index_of(self._type, obj)
 
     @property
     def object_type(self) -> str:
@@ -98,21 +92,13 @@ class PathSim:
 
     def similarity(self, x, y) -> float:
         """PathSim score between two objects (indices or names)."""
-        i, j = self._resolve(x), self._resolve(y)
-        denom = self._diag[i] + self._diag[j]
-        if denom == 0:
-            return 0.0
-        return float(2.0 * self._m[i, j] / denom)
+        self._check_fitted()
+        return self._engine.pathsim(self._mp, x, y)
 
     def similarities_from(self, x) -> np.ndarray:
         """PathSim scores from *x* to every object of the type."""
-        i = self._resolve(x)
-        row = np.asarray(self._m.getrow(i).todense()).ravel()
-        denom = self._diag[i] + self._diag
-        return np.divide(
-            2.0 * row, denom, out=np.zeros_like(row, dtype=np.float64),
-            where=denom != 0,
-        )
+        self._check_fitted()
+        return self._engine.pathsim_row(self._mp, x)
 
     def top_k(self, x, k: int, *, exclude_self: bool = True) -> list[tuple]:
         """Top-*k* most similar objects to *x*.
@@ -122,25 +108,19 @@ class PathSim:
         path instance with *x* (others score 0 and are omitted unless
         needed to fill *k*).
         """
-        if k < 0:
-            raise ValueError(f"k must be >= 0, got {k}")
-        i = self._resolve(x)
-        scores = self.similarities_from(i)
-        order = np.argsort(-scores, kind="stable")
-        out: list[tuple] = []
-        for j in order:
-            if exclude_self and j == i:
-                continue
-            out.append((self._hin.name_of(self._type, int(j)), float(scores[j])))
-            if len(out) == k:
-                break
-        return out
+        self._check_fitted()
+        return self._engine.pathsim_top_k(
+            self._mp, x, k, exclude_query=exclude_self
+        )
+
+    def top_k_batch(self, xs, k: int, *, exclude_self: bool = True) -> list[list[tuple]]:
+        """:meth:`top_k` for many queries via one sparse block product."""
+        self._check_fitted()
+        return self._engine.pathsim_top_k_batch(
+            self._mp, xs, k, exclude_query=exclude_self
+        )
 
     def matrix(self) -> np.ndarray:
         """Dense all-pairs PathSim matrix (see :func:`pathsim_matrix`)."""
         self._check_fitted()
-        denom = self._diag[:, None] + self._diag[None, :]
-        dense = self._m.toarray()
-        return np.divide(
-            2.0 * dense, denom, out=np.zeros_like(dense), where=denom != 0
-        )
+        return self._engine.pathsim_matrix(self._mp)

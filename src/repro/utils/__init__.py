@@ -5,6 +5,7 @@ These helpers are internal plumbing used across every subpackage; the stable
 public names are re-exported here.
 """
 
+from repro.utils.cache import CacheInfo, LRUCache
 from repro.utils.convergence import ConvergenceInfo, IterativeSolverMixin
 from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.utils.sparse import (
@@ -23,6 +24,8 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "CacheInfo",
+    "LRUCache",
     "ConvergenceInfo",
     "IterativeSolverMixin",
     "ensure_rng",

@@ -1,0 +1,111 @@
+"""Bounded LRU caching for materialized matrices.
+
+The meta-path query engine (:mod:`repro.engine`) materializes commuting
+matrices and their symmetric decompositions once and reuses them across
+queries.  Those products can be large, so the cache is bounded: entries
+are evicted least-recently-used first once ``maxsize`` is exceeded.  The
+cache also keeps hit/miss/eviction counters so callers (and benchmarks)
+can verify that sharing actually happens.
+
+Keys must be hashable; the engine uses the canonical step tuple of a
+meta-path (see :meth:`repro.networks.schema.MetaPath.canonical_key`) so
+that two spellings of the same path — or a shared prefix of two
+different paths — land on the same entry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass
+
+__all__ = ["CacheInfo", "LRUCache"]
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Snapshot of an :class:`LRUCache`'s counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    currsize: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0 when untouched)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUCache:
+    """A dict-like mapping bounded to ``maxsize`` entries, LRU eviction.
+
+    Both :meth:`get` and :meth:`put` refresh an entry's recency; counters
+    track hits, misses, and evictions for observability.  Not thread-safe —
+    the engine is a per-process, per-network object.
+    """
+
+    def __init__(self, maxsize: int = 64):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._data: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable, default=None):
+        """Value for *key* (refreshing its recency), or *default*."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value) -> None:
+        """Insert or refresh *key*, evicting the LRU entry when full."""
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], object]):
+        """Cached value for *key*, calling *compute* (and storing) on a miss."""
+        sentinel = object()
+        value = self.get(key, sentinel)
+        if value is sentinel:
+            value = compute()
+            self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept — they describe the lifetime)."""
+        self._data.clear()
+
+    def info(self) -> CacheInfo:
+        """Current :class:`CacheInfo` snapshot."""
+        return CacheInfo(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            currsize=len(self._data),
+            maxsize=self.maxsize,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"LRUCache(size={len(self._data)}/{self.maxsize}, "
+            f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
+        )
