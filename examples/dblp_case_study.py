@@ -1,39 +1,43 @@
 #!/usr/bin/env python
-"""DBLP case study (tutorial §6): NetClus net-clusters, PathSim peers,
-and GNetMine classification on the four-area bibliographic network.
+"""DBLP case study (tutorial §6), served through the unified query facade:
+NetClus net-clusters, PathSim peers, and GNetMine classification on the
+four-area bibliographic network — all from ``hin.query()``.
 
 Reproduces the flavour of the tutorial's flagship demo:
 
-1. NetClus discovers the four research areas and ranks venues/authors
-   *within* each area (the net-cluster view);
-2. PathSim answers "which venues are peers of SIGMOD?" under the
-   venue-paper-author-paper-venue meta-path;
-3. GNetMine classifies every object type from a handful of venue labels.
+1. ``q.cluster("netclus", ...)`` discovers the four research areas and
+   ranks venues/authors *within* each area (the net-cluster view);
+2. ``q.similar(...)`` answers "which venues are peers of SIGMOD?" under
+   the V-P-A-P-V meta-path (DSL abbreviations resolve against the schema);
+3. ``q.classify(...)`` labels every object type from a handful of venue
+   labels.
+
+Every operation runs through the network's shared meta-path engine, so
+the case study's queries share materializations with each other.
 
 Run:  python examples/dblp_case_study.py
 """
 
 import numpy as np
 
-from repro.classification import GNetMine
 from repro.clustering import clustering_accuracy, normalized_mutual_information
-from repro.core import NetClus
 from repro.datasets import AREAS, make_dblp_four_area
-from repro.similarity import PathSim
 
 
 def main() -> None:
     dblp = make_dblp_four_area(seed=0)
     hin = dblp.hin
+    q = hin.query()
     print(f"four-area DBLP network: {hin}\n")
 
     # ------------------------------------------------------------------
-    print("=== NetClus: net-clusters with per-type rankings ===")
-    model = NetClus(n_clusters=4, seed=0).fit(hin)
-    acc = clustering_accuracy(dblp.paper_labels, model.labels_)
-    nmi = normalized_mutual_information(dblp.paper_labels, model.labels_)
-    print(f"paper clustering: accuracy={acc:.3f}  NMI={nmi:.3f}")
-    for c in range(4):
+    print("=== q.cluster('netclus'): net-clusters with per-type rankings ===")
+    clusters = q.cluster("netclus", n_clusters=4, seed=0)
+    acc = clustering_accuracy(dblp.paper_labels, clusters.labels)
+    nmi = normalized_mutual_information(dblp.paper_labels, clusters.labels)
+    print(f"paper clustering: accuracy={acc:.3f}  NMI={nmi:.3f}  {clusters}")
+    model = clusters.model  # the fitted NetClus, for per-type rankings
+    for c in range(clusters.n_clusters):
         venues = [name for name, _ in model.top_objects("venue", c, 5)]
         authors = [name for name, _ in model.top_objects("author", c, 3)]
         print(f"  net-cluster {c}: venues={venues}")
@@ -41,27 +45,36 @@ def main() -> None:
     print()
 
     # ------------------------------------------------------------------
-    print("=== PathSim: who is similar to SIGMOD? (V-P-A-P-V) ===")
-    ps = PathSim("venue-paper-author-paper-venue").fit(hin)
+    print("=== q.similar: who is similar to SIGMOD? (V-P-A-P-V) ===")
     for venue in ("SIGMOD", "KDD", "ICML"):
-        peers = ps.top_k(venue, 4)
+        peers = q.similar(venue, "V-P-A-P-V", k=4)
         print(f"  {venue:7s} -> {[(n, round(s, 3)) for n, s in peers]}")
     print()
 
     # ------------------------------------------------------------------
-    print("=== GNetMine: classify everything from 20 venue labels ===")
-    venue_mask = np.ones(20, dtype=bool)
-    gnm = GNetMine().fit(hin, seeds={"venue": (dblp.venue_labels, venue_mask)})
+    print("=== q.rank: global venue authority (through papers/authors) ===")
+    for venue, score in q.rank("venue", by="author").top(5):
+        print(f"  {venue:8s} {score:.3f}")
+    print()
+
+    # ------------------------------------------------------------------
+    print("=== q.classify: label everything from 20 venue labels ===")
+    venue_mask = np.ones(hin.node_count("venue"), dtype=bool)
+    predictions = q.classify({"venue": (dblp.venue_labels, venue_mask)})
     for t, truth in (
         ("paper", dblp.paper_labels),
         ("author", dblp.author_labels),
     ):
-        acc_t = (gnm.labels_[t] == truth).mean()
+        acc_t = (predictions.for_type(t) == truth).mean()
         print(f"  {t:7s} accuracy: {acc_t:.3f}")
     area_names = {i: a for i, a in enumerate(AREAS)}
     sample = hin.names("author")[:3]
-    preds = [area_names[int(gnm.labels_["author"][i])] for i in range(3)]
+    preds = [area_names[int(predictions.for_type("author")[i])] for i in range(3)]
     print(f"  e.g. {sample} -> {preds}")
+
+    info = q.cache_info()
+    print(f"\nshared engine cache after the whole case study: "
+          f"{info.currsize} matrices, {info.hits} hits / {info.misses} misses")
 
 
 if __name__ == "__main__":

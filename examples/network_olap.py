@@ -1,41 +1,42 @@
 #!/usr/bin/env python
-"""OLAP on an information network (tutorial §7(c)).
+"""OLAP on an information network (tutorial §7(c)), via the query facade.
 
 Builds an information-network cube over the DBLP four-area network with
-an *area* dimension (with a concept hierarchy) and a *year* dimension,
-then walks through the cube algebra: group-by, point cells with ranked
+an *area* dimension (with a concept hierarchy) and a *year* dimension —
+declared as a plain mapping through ``hin.query().olap(...)`` — then
+walks through the cube algebra: group-by, point cells with ranked
 measures, slice, dice, and roll-up.
 
 Run:  python examples/network_olap.py
 """
 
 from repro.datasets import AREAS, make_dblp_four_area
-from repro.olap import Dimension, InfoNetCube
 
 
 def main() -> None:
     dblp = make_dblp_four_area(seed=0)
+    q = dblp.hin.query()
 
-    area_dim = Dimension(
-        "area",
-        [AREAS[a] for a in dblp.paper_labels],
-        hierarchies={
-            "field": {
-                "database": "systems",
-                "data_mining": "analytics",
-                "info_retrieval": "analytics",
-                "machine_learning": "analytics",
-            }
-        },
+    cube = q.olap(
+        {
+            "area": (
+                [AREAS[a] for a in dblp.paper_labels],
+                {
+                    "field": {
+                        "database": "systems",
+                        "data_mining": "analytics",
+                        "info_retrieval": "analytics",
+                        "machine_learning": "analytics",
+                    }
+                },
+            ),
+            "year": (
+                dblp.paper_years.tolist(),
+                {"era": {y: f"{(y // 5) * 5}-{(y // 5) * 5 + 4}"
+                         for y in range(1990, 2015)}},
+            ),
+        }
     )
-    year_dim = Dimension(
-        "year",
-        dblp.paper_years.tolist(),
-        hierarchies={
-            "era": {y: f"{(y // 5) * 5}-{(y // 5) * 5 + 4}" for y in range(1990, 2015)}
-        },
-    )
-    cube = InfoNetCube(dblp.hin, "paper", [area_dim, year_dim])
     print(f"{cube}\n")
 
     print("=== group-by area: informational + ranked measures ===")
@@ -58,12 +59,15 @@ def main() -> None:
     print()
 
     print("=== roll-up: area -> field ===")
-    rolled = cube.roll_up("area", "field")
-    for cell in rolled.group_by("area:field"):
+    for cell in cube.roll_up("area", "field").group_by("area:field"):
         print(
             f"  {cell.coordinates['area:field']:10s} papers={cell.count:4d} "
             f"venues touched={cell.attribute_count('venue')}"
         )
+    print()
+
+    print("=== a cell as a JSON-able record (serving form) ===")
+    print(cube.cell(area="database").to_dict())
 
 
 if __name__ == "__main__":

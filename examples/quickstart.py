@@ -5,7 +5,8 @@ Builds a tiny bibliographic database with foreign keys, turns it into a
 heterogeneous information network (the tutorial's opening move), runs
 RankClus to get clusters of venues *with* their conditional author
 rankings — the "clustering and ranking are one task" demonstration — and
-serves top-k PathSim queries through the network's meta-path engine.
+serves declarative top-k / ranking queries through the network's unified
+query facade (``hin.query()``).
 
 Run:  python examples/quickstart.py
 """
@@ -41,21 +42,24 @@ def database_to_network() -> None:
     )
     print("=== database as an information network ===")
     print(hin)
-    co_pubs = hin.commuting_matrix("author-paper-venue").toarray()
+    # meta-paths abbreviate: "A-P-V" is author-paper-venue
+    co_pubs = hin.commuting_matrix("A-P-V").toarray()
     print("author x venue path counts:\n", co_pubs)
     print()
 
 
 def rank_while_clustering() -> None:
-    """RankClus on a planted conference-author network."""
+    """RankClus on a planted conference-author network, typed results."""
     net = make_bitype_network(
         n_clusters=3, targets_per_cluster=8, attributes_per_cluster=60, seed=0
     )
     model = RankClus(n_clusters=3, seed=0).fit(net.w_xy, w_yy=net.w_yy)
+    result = model.result()   # typed ClusteringResult (estimator protocol)
 
     print("=== RankClus: clusters with conditional rankings ===")
+    print(result)
     for c in range(3):
-        members = model.cluster_members(c)
+        members = result.members(c)
         print(f"cluster {c}: {members.size} conferences "
               f"(planted labels: {sorted(set(net.target_labels[members].tolist()))})")
         top = model.top_targets(c, 3)
@@ -65,17 +69,20 @@ def rank_while_clustering() -> None:
     print()
 
 
-def serve_pathsim_queries() -> None:
-    """Top-k peer search through the shared meta-path engine."""
+def serve_queries() -> None:
+    """Declarative queries through the unified facade, one shared cache."""
     dblp = make_dblp_four_area(seed=0)
-    engine = dblp.hin.engine()
+    q = dblp.hin.query()
 
-    print("=== PathSim serving: who is similar to SIGMOD? ===")
-    for venue, score in engine.pathsim_top_k(
-        "venue-paper-author-paper-venue", "SIGMOD", k=4
-    ):
+    print("=== facade: who is similar to SIGMOD? ===")
+    for venue, score in q.similar("SIGMOD", "V-P-A-P-V", k=4):
         print(f"  {venue:8s} {score:.3f}")
-    info = engine.cache_info()
+
+    print("=== facade: top venues by author authority ===")
+    for venue, score in q.rank("venue", by="author").top(4):
+        print(f"  {venue:8s} {score:.3f}")
+
+    info = q.cache_info()
     print(f"engine cache: {info.currsize} matrices, "
           f"{info.hits} hits / {info.misses} misses")
     print()
@@ -84,4 +91,4 @@ def serve_pathsim_queries() -> None:
 if __name__ == "__main__":
     database_to_network()
     rank_while_clustering()
-    serve_pathsim_queries()
+    serve_queries()

@@ -12,11 +12,11 @@ GNetMine, tag-graph), and OLAP over information networks.
 Quickstart
 ----------
 >>> from repro.datasets import make_dblp_four_area
->>> from repro.core import NetClus
 >>> dblp = make_dblp_four_area(seed=0)
->>> model = NetClus(n_clusters=4, seed=0).fit(dblp.hin)
->>> [name for name, _ in model.top_objects("venue", 0, 3)]  # doctest: +SKIP
-['SIGIR', 'CIKM', 'ECIR']
+>>> q = dblp.hin.query()
+>>> clusters = q.cluster("netclus", n_clusters=4, seed=0)
+>>> peers = q.similar("SIGMOD", "V-P-A-P-V", k=3)  # doctest: +SKIP
+[('VLDB', 0.787), ('ICDE', 0.736), ('PODS', 0.575)]
 """
 
 from repro import (
@@ -29,13 +29,23 @@ from repro import (
     measures,
     networks,
     olap,
+    query,
     ranking,
     relational,
     similarity,
 )
 from repro.engine import MetaPathEngine
 from repro.exceptions import ReproError
-from repro.networks import HIN, Graph, MetaPath, NetworkSchema, Relation
+from repro.networks import HIN, Graph, MetaPath, NetworkSchema, Relation, as_metapath
+from repro.query import (
+    ClassificationResult,
+    ClusteringResult,
+    Estimator,
+    QuerySession,
+    RankingResult,
+    TopKResult,
+    connect,
+)
 
 __version__ = "1.0.0"
 
@@ -47,8 +57,17 @@ __all__ = [
     "MetaPath",
     "MetaPathEngine",
     "ReproError",
+    "QuerySession",
+    "connect",
+    "as_metapath",
+    "Estimator",
+    "RankingResult",
+    "TopKResult",
+    "ClusteringResult",
+    "ClassificationResult",
     "networks",
     "engine",
+    "query",
     "relational",
     "measures",
     "ranking",

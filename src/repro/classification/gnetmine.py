@@ -23,6 +23,8 @@ import scipy.sparse as sp
 
 from repro.exceptions import ConvergenceWarning, NotFittedError, TypeNotFoundError
 from repro.networks.hin import HIN
+from repro.query.estimator import Estimator
+from repro.query.results import ClassificationResult
 from repro.utils.convergence import ConvergenceInfo
 from repro.utils.sparse import symmetric_normalize
 from repro.utils.validation import check_probability
@@ -30,7 +32,7 @@ from repro.utils.validation import check_probability
 __all__ = ["GNetMine"]
 
 
-class GNetMine:
+class GNetMine(Estimator):
     """Graph-regularized transductive classifier over all types of a HIN.
 
     Parameters
@@ -76,6 +78,7 @@ class GNetMine:
         self.labels_: dict[str, np.ndarray] | None = None
         self.classes_: np.ndarray | None = None
         self.convergence_: ConvergenceInfo | None = None
+        self._hin: HIN | None = None
 
     # ------------------------------------------------------------------
     def fit(self, hin: HIN, seeds: dict) -> "GNetMine":
@@ -86,6 +89,7 @@ class GNetMine:
         """
         if not seeds:
             raise ValueError("seeds must contain at least one type")
+        self._hin = hin
         all_classes: list = []
         for t, (labels, mask) in seeds.items():
             if t not in hin.schema.node_types:
@@ -181,6 +185,20 @@ class GNetMine:
         return self
 
     # ------------------------------------------------------------------
+    def _is_fitted(self) -> bool:
+        return self.labels_ is not None
+
+    def result(self) -> ClassificationResult:
+        """Typed predictions for every node type of the network."""
+        self._check_fitted()
+        return ClassificationResult(
+            self.classes_,
+            self.labels_,
+            self.scores_,
+            names={t: self._hin.names(t) for t in self.labels_},
+            method="gnetmine",
+        )
+
     def predict(self, node_type: str) -> np.ndarray:
         """Predicted class per object of *node_type* (requires :meth:`fit`)."""
         if self.labels_ is None:

@@ -31,6 +31,8 @@ import scipy.sparse as sp
 
 from repro.clustering.kmeans import kmeans
 from repro.exceptions import NotFittedError, RelationalError
+from repro.query.estimator import Estimator
+from repro.query.results import ClusteringResult
 from repro.relational.database import Database
 from repro.relational.propagation import join_matrix, value_indicator
 from repro.utils.sparse import row_normalize
@@ -54,7 +56,7 @@ class FeatureSpec:
         return " -> ".join(self.path) + f".{self.column}"
 
 
-class CrossClus:
+class CrossClus(Estimator):
     """User-guided multi-relational clustering of a target table.
 
     Parameters
@@ -221,6 +223,29 @@ class CrossClus:
         return self
 
     # ------------------------------------------------------------------
+    def _is_fitted(self) -> bool:
+        return self.labels_ is not None
+
+    def result(self) -> ClusteringResult:
+        """The typed partition of the target table's tuples.
+
+        ``node_type`` carries the table name; the selected features stay
+        reachable through ``result.model.selected_features_``.
+        """
+        self._check_fitted()
+        return ClusteringResult(
+            self.labels_,
+            n_clusters=self.n_clusters,
+            node_type=self.target_table,
+            algorithm="crossclus",
+            model=self,
+            extras={
+                "selected_features": [
+                    str(f) for f in (self.selected_features_ or [])
+                ]
+            },
+        )
+
     def predict_labels(self) -> np.ndarray:
         """Cluster labels of the target tuples (requires :meth:`fit`)."""
         if self.labels_ is None:

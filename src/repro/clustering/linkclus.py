@@ -29,6 +29,8 @@ import scipy.sparse as sp
 
 from repro.clustering.kmeans import kmeans
 from repro.exceptions import NotFittedError
+from repro.query.estimator import Estimator
+from repro.query.results import ClusteringResult
 from repro.utils.rng import ensure_rng
 from repro.utils.sparse import row_normalize, to_csr
 from repro.utils.validation import check_positive, check_probability
@@ -141,7 +143,7 @@ def _build_hierarchy(
     return parents
 
 
-class LinkClus:
+class LinkClus(Estimator):
     """Cluster both sides of a bipartite network via mutual SimTrees.
 
     Parameters
@@ -229,6 +231,28 @@ class LinkClus:
         return self
 
     # ------------------------------------------------------------------
+    def _is_fitted(self) -> bool:
+        return self.labels_a_ is not None
+
+    def result(self, side: str = "a") -> ClusteringResult:
+        """The typed partition of one side of the relation.
+
+        ``side="a"`` (default) is the relation's row side, ``"b"`` the
+        column side; the other side's labels ride along in ``extras``.
+        """
+        self._check_fitted()
+        if side not in ("a", "b"):
+            raise ValueError(f"side must be 'a' or 'b', got {side!r}")
+        labels = self.labels_a_ if side == "a" else self.labels_b_
+        other = self.labels_b_ if side == "a" else self.labels_a_
+        return ClusteringResult(
+            labels,
+            n_clusters=self.n_clusters,
+            algorithm="linkclus",
+            model=self,
+            extras={"side": side, "other_side_labels": other.tolist()},
+        )
+
     def _init_tree(self, vectors: sp.csr_matrix, rng) -> SimTree:
         parents = _build_hierarchy(vectors, self.branching, rng)
         return SimTree(parent=parents)

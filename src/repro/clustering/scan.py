@@ -54,6 +54,16 @@ class ScanResult:
         """Indices of outlier nodes."""
         return np.flatnonzero(self.labels == -1)
 
+    def to_dict(self) -> dict:
+        """JSON-able form (typed-result protocol of :mod:`repro.query`)."""
+        return {
+            "kind": "scan",
+            "n_clusters": int(self.n_clusters),
+            "labels": self.labels.tolist(),
+            "hubs": self.hubs.tolist(),
+            "outliers": self.outliers.tolist(),
+        }
+
 
 def structural_similarity(graph: Graph) -> "scipy.sparse.csr_matrix":  # noqa: F821
     """Sparse matrix of σ(u, v) for every edge (u, v) of the graph.

@@ -19,11 +19,14 @@ benchmark E1 measures against a one-shot spectral baseline.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 import scipy.sparse as sp
 
-from repro.exceptions import NotFittedError
 from repro.networks.hin import HIN
+from repro.query.estimator import Estimator
+from repro.query.results import ClusteringResult
 from repro.ranking.authority import BiTypeRanking, authority_ranking, simple_ranking
 from repro.utils.rng import ensure_rng
 from repro.utils.sparse import to_csr
@@ -32,7 +35,7 @@ from repro.utils.validation import check_positive, check_probability
 __all__ = ["RankClus"]
 
 
-class RankClus:
+class RankClus(Estimator):
     """Ranking-based clustering of the target side of a bi-typed network.
 
     Parameters
@@ -122,6 +125,8 @@ class RankClus:
         self.posterior_: np.ndarray | None = None
         self.rankings_: list[BiTypeRanking] | None = None
         self.n_iter_: int = 0
+        self._hin: HIN | None = None
+        self._target_type: str | None = None
 
     # ------------------------------------------------------------------
     def fit(
@@ -137,16 +142,30 @@ class RankClus:
     ) -> "RankClus":
         """Cluster the target objects.
 
-        Either pass the link matrix ``w_xy`` (with optional ``w_yy``)
-        directly, or pass ``hin=...`` with ``target_type`` /
-        ``attribute_type`` (and optional meta-paths) and leave ``w_xy``
-        as ``None``.
+        The estimator-protocol form passes the network first —
+        ``fit(hin, target_type=..., attribute_type=...)`` — with optional
+        meta-paths selecting indirect link matrices.  The matrix form
+        ``fit(w_xy, w_yy=...)`` takes the bi-type link matrix directly.
+        ``hin=`` as a keyword is a deprecated spelling of the first form.
         """
+        if hin is not None:
+            warnings.warn(
+                "RankClus.fit(..., hin=...) is deprecated; pass the HIN "
+                "positionally: fit(hin, target_type=..., attribute_type=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if w_xy is not None:
+                raise ValueError("pass either w_xy or hin=, not both")
+        elif isinstance(w_xy, HIN):
+            hin, w_xy = w_xy, None
         if hin is not None:
             if target_type is None or attribute_type is None:
                 raise ValueError(
-                    "target_type and attribute_type are required with hin="
+                    "target_type and attribute_type are required with a HIN"
                 )
+            self._hin = hin
+            self._target_type = target_type
             # Route matrix construction through the network's shared
             # engine: refitting (other K, other paths over shared
             # prefixes) reuses materialized products instead of
@@ -155,9 +174,21 @@ class RankClus:
             if target_attribute_path is None:
                 w_xy = engine.matrix_between(target_type, attribute_type)
             else:
-                w_xy = engine.commuting_matrix(target_attribute_path)
+                mp = engine.path(target_attribute_path)
+                if (mp.source_type, mp.target_type) != (target_type, attribute_type):
+                    raise ValueError(
+                        f"target_attribute_path {mp} does not go "
+                        f"{target_type!r} -> {attribute_type!r}"
+                    )
+                w_xy = engine.commuting_matrix(mp)
             if attribute_attribute_path is not None:
-                w_yy = engine.commuting_matrix(attribute_attribute_path)
+                mp = engine.path(attribute_attribute_path)
+                if (mp.source_type, mp.target_type) != (attribute_type, attribute_type):
+                    raise ValueError(
+                        f"attribute_attribute_path {mp} does not go "
+                        f"{attribute_type!r} -> {attribute_type!r}"
+                    )
+                w_yy = engine.commuting_matrix(mp)
         if w_xy is None:
             raise ValueError("either w_xy or hin= must be provided")
         w = to_csr(w_xy)
@@ -338,9 +369,31 @@ class RankClus:
         return new_labels
 
     # ------------------------------------------------------------------
-    def _check_fitted(self) -> None:
-        if self.labels_ is None:
-            raise NotFittedError("call fit() first")
+    def _is_fitted(self) -> bool:
+        return self.labels_ is not None
+
+    def result(self) -> ClusteringResult:
+        """The typed partition of the target objects.
+
+        Membership strengths are the max mixture posteriors; when the
+        model was fitted from a HIN, members carry their node names and
+        the result records the clustered type.
+        """
+        self._check_fitted()
+        names = (
+            self._hin.names(self._target_type)
+            if self._hin is not None and self._target_type is not None
+            else None
+        )
+        return ClusteringResult(
+            self.labels_,
+            n_clusters=self.n_clusters,
+            scores=self.posterior_.max(axis=1),
+            names=names,
+            node_type=self._target_type,
+            algorithm="rankclus",
+            model=self,
+        )
 
     def cluster_members(self, cluster: int) -> np.ndarray:
         """Indices of target objects in *cluster*."""

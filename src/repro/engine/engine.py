@@ -43,6 +43,7 @@ import scipy.sparse as sp
 
 from repro.exceptions import MetaPathError, NodeNotFoundError
 from repro.networks.schema import MetaPath
+from repro.query.results import TopKResult
 from repro.utils.cache import CacheInfo, LRUCache
 from repro.engine.topk import top_k_indices
 
@@ -280,8 +281,10 @@ class MetaPathEngine:
 
     def pathsim_top_k(
         self, path, query, k: int, *, exclude_query: bool = True
-    ) -> list[tuple]:
-        """Top-*k* peers of *query* under *path*, as ``(name, score)`` pairs.
+    ) -> TopKResult:
+        """Top-*k* peers of *query* under *path*: a
+        :class:`~repro.query.results.TopKResult` of ``(name, score)``
+        pairs (a list subclass — iteration/indexing/equality unchanged).
 
         Results (including tie-breaking) are identical to ranking the full
         dense PathSim row with a stable sort; only the work differs.
@@ -291,11 +294,11 @@ class MetaPathEngine:
         mp = self.symmetric_path(path)
         i = self._resolve(mp.source_type, query)
         scores = self.pathsim_row(mp, i)
-        return self._select(scores, mp.source_type, i, k, exclude_query)
+        return self._select(scores, mp, mp.source_type, i, k, exclude_query, "pathsim")
 
     def pathsim_top_k_batch(
         self, path, queries, k: int, *, exclude_query: bool = True
-    ) -> list[list[tuple]]:
+    ) -> list[TopKResult]:
         """:meth:`pathsim_top_k` for many queries with one block product."""
         if k < 0:
             raise ValueError(f"k must be >= 0, got {k}")
@@ -303,13 +306,20 @@ class MetaPathEngine:
         idx = [self._resolve(mp.source_type, q) for q in queries]
         block = self.pathsim_rows(mp, idx)
         return [
-            self._select(block[row], mp.source_type, i, k, exclude_query)
+            self._select(block[row], mp, mp.source_type, i, k, exclude_query, "pathsim")
             for row, i in enumerate(idx)
         ]
 
     def _select(
-        self, scores: np.ndarray, node_type: str, query: int, k: int, exclude: bool
-    ) -> list[tuple]:
+        self,
+        scores: np.ndarray,
+        mp: MetaPath,
+        node_type: str,
+        query: int,
+        k: int,
+        exclude: bool,
+        measure: str,
+    ) -> TopKResult:
         need = k + 1 if exclude else k
         order = top_k_indices(scores, min(need, scores.size))
         out = [
@@ -317,7 +327,13 @@ class MetaPathEngine:
             for j in order
             if not (exclude and j == query)
         ]
-        return out[:k]
+        return TopKResult(
+            out[:k],
+            node_type=node_type,
+            query=self.hin.name_of(mp.source_type, query),
+            path=str(mp),
+            measure=measure,
+        )
 
     # ------------------------------------------------------------------
     # Connectivity (path count) serving — works for asymmetric paths too
@@ -346,7 +362,7 @@ class MetaPathEngine:
 
     def top_k_connectivity(
         self, path, query, k: int, *, exclude_query: bool = False
-    ) -> list[tuple]:
+    ) -> TopKResult:
         """Top-*k* target objects by path-instance count from *query*.
 
         ``exclude_query`` only makes sense for round-trip paths (source
@@ -362,7 +378,9 @@ class MetaPathEngine:
                 f"{mp.source_type!r} -> {mp.target_type!r}"
             )
         scores = self.connectivity_row(mp, i)
-        return self._select(scores, mp.target_type, i, k, exclude_query)
+        return self._select(
+            scores, mp, mp.target_type, i, k, exclude_query, "connectivity"
+        )
 
     # ------------------------------------------------------------------
     # Observability

@@ -12,7 +12,7 @@ from repro.networks.generators import (
 from repro.networks.graph import Graph
 from repro.networks.hin import HIN
 from repro.networks.io import read_edge_list, read_hin, write_edge_list, write_hin
-from repro.networks.schema import MetaPath, NetworkSchema, Relation
+from repro.networks.schema import MetaPath, NetworkSchema, Relation, as_metapath
 
 __all__ = [
     "Graph",
@@ -20,6 +20,7 @@ __all__ = [
     "NetworkSchema",
     "Relation",
     "MetaPath",
+    "as_metapath",
     "erdos_renyi",
     "barabasi_albert",
     "watts_strogatz",

@@ -135,6 +135,7 @@ class HIN:
                 )
         self._transposes: dict[str, sp.csr_matrix] = {}
         self._engine = None
+        self._query_session = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -336,6 +337,23 @@ class HIN:
         if self._engine is None:
             self._engine = MetaPathEngine(self)
         return self._engine
+
+    def query(self, **kwargs):
+        """The :class:`~repro.query.QuerySession` facade on this network.
+
+        The declarative query surface — ``.rank()``, ``.similar()``,
+        ``.cluster()``, ``.classify()``, ``.olap()`` — backed by the
+        shared :meth:`engine` cache.  Created on first use and memoized;
+        keyword arguments (e.g. ``engine=``) construct a fresh,
+        unattached session instead.
+        """
+        from repro.query import QuerySession
+
+        if kwargs:
+            return QuerySession(self, **kwargs)
+        if self._query_session is None:
+            self._query_session = QuerySession(self)
+        return self._query_session
 
     def homogeneous_projection(self, path, *, remove_self_loops: bool = True) -> Graph:
         """Project the HIN onto a homogeneous graph along meta-path *path*.

@@ -8,7 +8,12 @@ GNetMine-style classification.
 
 Meta-paths can be written compactly as strings, e.g. ``"author-paper-venue"``
 or, with relation disambiguation, ``"author-[writes]-paper"`` when two
-relations share endpoints.
+relations share endpoints.  Type tokens may be abbreviated to any
+unambiguous case-insensitive prefix — ``"A-P-V-P-A"`` reads as
+``author-paper-venue-paper-author`` on the bibliographic schema — and a
+bracketed relation may be prefixed with ``~`` to force the backward
+traversal of a same-type relation (``"paper-[~cites]-paper"`` walks from
+cited paper to citing paper).
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ from repro.exceptions import (
     TypeNotFoundError,
 )
 
-__all__ = ["Relation", "NetworkSchema", "MetaPath"]
+__all__ = ["Relation", "NetworkSchema", "MetaPath", "as_metapath"]
 
 
 @dataclass(frozen=True)
@@ -124,6 +129,35 @@ class NetworkSchema:
 
     def has_type(self, name: str) -> bool:
         return name in self._types
+
+    def resolve_type(self, token: str) -> str:
+        """Resolve a (possibly abbreviated) node-type token.
+
+        Resolution order: exact match, case-insensitive exact match, then
+        unique case-insensitive prefix — so ``"A"`` reads as ``author`` and
+        ``"V"`` as ``venue`` on the bibliographic schema.  An abbreviation
+        matching several types raises :class:`MetaPathError` listing the
+        candidates; a token matching nothing raises
+        :class:`TypeNotFoundError` listing the known types.
+        """
+        if not isinstance(token, str) or not token:
+            raise TypeNotFoundError(f"node type token must be a non-empty string, got {token!r}")
+        if token in self._types:
+            return token
+        lowered = token.lower()
+        matches = [t for t in self._types if t.lower() == lowered]
+        if not matches:
+            matches = [t for t in self._types if t.lower().startswith(lowered)]
+        if len(matches) == 1:
+            return matches[0]
+        if matches:
+            raise MetaPathError(
+                f"ambiguous type abbreviation {token!r}: matches {matches}; "
+                f"spell the type out"
+            )
+        raise TypeNotFoundError(
+            f"unknown node type {token!r} (known types: {self._types})"
+        )
 
     def relation(self, name: str) -> Relation:
         """Relation by name."""
@@ -270,6 +304,7 @@ class MetaPath:
             raise MetaPathError(
                 f"a meta-path needs at least two node types, got {list(types)!r}"
             )
+        types = [schema.resolve_type(t) for t in types]
         steps: list[_Step] = []
         for a, b in zip(types, types[1:]):
             candidates = schema.relations_between(a, b)
@@ -291,7 +326,11 @@ class MetaPath:
     def parse(cls, text: str, schema: NetworkSchema) -> "MetaPath":
         """Parse ``"a-b-c"`` or ``"a-[rel]-b"`` into a meta-path.
 
-        Bracketed tokens name relations; bare tokens name node types.
+        Bracketed tokens name relations; bare tokens name node types
+        (abbreviations welcome, see :meth:`NetworkSchema.resolve_type`).
+        A ``~`` prefix inside brackets forces the backward traversal of
+        the relation — required to walk a same-type relation such as
+        ``cites`` against its declared direction.
         """
         tokens = [
             ("rel", m.group(1)) if m.group(1) else ("type", m.group(2).strip())
@@ -300,6 +339,10 @@ class MetaPath:
         ]
         if not tokens or tokens[0][0] != "type" or tokens[-1][0] != "type":
             raise MetaPathError(f"meta-path {text!r} must start and end with a type")
+        tokens = [
+            (kind, schema.resolve_type(value) if kind == "type" else value)
+            for kind, value in tokens
+        ]
         steps: list[_Step] = []
         i = 0
         while i < len(tokens) - 1:
@@ -312,13 +355,23 @@ class MetaPath:
                     raise MetaPathError(
                         f"relation [{nxt_name}] in {text!r} must be followed by a type"
                     )
-                rel = schema.relation(nxt_name)
+                inverse = nxt_name.startswith("~")
+                rel = schema.relation(nxt_name[1:] if inverse else nxt_name)
                 target = tokens[i + 2][1]
-                if not rel.connects(name, target):
-                    raise MetaPathError(
-                        f"relation {nxt_name!r} does not join {name!r} and {target!r}"
-                    )
-                steps.append(_Step(rel, forward=(rel.source == name)))
+                if inverse:
+                    if (name, target) != (rel.target, rel.source):
+                        raise MetaPathError(
+                            f"inverse relation [~{rel.name}] traverses "
+                            f"{rel.target!r} -> {rel.source!r}, not "
+                            f"{name!r} -> {target!r}"
+                        )
+                    steps.append(_Step(rel, forward=False))
+                else:
+                    if not rel.connects(name, target):
+                        raise MetaPathError(
+                            f"relation {rel.name!r} does not join {name!r} and {target!r}"
+                        )
+                    steps.append(_Step(rel, forward=(rel.source == name)))
                 i += 2
             else:
                 sub = MetaPath.from_types([name, nxt_name], schema)
@@ -400,11 +453,29 @@ class MetaPath:
                     f"relation {rel.name!r} differs between path and schema"
                 )
 
-    def __str__(self) -> str:
+    def to_string(self, schema: NetworkSchema | None = None) -> str:
+        """Compact DSL string that parses back to this path.
+
+        Brackets are emitted only where parsing would otherwise be
+        ambiguous: a same-type relation traversed backwards always gets
+        ``[~rel]``, and — when *schema* is supplied — a type pair joined
+        by several relations gets ``[rel]``.  For ordinary paths this is
+        just the dash-joined type names.
+        """
         parts = [self.source_type]
         for s in self._steps:
+            if s.relation.source == s.relation.target and not s.forward:
+                parts.append(f"[~{s.relation.name}]")
+            elif (
+                schema is not None
+                and len(schema.relations_between(s.from_type, s.to_type)) > 1
+            ):
+                parts.append(f"[{s.relation.name}]")
             parts.append(s.to_type)
         return "-".join(parts)
+
+    def __str__(self) -> str:
+        return self.to_string()
 
     def __repr__(self) -> str:
         return f"MetaPath({str(self)!r})"
@@ -419,3 +490,28 @@ class MetaPath:
 
     def __len__(self) -> int:
         return self.length
+
+
+def as_metapath(network, spec) -> MetaPath:
+    """Coerce *spec* (DSL string, type sequence, or :class:`MetaPath`) to a
+    validated :class:`MetaPath` against *network*'s schema.
+
+    *network* may be a :class:`NetworkSchema`, a
+    :class:`~repro.networks.hin.HIN` (resolved through its shared engine,
+    whose parse/validation memos make per-query coercion free), or a
+    :class:`~repro.engine.MetaPathEngine`.  This is the single coercion
+    point the library uses wherever "a meta-path" is accepted, so every
+    entry point takes every spelling.
+    """
+    if isinstance(network, NetworkSchema):
+        return network.meta_path(spec)
+    engine_of = getattr(network, "engine", None)
+    if callable(engine_of):  # a HIN: route through the shared engine's memos
+        return network.engine().path(spec)
+    path_of = getattr(network, "path", None)
+    if callable(path_of):  # a MetaPathEngine (or anything engine-shaped)
+        return network.path(spec)
+    raise TypeError(
+        f"cannot resolve meta-paths against {type(network).__name__!r}; "
+        f"expected a HIN, NetworkSchema, or MetaPathEngine"
+    )

@@ -133,6 +133,17 @@ class CubeCell:
             if score > 0
         ]
 
+    def to_dict(self) -> dict:
+        """JSON-able informational measures (the typed-result protocol of
+        :mod:`repro.query`); ranked measures stay on-demand via
+        :meth:`top_ranked`, since they cost a sub-network ranking each."""
+        return {
+            "kind": "cube_cell",
+            "coordinates": {str(k): v for k, v in self.coordinates.items()},
+            "count": self.count,
+            "link_count": self.link_count(),
+        }
+
     def __repr__(self) -> str:
         return f"CubeCell({self.coordinates!r}, count={self.count})"
 

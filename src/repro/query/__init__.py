@@ -1,0 +1,44 @@
+"""Unified query facade: one declarative surface over every miner.
+
+The paper's thesis is that HIN mining *is* querying — ranking,
+clustering, similarity, classification, and OLAP are meta-path-
+parameterized queries over one typed network.  This package is that
+surface:
+
+* :class:`QuerySession` (``hin.query()`` / :func:`connect`) — the
+  session facade: ``.rank()``, ``.similar()``, ``.cluster()``,
+  ``.classify()``, ``.olap()``, all executing through the network's
+  shared :class:`~repro.engine.MetaPathEngine`;
+* :func:`as_metapath` — the meta-path DSL coercion every entry point
+  uses (strings with abbreviations, type lists, ``MetaPath`` objects);
+* typed results (:class:`RankingResult`, :class:`TopKResult`,
+  :class:`ClusteringResult`, :class:`ClassificationResult`) with the
+  uniform ``top(n)`` / ``labels`` / ``scores`` / ``to_dict()`` protocol;
+* :class:`Estimator` — the fit/result protocol every miner implements.
+
+See ``docs/API.md`` for the full surface and the old-call → new-call
+migration table.
+"""
+
+from repro.query.dsl import as_metapath
+from repro.query.estimator import Estimator
+from repro.query.results import (
+    ClassificationResult,
+    ClusteringResult,
+    QueryResult,
+    RankingResult,
+    TopKResult,
+)
+from repro.query.session import QuerySession, connect
+
+__all__ = [
+    "QuerySession",
+    "connect",
+    "as_metapath",
+    "Estimator",
+    "QueryResult",
+    "RankingResult",
+    "TopKResult",
+    "ClusteringResult",
+    "ClassificationResult",
+]

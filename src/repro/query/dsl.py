@@ -1,0 +1,30 @@
+"""Meta-path DSL helpers for the query facade.
+
+The grammar itself lives with the schema
+(:meth:`~repro.networks.schema.MetaPath.parse`); this module re-exports
+the one coercion helper — :func:`as_metapath` — that every entry point
+uses so DSL strings, type sequences, and :class:`MetaPath` objects are
+interchangeable everywhere a meta-path is accepted:
+
+>>> from repro.query import as_metapath                  # doctest: +SKIP
+>>> as_metapath(hin, "A-P-V-P-A")                        # doctest: +SKIP
+MetaPath('author-paper-venue-paper-author')
+
+Grammar summary (see ``docs/API.md`` for the full table):
+
+* ``"author-paper-venue"`` — dash-separated node types;
+* ``"A-P-V"`` — any unambiguous case-insensitive prefix abbreviates a
+  type;
+* ``"author-[writes]-paper"`` — brackets pick one of several relations
+  joining a type pair;
+* ``"paper-[~cites]-paper"`` — ``~`` traverses a same-type relation
+  backwards;
+* round-trip: ``MetaPath.parse(str(mp), schema) == mp`` (use
+  ``mp.to_string(schema)`` when a type pair has several relations).
+"""
+
+from __future__ import annotations
+
+from repro.networks.schema import MetaPath, as_metapath
+
+__all__ = ["MetaPath", "as_metapath"]

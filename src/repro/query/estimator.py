@@ -1,0 +1,101 @@
+"""The common estimator protocol every miner implements.
+
+One contract instead of a grab-bag of per-algorithm conventions:
+
+* hyper-parameters go into ``__init__`` and are mirrored as same-named
+  attributes — :meth:`Estimator.get_params` / :meth:`Estimator.set_params`
+  work for every miner without per-class code;
+* :meth:`fit` takes the data (HIN, graph, matrix, or database) first and
+  returns ``self``;
+* fitted state lives in trailing-underscore attributes; ``fitted`` says
+  whether :meth:`fit` has run, and :meth:`_check_fitted` raises
+  :class:`~repro.exceptions.NotFittedError` with a uniform message;
+* *batch* estimators (clusterers, classifiers) expose :meth:`result`,
+  returning a typed :class:`~repro.query.results.QueryResult`; *index*
+  estimators (PathSim, SimRank) answer through query methods that return
+  :class:`~repro.query.results.TopKResult` and leave :meth:`result`
+  unimplemented.
+
+Adopted by RankClus, NetClus, PathSim, SimRank, GNetMine, CrossClus, and
+LinkClus; function-style miners (SCAN, authority ranking) are reachable
+through the :class:`~repro.query.session.QuerySession` facade, which
+wraps their outputs in the same typed results.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.exceptions import NotFittedError
+
+__all__ = ["Estimator"]
+
+
+class Estimator:
+    """Base class implementing the shared estimator plumbing."""
+
+    def fit(self, data, **kwargs) -> "Estimator":
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Parameter handling (sklearn-style, signature-introspected)
+    # ------------------------------------------------------------------
+    @classmethod
+    def _param_names(cls) -> list[str]:
+        sig = inspect.signature(cls.__init__)
+        return [
+            name
+            for name, p in sig.parameters.items()
+            if name != "self"
+            and p.kind
+            not in (inspect.Parameter.VAR_POSITIONAL, inspect.Parameter.VAR_KEYWORD)
+        ]
+
+    def get_params(self) -> dict:
+        """Hyper-parameters as a dict (names from the ``__init__`` signature)."""
+        return {
+            name: getattr(self, name)
+            for name in self._param_names()
+            if hasattr(self, name)
+        }
+
+    def set_params(self, **params) -> "Estimator":
+        """Update hyper-parameters in place; unknown names raise."""
+        valid = set(self._param_names())
+        for name, value in params.items():
+            if name not in valid:
+                raise ValueError(
+                    f"unknown parameter {name!r} for {type(self).__name__} "
+                    f"(valid: {sorted(valid)})"
+                )
+            setattr(self, name, value)
+        return self
+
+    # ------------------------------------------------------------------
+    # Fitted-state handling
+    # ------------------------------------------------------------------
+    def _is_fitted(self) -> bool:
+        raise NotImplementedError
+
+    @property
+    def fitted(self) -> bool:
+        """True once :meth:`fit` has completed."""
+        return self._is_fitted()
+
+    def _check_fitted(self) -> None:
+        if not self.fitted:
+            raise NotFittedError(
+                f"this {type(self).__name__} is not fitted; call fit() first"
+            )
+
+    # ------------------------------------------------------------------
+    def result(self):
+        """The typed :class:`~repro.query.results.QueryResult` of the fit.
+
+        Index-style estimators (PathSim, SimRank) answer through their
+        query methods instead and do not override this.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} serves queries (top_k, similarity, ...) "
+            f"rather than one batch result"
+        )

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.exceptions import ConvergenceWarning
 from repro.networks.hin import HIN
+from repro.networks.schema import as_metapath
 from repro.utils.convergence import ConvergenceInfo
 from repro.utils.sparse import to_csr
 from repro.utils.validation import check_probability
@@ -58,6 +59,16 @@ class BiTypeRanking:
         """Top-*k* attribute objects as ``(index, score)`` pairs."""
         order = np.argsort(-self.attribute_scores, kind="stable")[:k]
         return [(int(i), float(self.attribute_scores[i])) for i in order]
+
+    def to_dict(self) -> dict:
+        """JSON-able form (typed-result protocol of :mod:`repro.query`)."""
+        return {
+            "kind": "bi_type_ranking",
+            "target_scores": self.target_scores.tolist(),
+            "attribute_scores": self.attribute_scores.tolist(),
+            "converged": bool(self.convergence.converged),
+            "n_iter": int(self.convergence.n_iter),
+        }
 
 
 def _normalize(v: np.ndarray) -> np.ndarray:
@@ -146,6 +157,44 @@ def authority_ranking(
     )
 
 
+def _rank_bi_type(
+    hin: HIN,
+    target_type: str,
+    attribute_type: str,
+    *,
+    target_attribute_path=None,
+    attribute_attribute_path=None,
+    method: str = "authority",
+    alpha: float = 0.95,
+    **kwargs,
+) -> BiTypeRanking:
+    """Shared implementation behind ``QuerySession.rank`` and the
+    deprecated :func:`rank_bi_type` shim."""
+    engine = hin.engine()
+    if target_attribute_path is None:
+        w_xy = engine.matrix_between(target_type, attribute_type)
+    else:
+        mp = as_metapath(hin, target_attribute_path)
+        if (mp.source_type, mp.target_type) != (target_type, attribute_type):
+            raise ValueError(
+                f"path {mp} does not go {target_type!r} -> {attribute_type!r}"
+            )
+        w_xy = engine.commuting_matrix(mp)
+    if method == "simple":
+        return simple_ranking(w_xy)
+    if method != "authority":
+        raise ValueError(f"method must be 'simple' or 'authority', got {method!r}")
+    w_yy = None
+    if attribute_attribute_path is not None:
+        mp = as_metapath(hin, attribute_attribute_path)
+        if (mp.source_type, mp.target_type) != (attribute_type, attribute_type):
+            raise ValueError(
+                f"path {mp} does not go {attribute_type!r} -> {attribute_type!r}"
+            )
+        w_yy = engine.commuting_matrix(mp)
+    return authority_ranking(w_xy, w_yy, alpha=alpha, **kwargs)
+
+
 def rank_bi_type(
     hin: HIN,
     target_type: str,
@@ -159,32 +208,31 @@ def rank_bi_type(
 ) -> BiTypeRanking:
     """Rank a target/attribute type pair of a HIN.
 
+    .. deprecated::
+        Superseded by the query facade:
+        ``hin.query().rank(target_type, by=attribute_type)`` returns a
+        typed :class:`~repro.query.results.RankingResult`.  This shim
+        keeps the old signature and behaviour.
+
     ``target_attribute_path`` defaults to the unique direct relation
     between the two types; pass a meta-path (e.g.
     ``"venue-paper-author"``) when the connection is indirect.
     ``attribute_attribute_path`` (e.g. ``"author-paper-author"``) supplies
     the W_YY matrix for authority ranking's propagation step.
     """
-    engine = hin.engine()
-    if target_attribute_path is None:
-        w_xy = engine.matrix_between(target_type, attribute_type)
-    else:
-        mp = hin.meta_path(target_attribute_path)
-        if (mp.source_type, mp.target_type) != (target_type, attribute_type):
-            raise ValueError(
-                f"path {mp} does not go {target_type!r} -> {attribute_type!r}"
-            )
-        w_xy = engine.commuting_matrix(mp)
-    if method == "simple":
-        return simple_ranking(w_xy)
-    if method != "authority":
-        raise ValueError(f"method must be 'simple' or 'authority', got {method!r}")
-    w_yy = None
-    if attribute_attribute_path is not None:
-        mp = hin.meta_path(attribute_attribute_path)
-        if (mp.source_type, mp.target_type) != (attribute_type, attribute_type):
-            raise ValueError(
-                f"path {mp} does not go {attribute_type!r} -> {attribute_type!r}"
-            )
-        w_yy = engine.commuting_matrix(mp)
-    return authority_ranking(w_xy, w_yy, alpha=alpha, **kwargs)
+    warnings.warn(
+        "rank_bi_type() is deprecated; use hin.query().rank(target, by=...) "
+        "(returns a typed RankingResult)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _rank_bi_type(
+        hin,
+        target_type,
+        attribute_type,
+        target_attribute_path=target_attribute_path,
+        attribute_attribute_path=attribute_attribute_path,
+        method=method,
+        alpha=alpha,
+        **kwargs,
+    )

@@ -14,9 +14,10 @@ from repro.similarity.metapath import (
     random_walk_matrix,
 )
 from repro.similarity.pathsim import PathSim, pathsim_matrix
-from repro.similarity.simrank import simrank, simrank_bipartite
+from repro.similarity.simrank import SimRank, simrank, simrank_bipartite
 
 __all__ = [
+    "SimRank",
     "simrank",
     "simrank_bipartite",
     "PathSim",

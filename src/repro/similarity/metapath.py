@@ -24,6 +24,7 @@ import scipy.sparse as sp
 
 from repro.exceptions import MetaPathError
 from repro.networks.hin import HIN
+from repro.networks.schema import as_metapath
 from repro.utils.sparse import row_normalize
 
 __all__ = [
@@ -63,7 +64,7 @@ def path_constrained_random_walk(hin: HIN, path) -> sp.csr_matrix:
     comparison points.
     """
     product: sp.csr_matrix | None = None
-    for m in hin.step_matrices(path):
+    for m in hin.step_matrices(as_metapath(hin, path)):
         step = row_normalize(m)
         product = step if product is None else product.dot(step)
     return product.tocsr()

@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.exceptions import NotFittedError
 from repro.networks.hin import HIN
+from repro.query.estimator import Estimator
+from repro.query.results import TopKResult
 
 __all__ = ["PathSim", "pathsim_matrix"]
 
@@ -43,7 +44,7 @@ def pathsim_matrix(hin: HIN, path, *, engine=None) -> np.ndarray:
     return engine.pathsim_matrix(path)
 
 
-class PathSim:
+class PathSim(Estimator):
     """Reusable PathSim index over one HIN and one symmetric meta-path.
 
     A thin, sklearn-style view over the network's shared
@@ -68,6 +69,8 @@ class PathSim:
     def fit(self, hin: HIN, *, engine=None) -> "PathSim":
         """Validate the path and materialize its commuting-matrix parts.
 
+        The path (set in ``__init__``) may be any spelling the DSL
+        accepts — ``"A-P-V-P-A"``, a type list, or a ``MetaPath``.
         ``engine`` overrides the network's shared engine (useful for an
         isolated cache in tests); by default ``hin.engine()`` is used.
         """
@@ -80,9 +83,8 @@ class PathSim:
         return self
 
     # ------------------------------------------------------------------
-    def _check_fitted(self) -> None:
-        if self._engine is None:
-            raise NotFittedError("call fit(hin) before querying PathSim")
+    def _is_fitted(self) -> bool:
+        return self._engine is not None
 
     @property
     def object_type(self) -> str:
@@ -100,20 +102,21 @@ class PathSim:
         self._check_fitted()
         return self._engine.pathsim_row(self._mp, x)
 
-    def top_k(self, x, k: int, *, exclude_self: bool = True) -> list[tuple]:
+    def top_k(self, x, k: int, *, exclude_self: bool = True) -> TopKResult:
         """Top-*k* most similar objects to *x*.
 
-        Returns ``(name_or_index, score)`` pairs, names when the type has
-        them.  Candidates are restricted to objects sharing at least one
-        path instance with *x* (others score 0 and are omitted unless
-        needed to fill *k*).
+        Returns a :class:`~repro.query.results.TopKResult` of
+        ``(name_or_index, score)`` pairs (a list subclass), names when
+        the type has them.  Candidates are restricted to objects sharing
+        at least one path instance with *x* (others score 0 and are
+        omitted unless needed to fill *k*).
         """
         self._check_fitted()
         return self._engine.pathsim_top_k(
             self._mp, x, k, exclude_query=exclude_self
         )
 
-    def top_k_batch(self, xs, k: int, *, exclude_self: bool = True) -> list[list[tuple]]:
+    def top_k_batch(self, xs, k: int, *, exclude_self: bool = True) -> list[TopKResult]:
         """:meth:`top_k` for many queries via one sparse block product."""
         self._check_fitted()
         return self._engine.pathsim_top_k_batch(

@@ -1,0 +1,205 @@
+"""Meta-path DSL parser tests: abbreviations, ambiguity, inverse steps,
+round-trip parse/str, and schema-validation failures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    MetaPathError,
+    RelationNotFoundError,
+    ReproError,
+    SchemaError,
+    TypeNotFoundError,
+)
+from repro.networks import HIN, MetaPath, NetworkSchema, as_metapath
+
+
+@pytest.fixture
+def citation_schema() -> NetworkSchema:
+    """Schema with a same-type relation (cites) for inverse-step tests."""
+    return NetworkSchema(
+        ["paper", "author"],
+        [("writes", "author", "paper"), ("cites", "paper", "paper")],
+    )
+
+
+@pytest.fixture
+def ambiguous_schema() -> NetworkSchema:
+    """Two relations join person and paper; 'p' abbreviates both types."""
+    return NetworkSchema(
+        ["person", "paper"],
+        [("writes", "person", "paper"), ("reviews", "person", "paper")],
+    )
+
+
+class TestAbbreviations:
+    def test_single_letter(self, bib_schema):
+        mp = MetaPath.parse("A-P-V-P-A", bib_schema)
+        assert mp.node_types() == ["author", "paper", "venue", "paper", "author"]
+
+    def test_prefix(self, bib_schema):
+        mp = MetaPath.parse("au-pap-ven", bib_schema)
+        assert mp.node_types() == ["author", "paper", "venue"]
+
+    def test_case_insensitive(self, bib_schema):
+        assert MetaPath.parse("Author-PAPER-Venue", bib_schema).node_types() == [
+            "author",
+            "paper",
+            "venue",
+        ]
+
+    def test_exact_match_beats_prefix(self):
+        # "a" is both an exact type and a prefix of "ab"; exact wins.
+        schema = NetworkSchema(["a", "ab"], [("r", "a", "ab")])
+        assert schema.resolve_type("a") == "a"
+        assert schema.resolve_type("ab") == "ab"
+
+    def test_ambiguous_abbreviation_raises(self, ambiguous_schema):
+        with pytest.raises(MetaPathError, match="ambiguous"):
+            ambiguous_schema.resolve_type("p")
+        with pytest.raises(MetaPathError, match="ambiguous"):
+            MetaPath.parse("pe-[writes]-p", ambiguous_schema)
+
+    def test_unknown_token_raises_type_not_found(self, bib_schema):
+        with pytest.raises(TypeNotFoundError, match="known types"):
+            bib_schema.resolve_type("zzz")
+
+    def test_abbreviations_in_type_lists(self, bib_schema):
+        mp = bib_schema.meta_path(["A", "P", "V"])
+        assert mp.node_types() == ["author", "paper", "venue"]
+
+    def test_same_canonical_key_for_all_spellings(self, bib_schema):
+        full = MetaPath.parse("author-paper-venue-paper-author", bib_schema)
+        abbrev = MetaPath.parse("A-P-V-P-A", bib_schema)
+        listed = bib_schema.meta_path(["a", "p", "v", "p", "a"])
+        assert full == abbrev == listed
+        assert full.canonical_key() == abbrev.canonical_key()
+
+
+class TestAsymmetricPaths:
+    def test_parse_and_endpoints(self, bib_schema):
+        mp = MetaPath.parse("A-P-V", bib_schema)
+        assert (mp.source_type, mp.target_type) == ("author", "venue")
+        assert mp.length == 2
+        assert not mp.is_symmetric()
+
+    def test_pathsim_rejects_asymmetric(self, small_bib):
+        with pytest.raises(MetaPathError, match="symmetric"):
+            small_bib.engine().pathsim_top_k("A-P-V", 0, 2)
+
+    def test_reversed_is_symmetric_concat(self, bib_schema):
+        mp = MetaPath.parse("A-P-V", bib_schema)
+        round_trip = mp.concat(mp.reversed())
+        assert round_trip.is_symmetric()
+        assert str(round_trip) == "author-paper-venue-paper-author"
+
+
+class TestInverseSteps:
+    def test_forward_self_relation_default(self, citation_schema):
+        mp = MetaPath.parse("paper-paper", citation_schema)
+        [(rel, forward)] = mp.steps()
+        assert rel.name == "cites" and forward
+
+    def test_inverse_self_relation(self, citation_schema):
+        mp = MetaPath.parse("paper-[~cites]-paper", citation_schema)
+        [(rel, forward)] = mp.steps()
+        assert rel.name == "cites" and not forward
+
+    def test_inverse_explicit_on_bipartite_relation(self, citation_schema):
+        mp = MetaPath.parse("paper-[~writes]-author", citation_schema)
+        [(rel, forward)] = mp.steps()
+        assert rel.name == "writes" and not forward
+
+    def test_inverse_wrong_direction_raises(self, citation_schema):
+        with pytest.raises(MetaPathError, match="inverse"):
+            MetaPath.parse("author-[~writes]-paper", citation_schema)
+
+    def test_inverse_unknown_relation(self, citation_schema):
+        with pytest.raises(RelationNotFoundError):
+            MetaPath.parse("paper-[~zzz]-paper", citation_schema)
+
+    def test_citation_chain_mixes_directions(self, citation_schema):
+        # papers citing a paper that cites: P <-cites- P -cites-> P
+        mp = MetaPath.parse("paper-[~cites]-paper-[cites]-paper", citation_schema)
+        assert [f for _, f in mp.steps()] == [False, True]
+        assert mp.is_symmetric()
+
+
+class TestRoundTrip:
+    def test_plain_path(self, bib_schema):
+        mp = MetaPath.parse("A-P-V-P-A", bib_schema)
+        assert str(mp) == "author-paper-venue-paper-author"
+        assert MetaPath.parse(str(mp), bib_schema) == mp
+
+    def test_inverse_self_relation_round_trips(self, citation_schema):
+        mp = MetaPath.parse("paper-[~cites]-paper", citation_schema)
+        assert str(mp) == "paper-[~cites]-paper"
+        assert MetaPath.parse(str(mp), citation_schema) == mp
+
+    def test_ambiguous_pair_needs_schema_aware_string(self, ambiguous_schema):
+        mp = MetaPath.parse("person-[reviews]-paper", ambiguous_schema)
+        text = mp.to_string(ambiguous_schema)
+        assert text == "person-[reviews]-paper"
+        assert MetaPath.parse(text, ambiguous_schema) == mp
+
+    def test_every_step_kind_round_trips(self, citation_schema):
+        specs = [
+            "author-paper-author",
+            "paper-[~cites]-paper-paper",
+            "author-paper-[cites]-paper-[~writes]-author",
+        ]
+        for spec in specs:
+            mp = MetaPath.parse(spec, citation_schema)
+            assert MetaPath.parse(str(mp), citation_schema) == mp
+
+
+class TestSchemaValidationFailures:
+    def test_unknown_type_is_schema_error(self, bib_schema):
+        with pytest.raises(SchemaError):
+            MetaPath.parse("author-zzz", bib_schema)
+
+    def test_unknown_relation_is_schema_error(self, bib_schema):
+        with pytest.raises(SchemaError):
+            MetaPath.parse("author-[zzz]-paper", bib_schema)
+
+    def test_unjoined_types_raise(self, bib_schema):
+        with pytest.raises(MetaPathError, match="no relation joins"):
+            MetaPath.parse("author-venue", bib_schema)
+
+    def test_engine_surface_raises_repro_error_not_raw_keyerror(self, small_bib):
+        """Bad paths through the full query stack surface as ReproError
+        subclasses with readable messages, never bare KeyErrors from
+        matrix assembly."""
+        engine = small_bib.engine()
+        for bad in ("author-nope", "author-[nope]-paper", "a-v"):
+            with pytest.raises(ReproError) as excinfo:
+                engine.commuting_matrix(bad)
+            assert isinstance(excinfo.value, SchemaError)
+
+    def test_foreign_metapath_validated_against_schema(self, bib_schema):
+        other = NetworkSchema(["author", "paper"], [("writes", "author", "paper")])
+        foreign = MetaPath.parse("author-paper", other)
+        # identical relation -> accepted
+        assert bib_schema.meta_path(foreign) is foreign
+        mismatched = NetworkSchema(["author", "paper"], [("writes", "paper", "author")])
+        with pytest.raises(MetaPathError):
+            mismatched.meta_path(foreign)
+
+
+class TestAsMetapath:
+    def test_accepts_schema_hin_and_engine(self, bib_schema, small_bib):
+        mp = as_metapath(bib_schema, "A-P-A")
+        assert as_metapath(small_bib, "A-P-A") == mp
+        assert as_metapath(small_bib.engine(), "A-P-A") == mp
+        assert as_metapath(small_bib, mp) is mp
+        assert as_metapath(small_bib, ["author", "paper", "author"]) == mp
+
+    def test_rejects_non_networks(self):
+        with pytest.raises(TypeError, match="cannot resolve"):
+            as_metapath(42, "a-b")
+
+    def test_hin_route_is_memoized_by_engine(self, small_bib):
+        first = as_metapath(small_bib, "A-P-A")
+        second = as_metapath(small_bib, "A-P-A")
+        assert first is second  # engine parse memo

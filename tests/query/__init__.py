@@ -1,0 +1,1 @@
+"""Tests for the unified query facade (repro.query)."""

@@ -1,0 +1,168 @@
+"""Typed result objects: the uniform top/labels/scores/to_dict protocol."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TypeNotFoundError
+from repro.query import (
+    ClassificationResult,
+    ClusteringResult,
+    RankingResult,
+    TopKResult,
+)
+
+
+class TestTopKResult:
+    def make(self):
+        return TopKResult(
+            [("VLDB", 0.9), ("ICDE", 0.7), ("PODS", 0.5)],
+            node_type="venue",
+            query="SIGMOD",
+            path="venue-paper-author-paper-venue",
+            measure="pathsim",
+        )
+
+    def test_is_a_list_of_pairs(self):
+        r = self.make()
+        assert isinstance(r, list)
+        assert r == [("VLDB", 0.9), ("ICDE", 0.7), ("PODS", 0.5)]
+        assert r[0] == ("VLDB", 0.9)
+        assert len(r) == 3
+
+    def test_protocol(self):
+        r = self.make()
+        assert r.top(2) == [("VLDB", 0.9), ("ICDE", 0.7)]
+        assert r.labels == ["VLDB", "ICDE", "PODS"]
+        assert np.allclose(r.scores, [0.9, 0.7, 0.5])
+
+    def test_to_dict_json_able(self):
+        d = self.make().to_dict()
+        json.dumps(d)  # must not raise
+        assert d["kind"] == "topk"
+        assert d["query"] == "SIGMOD"
+        assert d["results"][0] == {"object": "VLDB", "score": 0.9}
+
+    def test_repr_mentions_query(self):
+        assert "SIGMOD" in repr(self.make())
+
+
+class TestRankingResult:
+    def make(self):
+        # index order: scores of objects 0..3
+        return RankingResult(
+            ["a", "b", "c", "d"],
+            [0.1, 0.4, 0.2, 0.3],
+            node_type="author",
+            method="authority",
+        )
+
+    def test_ranked_pairs_best_first(self):
+        r = self.make()
+        assert r.labels == ["b", "d", "c", "a"]
+        assert r[0] == ("b", 0.4)
+
+    def test_scores_stay_in_index_order(self):
+        assert np.allclose(self.make().scores, [0.1, 0.4, 0.2, 0.3])
+
+    def test_top_and_score_of(self):
+        r = self.make()
+        assert r.top(2) == [("b", 0.4), ("d", 0.3)]
+        assert r.score_of("c") == 0.2
+        with pytest.raises(KeyError):
+            r.score_of("zzz")
+
+    def test_anonymous_objects_use_indices(self):
+        r = RankingResult(None, [0.2, 0.8])
+        assert r.labels == [1, 0]
+
+    def test_stable_tie_break(self):
+        r = RankingResult(["x", "y", "z"], [0.5, 0.5, 0.5])
+        assert r.labels == ["x", "y", "z"]
+
+    def test_to_dict_json_able(self):
+        d = self.make().to_dict()
+        json.dumps(d)
+        assert d["kind"] == "ranking" and d["method"] == "authority"
+
+
+class TestClusteringResult:
+    def make(self, scores=(0.9, 0.8, 0.7, 0.95, 0.6)):
+        return ClusteringResult(
+            [0, 0, 1, 1, 0],
+            scores=None if scores is None else list(scores),
+            names=["n0", "n1", "n2", "n3", "n4"],
+            node_type="venue",
+            algorithm="netclus",
+        )
+
+    def test_labels_sizes_members(self):
+        r = self.make()
+        assert np.array_equal(r.labels, [0, 0, 1, 1, 0])
+        assert r.n_clusters == 2
+        assert r.sizes.tolist() == [3, 2]
+        assert r.members(1).tolist() == [2, 3]
+
+    def test_top_with_scores(self):
+        r = self.make()
+        assert r.top(2, 0) == [("n0", 0.9), ("n1", 0.8)]
+        assert r.top(1, 1) == [("n3", 0.95)]
+        # no cluster argument -> one list per cluster
+        assert r.top(1) == [[("n0", 0.9)], [("n3", 0.95)]]
+
+    def test_top_without_scores(self):
+        r = self.make(scores=None)
+        assert r.top(2, 0) == [("n0", 1.0), ("n1", 1.0)]
+
+    def test_role_labels_excluded_from_sizes(self):
+        r = ClusteringResult([0, -1, 1, -2, 0], algorithm="scan")
+        assert r.n_clusters == 2
+        assert r.sizes.tolist() == [2, 1]
+
+    def test_to_dict_json_able(self):
+        json.dumps(self.make().to_dict())
+
+
+class TestClassificationResult:
+    def make(self):
+        scores = {
+            "venue": np.array([[0.9, 0.1], [0.2, 0.8]]),
+            "paper": np.array([[0.6, 0.4], [0.5, 0.5], [0.1, 0.9]]),
+        }
+        labels = {"venue": np.array([0, 1]), "paper": np.array([0, 0, 1])}
+        return ClassificationResult(
+            [0, 1],
+            labels,
+            scores,
+            names={"venue": ["v0", "v1"], "paper": None},
+            method="gnetmine",
+        )
+
+    def test_labels_and_for_type(self):
+        r = self.make()
+        assert set(r.labels) == {"venue", "paper"}
+        assert r.for_type("venue").tolist() == [0, 1]
+        with pytest.raises(TypeNotFoundError):
+            r.for_type("zzz")
+
+    def test_top_orders_by_confidence(self):
+        r = self.make()
+        top = r.top(2, "venue")
+        assert top[0] == ("v0", 0, 0.9)
+        assert top[1] == ("v1", 1, 0.8)
+        # anonymous types fall back to indices
+        assert r.top(1, "paper")[0] == (2, 1, 0.9)
+
+    def test_top_requires_type_when_multiple(self):
+        with pytest.raises(ValueError, match="node_type"):
+            self.make().top(1)
+
+    def test_single_type_defaults(self):
+        r = ClassificationResult([0, 1], {"venue": np.array([1, 0])})
+        assert r.top(1) == [(0, 1, 1.0)]  # scoreless -> confidence 1.0
+
+    def test_to_dict_json_able(self):
+        json.dumps(self.make().to_dict())

@@ -53,6 +53,35 @@ class TestPathsimMatrix:
         assert s[1, 1] == 0.0  # invisible under this path
         assert s[0, 0] == 1.0
 
+    def test_accepts_every_dsl_spelling(self, small_bib):
+        """DSL strings (abbreviated or not), type lists, and MetaPath
+        objects are interchangeable anywhere a meta-path is accepted."""
+        from repro.networks import as_metapath
+
+        reference = pathsim_matrix(small_bib, APA)
+        for spelling in (
+            "A-P-A",
+            ["author", "paper", "author"],
+            as_metapath(small_bib, APA),
+        ):
+            assert np.allclose(pathsim_matrix(small_bib, spelling), reference)
+            assert PathSim(spelling).fit(small_bib).similarity(
+                "a0", "a1"
+            ) == pytest.approx(reference[0, 1])
+
+    def test_measure_family_accepts_abbreviations(self, small_bib):
+        from repro.similarity import (
+            path_constrained_random_walk,
+            path_count_matrix,
+        )
+
+        full = path_count_matrix(small_bib, APA).toarray()
+        assert np.allclose(path_count_matrix(small_bib, "A-P-A").toarray(), full)
+        pcrw_full = path_constrained_random_walk(small_bib, APA).toarray()
+        assert np.allclose(
+            path_constrained_random_walk(small_bib, "A-P-A").toarray(), pcrw_full
+        )
+
 
 class TestPathSimIndex:
     def test_top_k_names(self, small_bib):

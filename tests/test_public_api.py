@@ -10,6 +10,8 @@ import pytest
 SUBPACKAGES = [
     "repro",
     "repro.networks",
+    "repro.engine",
+    "repro.query",
     "repro.relational",
     "repro.measures",
     "repro.ranking",
@@ -74,3 +76,47 @@ def test_quickstart_docstring_flow():
     ps = PathSim("venue-paper-author-paper-venue").fit(dblp.hin)
     peers = ps.top_k("SIGMOD", 3)
     assert len(peers) == 3
+
+
+def test_query_facade_surface():
+    """The unified query surface: everything reachable from one session."""
+    import repro
+
+    # top-level names
+    for name in (
+        "QuerySession",
+        "connect",
+        "as_metapath",
+        "Estimator",
+        "RankingResult",
+        "TopKResult",
+        "ClusteringResult",
+        "ClassificationResult",
+    ):
+        assert hasattr(repro, name), name
+
+    from repro.datasets import make_dblp_four_area
+
+    hin = make_dblp_four_area(authors_per_area=10, papers_per_area=20, seed=0).hin
+    q = hin.query()
+    assert isinstance(q, repro.QuerySession)
+    for op in ("rank", "similar", "similar_batch", "connected", "cluster",
+               "classify", "olap", "path", "prewarm", "cache_info"):
+        assert callable(getattr(q, op)), op
+
+    # typed results from the flagship query paths
+    peers = q.similar("SIGMOD", "V-P-A-P-V", k=3)
+    assert isinstance(peers, repro.TopKResult)
+    ranking = q.rank("venue", by="author", method="simple")
+    assert isinstance(ranking, repro.RankingResult)
+
+
+def test_estimators_implement_protocol():
+    from repro.classification import GNetMine
+    from repro.clustering import CrossClus, LinkClus
+    from repro.core import NetClus, RankClus
+    from repro.query import Estimator
+    from repro.similarity import PathSim, SimRank
+
+    for cls in (RankClus, NetClus, PathSim, SimRank, GNetMine, CrossClus, LinkClus):
+        assert issubclass(cls, Estimator), cls.__name__
