@@ -9,7 +9,6 @@ ICML/NIPS) should surface at the top of their clusters.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import format_table, record_table

@@ -10,7 +10,6 @@ The cube over the DBLP four-area network with area and year dimensions:
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import format_table, record_table

@@ -11,13 +11,11 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import format_table, record_table
 from repro.core import NetClus, RankClus
 from repro.datasets import make_bitype_network, make_dblp_four_area
-from repro.networks import Graph
 from repro.similarity import simrank
 
 

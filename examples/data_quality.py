@@ -40,9 +40,11 @@ def reconciliation_demo() -> None:
     rng = ensure_rng(0)
     n_entities, n_context = 12, 80
     signatures = (rng.random((n_entities, n_context)) < 0.12).astype(float)
-    noisy_view = lambda: np.array(
-        [sig * (rng.random(n_context) < 0.8) for sig in signatures]
-    )
+    def noisy_view():
+        return np.array(
+            [sig * (rng.random(n_context) < 0.8) for sig in signatures]
+        )
+
     left, right = noisy_view(), noisy_view()
     # the two sources spell names differently
     names_left = [f"author {i} jr" for i in range(n_entities)]

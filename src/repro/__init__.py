@@ -36,7 +36,16 @@ from repro import (
 )
 from repro.engine import MetaPathEngine
 from repro.exceptions import ReproError
-from repro.networks import HIN, Graph, MetaPath, NetworkSchema, Relation, as_metapath
+from repro.networks import (
+    HIN,
+    AppliedUpdate,
+    Graph,
+    MetaPath,
+    NetworkSchema,
+    Relation,
+    UpdateBatch,
+    as_metapath,
+)
 from repro.query import (
     ClassificationResult,
     ClusteringResult,
@@ -56,6 +65,8 @@ __all__ = [
     "Relation",
     "MetaPath",
     "MetaPathEngine",
+    "UpdateBatch",
+    "AppliedUpdate",
     "ReproError",
     "QuerySession",
     "connect",

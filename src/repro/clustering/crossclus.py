@@ -83,8 +83,10 @@ class CrossClus(Estimator):
 
     Example
     -------
-    >>> model = CrossClus(db, "client", 2, guidance=(("client", "account"), "region"))  # doctest: +SKIP
-    >>> model.fit().labels_                                                             # doctest: +SKIP
+    >>> model = CrossClus(
+    ...     db, "client", 2, guidance=(("client", "account"), "region")
+    ... )  # doctest: +SKIP
+    >>> model.fit().labels_  # doctest: +SKIP
     """
 
     def __init__(

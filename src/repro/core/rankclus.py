@@ -28,7 +28,6 @@ from repro.networks.hin import HIN
 from repro.query.estimator import Estimator
 from repro.query.results import ClusteringResult
 from repro.ranking.authority import BiTypeRanking, authority_ranking, simple_ranking
-from repro.utils.rng import ensure_rng
 from repro.utils.sparse import to_csr
 from repro.utils.validation import check_positive, check_probability
 

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_positive, check_probability

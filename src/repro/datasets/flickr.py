@@ -141,7 +141,9 @@ def make_flickr(
             "photo": [f"photo_{i}" for i in range(n_photos)],
             "user": [f"user_{i}" for i in range(n_users)],
             "tag": [
-                f"tag_{FLICKR_TOPICS[tag_labels[i]]}_{i}" if tag_labels[i] >= 0 else f"tag_generic_{i}"
+                f"tag_{FLICKR_TOPICS[tag_labels[i]]}_{i}"
+                if tag_labels[i] >= 0
+                else f"tag_generic_{i}"
                 for i in range(n_tags)
             ],
             "group": [f"group_{i}" for i in range(n_groups)],

@@ -5,9 +5,9 @@ rank-while-clustering loops of RankClus/NetClus, meta-path features for
 classification — reduces to products of typed relation matrices along a
 meta-path (*commuting matrices*).  Recomputing those products per query
 is the dominant cost of a query-heavy workload, and it is pure waste:
-the network changes rarely, the paths repeat constantly.
+the network changes far more slowly than the paths repeat.
 
-The engine fixes this with three ideas:
+The engine fixes this with four ideas:
 
 1. **Canonical-path caching.**  Commuting matrices are materialized once
    into an LRU-bounded cache (:class:`repro.utils.cache.LRUCache`) keyed
@@ -26,6 +26,12 @@ The engine fixes this with three ideas:
    through the step matrices for asymmetric paths), normalized, and the
    top-k selected with a partition (:func:`repro.engine.topk.top_k_indices`)
    instead of a full sort.  Batched queries slice a block of rows at once.
+4. **Incremental maintenance.**  When the network mutates
+   (``hin.apply()``/``hin.mutate()``), the update receipt reaches
+   :meth:`MetaPathEngine.apply_update`, which patches every cached
+   product with a *delta product* (cost scales with the update, not the
+   network) instead of invalidating the cache wholesale; see the method
+   docstring and ``docs/ARCHITECTURE.md``.
 
 Answers are exactly those of dense full materialization — same scores,
 same tie-breaking — which the engine test-suite and benchmark E5 assert.
@@ -43,11 +49,23 @@ import scipy.sparse as sp
 
 from repro.exceptions import MetaPathError, NodeNotFoundError
 from repro.networks.schema import MetaPath
+from repro.networks.updates import AppliedUpdate, pad_csr
 from repro.query.results import TopKResult
 from repro.utils.cache import CacheInfo, LRUCache
 from repro.engine.topk import top_k_indices
 
 __all__ = ["MetaPathEngine"]
+
+
+def _canonical(m: sp.csr_matrix) -> sp.csr_matrix:
+    """Ensure canonical CSR form (sorted, duplicate-free) in place.
+
+    Sparse products come back with unsorted column indices; every later
+    binary op (the adds of incremental maintenance above all) silently
+    re-canonicalizes per call unless it is done once here.
+    """
+    m.sum_duplicates()
+    return m
 
 
 class MetaPathEngine:
@@ -56,12 +74,21 @@ class MetaPathEngine:
     Parameters
     ----------
     hin:
-        The :class:`~repro.networks.hin.HIN` to serve queries on.  The
-        engine assumes the network is immutable (as HINs are once built);
-        call :meth:`clear_cache` if relation matrices are ever replaced.
+        The :class:`~repro.networks.hin.HIN` to serve queries on.  When
+        the network changes through ``hin.apply()`` / ``hin.mutate()``,
+        the network's shared engine receives the update receipt and
+        maintains its cached matrices *incrementally*
+        (:meth:`apply_update`); a detached engine notices the epoch
+        mismatch on its next query and falls back to a full cache clear.
     max_cached_matrices:
         LRU bound on the number of cached materializations (prefix
         products, symmetric decompositions, type-pair matrices).
+    delta_rebuild_threshold:
+        Incremental maintenance pays off while the update's per-relation
+        delta is much sparser than the relation itself.  When
+        ``delta.nnz / new.nnz`` exceeds this fraction for a relation, the
+        engine evicts the cached products that traverse it (they rebuild
+        lazily) instead of computing a delta denser than a rebuild.
 
     Example
     -------
@@ -71,9 +98,20 @@ class MetaPathEngine:
     [('VLDB', 0.98...), ('ICDE', 0.94...), ...]
     """
 
-    def __init__(self, hin, *, max_cached_matrices: int = 64):
+    def __init__(
+        self,
+        hin,
+        *,
+        max_cached_matrices: int = 64,
+        delta_rebuild_threshold: float = 0.25,
+    ):
         self.hin = hin
         self._cache = LRUCache(max_cached_matrices)
+        self.delta_rebuild_threshold = float(delta_rebuild_threshold)
+        # The network version this engine's cache describes.  Kept in
+        # lock-step by apply_update(); _sync() handles engines that missed
+        # an epoch (detached engines, or matrices replaced behind our back).
+        self._epoch = getattr(hin, "version", 0)
         # Parse/validation memos, kept separate from the matrix cache so
         # hot query paths never evict a materialization.  Entries are tiny
         # and the set of distinct paths a workload uses is small, so plain
@@ -81,6 +119,26 @@ class MetaPathEngine:
         self._parsed: dict[str, MetaPath] = {}
         self._validated: set[tuple] = set()
         self._symmetric: dict[tuple, bool] = {}
+
+    @property
+    def epoch(self) -> int:
+        """Network version the cached materializations answer for."""
+        return self._epoch
+
+    def _sync(self) -> None:
+        """Safety net for engines that missed an update receipt.
+
+        The shared engine is maintained push-style by ``hin.apply()``;
+        an engine constructed with kwargs (detached cache) or a network
+        mutated more than once between its queries lands here instead:
+        on epoch mismatch the whole cache is dropped (correct, just not
+        incremental) and the generation counter advances.
+        """
+        version = getattr(self.hin, "version", 0)
+        if version != self._epoch:
+            self._cache.clear()
+            self._cache.bump_generation()
+            self._epoch = version
 
     # ------------------------------------------------------------------
     # Parsing / validation
@@ -149,7 +207,7 @@ class MetaPathEngine:
         if cached is None:
             rel, forward = steps[-1]
             last = self.hin.oriented_matrix(rel, forward)
-            cached = self._product(steps[:-1]).dot(last).tocsr()
+            cached = _canonical(self._product(steps[:-1]).dot(last).tocsr())
             self._cache.put(key, cached)
         return cached
 
@@ -159,6 +217,7 @@ class MetaPathEngine:
         Symmetric paths are built as ``W W^T`` from the cached half
         product; asymmetric paths as the cached left-to-right product.
         """
+        self._sync()
         mp = self.path(path)
         steps = tuple(mp.steps())
         key = ("product", mp.canonical_key())
@@ -167,7 +226,7 @@ class MetaPathEngine:
             return cached
         if mp.is_symmetric():
             w = self._product(steps[: len(steps) // 2])
-            m = w.dot(w.T).tocsr()
+            m = _canonical(w.dot(w.T).tocsr())
         else:
             m = self._product(steps)
         self._cache.put(key, m)
@@ -187,6 +246,7 @@ class MetaPathEngine:
         """``(W, diag)`` for a symmetric path: the half product and the
         commuting matrix's diagonal (row-wise squared norms of ``W``) —
         all a PathSim query needs."""
+        self._sync()
         mp = self.symmetric_path(path)
         key = ("pathsim", mp.canonical_key())
 
@@ -333,6 +393,7 @@ class MetaPathEngine:
             query=self.hin.name_of(mp.source_type, query),
             path=str(mp),
             measure=measure,
+            network_version=getattr(self.hin, "version", None),
         )
 
     # ------------------------------------------------------------------
@@ -345,6 +406,7 @@ class MetaPathEngine:
         threads one sparse row through the step matrices, which costs a
         vector-matrix product per step instead of materializing ``M_P``.
         """
+        self._sync()
         mp = self.path(path)
         i = self._resolve(mp.source_type, query)
         key = mp.canonical_key()
@@ -383,6 +445,304 @@ class MetaPathEngine:
         )
 
     # ------------------------------------------------------------------
+    # Incremental maintenance under network updates
+    # ------------------------------------------------------------------
+    def apply_update(self, update: AppliedUpdate) -> dict:
+        """Maintain every cached materialization under *update*.
+
+        ``hin.apply()`` calls this on the network's shared engine with the
+        update receipt.  For each cached product whose step tuple touches
+        an updated relation, the new matrix is produced by a *delta
+        product* instead of a rebuild:
+
+        .. math::
+
+            \\Delta M = \\sum_i W'_1 \\cdots W'_{i-1} \\,\\Delta W_i\\,
+                        W_{i+1} \\cdots W_k
+
+        — new matrices left of each delta, old matrices right of it, which
+        telescopes exactly to ``M' - M``.  Each term threads a matrix with
+        ``delta.nnz`` entries through the chain, so its cost scales with
+        the *update*, not the network.  Relations whose delta is denser
+        than :attr:`delta_rebuild_threshold` of the relation get their
+        dependent entries evicted instead (rebuild lazily beats a dense
+        delta); untouched entries are kept, padded with zero rows/columns
+        when an endpoint type grew.
+
+        For integer-weighted networks (link counts — the common case) the
+        maintained matrices are bit-for-bit identical to rebuilt ones;
+        with fractional weights they agree to floating-point roundoff.
+
+        Returns a maintenance report: counts of ``updated`` / ``padded`` /
+        ``evicted`` / ``kept`` entries.
+        """
+        if update.epoch != self._epoch + 1:
+            # A receipt from the wrong base epoch: a *replayed* receipt
+            # (epoch already applied) is a no-op, while a *skipped* epoch
+            # means incremental maintenance would corrupt — _sync() drops
+            # everything in that case, and the report reflects which
+            # happened.
+            stale = getattr(self.hin, "version", 0) != self._epoch
+            dropped = len(self._cache) if stale else 0
+            kept = 0 if stale else len(self._cache)
+            self._sync()
+            return {"updated": 0, "padded": 0, "evicted": dropped, "kept": kept}
+        dense_rels = {
+            name
+            for name, d in update.deltas.items()
+            if d.density_vs_rebuild > self.delta_rebuild_threshold
+        }
+        # Per-call scratch shared across entries: oriented old transposes,
+        # memoized delta products (a pathsim half and its full product
+        # compute each Δ once), and a pre-maintenance snapshot of cached
+        # values so symmetric products can be patched from their *old*
+        # half product regardless of processing order.
+        scratch = {
+            "old_transposes": {},
+            "delta_products": {},
+            "patched_products": {},
+            "snapshot": {key: self._cache.peek(key) for key in self._cache.keys()},
+        }
+        report = {"updated": 0, "padded": 0, "evicted": 0, "kept": 0}
+        for key in self._cache.keys():
+            kind, full_steps = key
+            steps = (
+                full_steps[: len(full_steps) // 2]
+                if kind == "pathsim"
+                else full_steps
+            )
+            rels = {name for name, _ in steps}
+            if rels & dense_rels:
+                self._cache.pop(key)
+                report["evicted"] += 1
+                continue
+            grown_src = self._step_from_type(steps[0]) in update.node_growth
+            grown_dst = self._step_to_type(steps[-1]) in update.node_growth
+            if not (rels & update.changed_relations):
+                if grown_src or grown_dst:
+                    self._pad_entry(key, kind, steps)
+                    report["padded"] += 1
+                else:
+                    report["kept"] += 1
+                continue
+            self._maintain_entry(key, kind, steps, update, scratch)
+            report["updated"] += 1
+        self._epoch = update.epoch
+        self._cache.bump_generation()
+        return report
+
+    def _step_from_type(self, step: tuple) -> str:
+        name, forward = step
+        rel = self.hin.schema.relation(name)
+        return rel.source if forward else rel.target
+
+    def _step_to_type(self, step: tuple) -> str:
+        name, forward = step
+        rel = self.hin.schema.relation(name)
+        return rel.target if forward else rel.source
+
+    def _entry_shape(self, steps: tuple) -> tuple[int, int]:
+        """Post-update shape of the product over *steps*."""
+        return (
+            self.hin.node_count(self._step_from_type(steps[0])),
+            self.hin.node_count(self._step_to_type(steps[-1])),
+        )
+
+    def _pad_entry(self, key: tuple, kind: str, steps: tuple) -> None:
+        """Grow a value-unchanged entry to the post-update shape."""
+        shape = self._entry_shape(steps)
+        if kind == "pathsim":
+            w, diag = self._cache.peek(key)
+            w = pad_csr(w, shape)
+            if shape[0] > diag.shape[0]:
+                diag = np.concatenate([diag, np.zeros(shape[0] - diag.shape[0])])
+            self._cache.replace(key, (w, diag))
+        else:
+            self._cache.replace(key, pad_csr(self._cache.peek(key), shape))
+
+    @staticmethod
+    def _patch(matrix: sp.csr_matrix, delta) -> sp.csr_matrix:
+        """``matrix + delta`` in canonical CSR form.
+
+        scipy's CSR addition already returns sorted, duplicate-free
+        indices; explicit zeros (exact cancellations) can only appear
+        where the delta is negative, so the O(nnz) prune runs only then.
+        """
+        if delta is None:
+            return matrix
+        delta = _canonical(delta.tocsr())
+        out = (matrix + delta).tocsr()
+        if delta.nnz and delta.data.min() < 0:
+            out.eliminate_zeros()
+        return out
+
+    def _maintain_entry(
+        self,
+        key: tuple,
+        kind: str,
+        steps: tuple,
+        update: AppliedUpdate,
+        scratch: dict,
+    ) -> None:
+        """Rewrite one cached entry as ``pad(old) + delta``."""
+        shape = self._entry_shape(steps)
+        if kind == "pathsim":
+            delta = self._memo_delta(steps, update, scratch)
+            w, diag = self._cache.peek(key)
+            w = pad_csr(w, shape)
+            if shape[0] > diag.shape[0]:
+                diag = np.concatenate([diag, np.zeros(shape[0] - diag.shape[0])])
+            if delta is not None:
+                delta = _canonical(delta.tocsr())
+                # diag maintained incrementally on the delta's support:
+                # ||w'_i||² = ||w_i||² + Σ_j (2 w_ij Δ_ij + Δ_ij²).
+                correction = (
+                    w.multiply(delta).sum(axis=1)
+                    * 2.0
+                    + delta.multiply(delta).sum(axis=1)
+                )
+                diag = diag + np.asarray(correction).ravel()
+                w = self._patched_product(steps, w, delta, scratch)
+            self._cache.replace(key, (w, diag))
+        else:
+            delta = self._symmetric_delta(steps, update, scratch)
+            if delta is NotImplemented:
+                delta = self._memo_delta(steps, update, scratch)
+                m = self._patched_product(
+                    steps, pad_csr(self._cache.peek(key), shape), delta, scratch
+                )
+            else:
+                m = self._patch(pad_csr(self._cache.peek(key), shape), delta)
+            self._cache.replace(key, m)
+
+    def _patched_product(self, steps: tuple, padded, delta, scratch: dict):
+        """Memoized ``padded + delta`` for plain product entries.
+
+        A symmetric path's pathsim ``W`` and the cached half product hold
+        the same matrix under two keys; patching it is the expensive part
+        of maintenance for large products, so the result is shared within
+        one :meth:`apply_update` pass.
+        """
+        memo = scratch["patched_products"]
+        got = memo.get(steps)
+        if got is None:
+            got = self._patch(padded, delta)
+            memo[steps] = got
+        return got
+
+    def _memo_delta(self, steps: tuple, update: AppliedUpdate, scratch: dict):
+        """Per-apply_update memo over :meth:`_delta_product` — a pathsim
+        half and the cached half product share one computation."""
+        memo = scratch["delta_products"]
+        if steps not in memo:
+            memo[steps] = self._delta_product(
+                steps, update, scratch["old_transposes"]
+            )
+        return memo[steps]
+
+    def _symmetric_delta(self, steps: tuple, update: AppliedUpdate, scratch: dict):
+        """``ΔM`` of a symmetric product from its *half* delta.
+
+        For ``M = W Wᵀ`` (``W`` the half product), substituting
+        ``W' = W + ΔW`` gives exactly
+
+            ``ΔM = ΔW Wᵀ + W ΔWᵀ + ΔW ΔWᵀ``
+
+        — two thin-times-full products instead of threading the delta
+        through all ``k`` steps, whose backward half can reach most of the
+        network even for a localized update.  Needs the *old* half
+        product, read from the pre-maintenance snapshot (the pathsim
+        entry's ``W`` or the cached half product itself); returns
+        ``NotImplemented`` when the path is asymmetric or no old half is
+        cached, so the caller falls back to the general delta product.
+        """
+        k = len(steps)
+        if k < 2 or k % 2 or not self._steps_symmetric(steps):
+            return NotImplemented
+        half = steps[: k // 2]
+        snapshot = scratch["snapshot"]
+        cached = snapshot.get(("pathsim", steps))
+        w_old = cached[0] if cached is not None else snapshot.get(("product", half))
+        if w_old is None and len(half) == 1:
+            name, forward = half[0]
+            d = update.deltas.get(name)
+            w_old = (
+                self._old_oriented(half[0], update, scratch["old_transposes"])
+                if d is not None
+                else None
+            )
+        if w_old is None:
+            return NotImplemented
+        dw = self._memo_delta(half, update, scratch)
+        if dw is None:
+            return None
+        dw = _canonical(dw.tocsr())
+        w_old = pad_csr(w_old, dw.shape)
+        left = _canonical((dw @ w_old.T).tocsr())
+        return left + left.T.tocsr() + _canonical((dw @ dw.T).tocsr())
+
+    @staticmethod
+    def _steps_symmetric(steps: tuple) -> bool:
+        return steps == tuple((name, not fwd) for name, fwd in reversed(steps))
+
+    def _delta_product(
+        self, steps: tuple, update: AppliedUpdate, old_transposes: dict
+    ):
+        """``Σ_i W'_1…W'_{i-1} ΔW_i W_{i+1}…W_k`` over *steps* (``None``
+        when no step's relation changed).
+
+        Every product in each term involves the sparse ``ΔW_i``, so the
+        intermediate matrices stay thin (bounded by the delta's reach)
+        and scipy's CSR multiply only pays for actual flops.
+        """
+        total = None
+        for i, (name, forward) in enumerate(steps):
+            d = update.deltas.get(name)
+            if d is None or d.delta.nnz == 0:
+                continue
+            term = d.delta if forward else d.delta.T.tocsr()
+            # Old suffix first: a delta that only references newly added
+            # nodes hits their all-zero rows in the old matrices and the
+            # whole term vanishes structurally — stop multiplying the
+            # moment it does.
+            for j in range(i + 1, len(steps)):
+                term = term @ self._old_oriented(steps[j], update, old_transposes)
+                if term.nnz == 0:
+                    break
+            if term.nnz == 0:
+                continue
+            for j in range(i - 1, -1, -1):
+                name_j, forward_j = steps[j]
+                term = self.hin.oriented_matrix(name_j, forward_j) @ term
+                if term.nnz == 0:
+                    break
+            if term.nnz == 0:
+                continue
+            total = term if total is None else total + term
+        return total
+
+    def _old_oriented(
+        self, step: tuple, update: AppliedUpdate, old_transposes: dict
+    ) -> sp.csr_matrix:
+        """Pre-update matrix of *step*, oriented along the traversal.
+
+        Unchanged relations read (already padded) from the network;
+        changed ones come from the receipt's ``old`` snapshot, with
+        backward traversals transposed once per :meth:`apply_update` call.
+        """
+        name, forward = step
+        d = update.deltas.get(name)
+        if d is None:
+            return self.hin.oriented_matrix(name, forward)
+        if forward:
+            return d.old
+        cached = old_transposes.get(name)
+        if cached is None:
+            cached = d.old.T.tocsr()
+            old_transposes[name] = cached
+        return cached
+
+    # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
     def cache_info(self) -> CacheInfo:
@@ -390,8 +750,11 @@ class MetaPathEngine:
         return self._cache.info()
 
     def clear_cache(self) -> None:
-        """Drop every materialized matrix (e.g. after mutating the HIN)."""
+        """Drop every materialized matrix and start a new cache generation
+        (the blunt alternative to :meth:`apply_update`)."""
         self._cache.clear()
+        self._cache.bump_generation()
+        self._epoch = getattr(self.hin, "version", 0)
 
     def __repr__(self) -> str:
         info = self._cache.info()

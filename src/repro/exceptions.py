@@ -15,6 +15,7 @@ __all__ = [
     "EdgeError",
     "SchemaError",
     "MetaPathError",
+    "UpdateError",
     "RelationNotFoundError",
     "TypeNotFoundError",
     "RelationalError",
@@ -54,6 +55,10 @@ class EdgeError(GraphError):
 
 class SchemaError(ReproError):
     """A network schema is inconsistent or an operation violates it."""
+
+
+class UpdateError(GraphError):
+    """An update batch is malformed or cannot be applied to the network."""
 
 
 class MetaPathError(SchemaError):

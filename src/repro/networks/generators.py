@@ -208,12 +208,18 @@ def planted_partition_with_anomalies(
     n_total = n_core + n_hubs + n_outliers
     edges = [(u, v, w) for u, v, w in graph.edges()]
     full_labels = np.concatenate(
-        [labels, np.full(n_hubs, -2, dtype=labels.dtype), np.full(n_outliers, -1, dtype=labels.dtype)]
+        [
+            labels,
+            np.full(n_hubs, -2, dtype=labels.dtype),
+            np.full(n_outliers, -1, dtype=labels.dtype),
+        ]
     )
     next_id = n_core
     for _ in range(n_hubs):
         # A hub touches >= 2 clusters with hub_degree edges in total.
-        clusters = rng.choice(n_clusters, size=min(n_clusters, max(2, hub_degree // 2)), replace=False)
+        clusters = rng.choice(
+            n_clusters, size=min(n_clusters, max(2, hub_degree // 2)), replace=False
+        )
         for i in range(hub_degree):
             c = clusters[i % len(clusters)]
             member = int(rng.integers(0, n_per_cluster)) + int(c) * n_per_cluster

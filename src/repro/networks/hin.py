@@ -42,9 +42,17 @@ from repro.exceptions import (
     RelationNotFoundError,
     SchemaError,
     TypeNotFoundError,
+    UpdateError,
 )
 from repro.networks.graph import Graph
 from repro.networks.schema import MetaPath, NetworkSchema, Relation
+from repro.networks.updates import (
+    AppliedUpdate,
+    Mutation,
+    RelationDelta,
+    UpdateBatch,
+    pad_csr,
+)
 from repro.utils.sparse import to_csr
 
 __all__ = ["HIN"]
@@ -136,6 +144,7 @@ class HIN:
         self._transposes: dict[str, sp.csr_matrix] = {}
         self._engine = None
         self._query_session = None
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Constructors
@@ -218,6 +227,16 @@ class HIN:
     def total_links(self) -> int:
         """Total number of stored links across all relations."""
         return int(sum(m.nnz for m in self._matrices.values()))
+
+    @property
+    def version(self) -> int:
+        """Update epoch: 0 at construction, +1 per applied batch.
+
+        Caches keyed off this network (the engine's commuting matrices,
+        the session's fitted indexes, typed results' ``network_version``)
+        use the epoch to tell which state of the network they describe.
+        """
+        return self._version
 
     def names(self, node_type: str) -> list | None:
         """Node names for *node_type* (``None`` when anonymous)."""
@@ -355,6 +374,125 @@ class HIN:
             self._query_session = QuerySession(self)
         return self._query_session
 
+    # ------------------------------------------------------------------
+    # Dynamic updates
+    # ------------------------------------------------------------------
+    def mutate(self) -> Mutation:
+        """Open a :class:`~repro.networks.updates.Mutation` builder on this
+        network.
+
+        Collect node additions / edge inserts / deletes / weight upserts,
+        then ``commit()`` (or leave a ``with`` block) to apply them
+        atomically through :meth:`apply`:
+
+        >>> schema = NetworkSchema(["a", "b"], [("r", "a", "b")])
+        >>> hin = HIN.from_edges(
+        ...     schema, nodes={"a": 2, "b": 2}, edges={"r": [(0, 0)]}
+        ... )
+        >>> with hin.mutate() as m:
+        ...     _ = m.add_nodes("b", 1).add_edges("r", [(1, 2)])
+        >>> hin.node_count("b"), hin.total_links, hin.version
+        (3, 2, 1)
+        """
+        return Mutation(self)
+
+    def apply(self, batch: UpdateBatch) -> AppliedUpdate:
+        """Apply *batch* atomically and return the update receipt.
+
+        Node additions take effect first; each relation's edge ops replay
+        in issue order (insert accumulates, delete zeroes, upsert sets).
+        Everything validates before anything commits, so a raising batch
+        leaves the network untouched.  On success the network's
+        :attr:`version` advances and the receipt — per-relation sparse
+        deltas plus node growth — is handed to the attached engine, which
+        maintains its cached commuting matrices incrementally
+        (:meth:`repro.engine.MetaPathEngine.apply_update`) instead of
+        recomputing them.
+        """
+        if not isinstance(batch, UpdateBatch):
+            raise UpdateError(
+                f"apply() takes an UpdateBatch, got {type(batch).__name__}"
+            )
+        # -- validate node growth ---------------------------------------
+        growth: dict[str, tuple[int, int]] = {}
+        new_counts = dict(self._counts)
+        appended_names: dict[str, list] = {}
+        for t, spec in batch.node_additions.items():
+            n = self.node_count(t)  # validates the type
+            if isinstance(spec, int):
+                if t in self._names and spec:
+                    raise UpdateError(
+                        f"type {t!r} has node names; add_nodes() needs names, "
+                        f"not a count"
+                    )
+                added = spec
+            else:
+                if t not in self._names:
+                    raise UpdateError(
+                        f"type {t!r} is anonymous; add_nodes() takes a count, "
+                        f"not names"
+                    )
+                clash = set(spec) & set(self._name_index[t])
+                if clash:
+                    raise UpdateError(
+                        f"new {t!r} names already exist: {sorted(clash)!r}"
+                    )
+                appended_names[t] = list(spec)
+                added = len(spec)
+            if added:
+                growth[t] = (n, n + added)
+                new_counts[t] = n + added
+        # -- build per-relation deltas (nothing committed yet) ----------
+        resized = frozenset(
+            rel.name
+            for rel in self.schema.relations
+            if rel.source in growth or rel.target in growth
+        )
+        deltas: dict[str, RelationDelta] = {}
+        for rel_name in batch.touched_relations:
+            rel = self.schema.relation(rel_name)  # raises on unknown
+            shape = (new_counts[rel.source], new_counts[rel.target])
+            old = pad_csr(self._matrices[rel.name], shape)
+            rows, cols, current, final = batch._final_values(rel_name, old)
+            changed = final != current
+            if not changed.any():
+                continue
+            delta = sp.coo_matrix(
+                (final[changed] - current[changed], (rows[changed], cols[changed])),
+                shape=shape,
+            ).tocsr()
+            new = (old + delta).tocsr()
+            new.eliminate_zeros()
+            new.sort_indices()
+            deltas[rel_name] = RelationDelta(rel_name, old, new, delta)
+        # -- commit -----------------------------------------------------
+        self._counts = new_counts
+        for t, names in appended_names.items():
+            base = len(self._names[t])
+            self._names[t].extend(names)
+            for i, name in enumerate(names):
+                self._name_index[t][name] = base + i
+        for rel in self.schema.relations:
+            if rel.name in deltas:
+                self._matrices[rel.name] = deltas[rel.name].new
+            elif rel.name in resized:
+                self._matrices[rel.name] = pad_csr(
+                    self._matrices[rel.name],
+                    (new_counts[rel.source], new_counts[rel.target]),
+                )
+        for rel_name in set(deltas) | resized:
+            self._transposes.pop(rel_name, None)
+        self._version += 1
+        applied = AppliedUpdate(
+            epoch=self._version,
+            deltas=deltas,
+            node_growth=growth,
+            resized=resized,
+        )
+        if self._engine is not None:
+            self._engine.apply_update(applied)
+        return applied
+
     def homogeneous_projection(self, path, *, remove_self_loops: bool = True) -> Graph:
         """Project the HIN onto a homogeneous graph along meta-path *path*.
 
@@ -382,7 +520,9 @@ class HIN:
     # ------------------------------------------------------------------
     # Degrees and sub-networks
     # ------------------------------------------------------------------
-    def degree(self, node_type: str, relation: str | None = None, *, weighted: bool = True) -> np.ndarray:
+    def degree(
+        self, node_type: str, relation: str | None = None, *, weighted: bool = True
+    ) -> np.ndarray:
         """Per-node degree of *node_type* nodes.
 
         When *relation* is given, only that relation counts; otherwise the

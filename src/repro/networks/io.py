@@ -11,7 +11,6 @@ headers.
 
 from __future__ import annotations
 
-import io
 from pathlib import Path
 
 from repro.exceptions import GraphError, SchemaError
@@ -43,7 +42,9 @@ def write_edge_list(graph: Graph, path_or_file) -> None:
             f.close()
 
 
-def read_edge_list(path_or_file, *, n_nodes: int | None = None, directed: bool | None = None) -> Graph:
+def read_edge_list(
+    path_or_file, *, n_nodes: int | None = None, directed: bool | None = None
+) -> Graph:
     """Read a graph written by :func:`write_edge_list`.
 
     The header comment supplies ``n_nodes``/``directed`` unless overridden;

@@ -1,0 +1,327 @@
+"""Typed, transactional updates for heterogeneous information networks.
+
+A database worthy of the "information network" framing must accept the
+same traffic a database does: new tuples arrive, links are retracted,
+weights change — all while queries keep flowing.  This module is the
+write path of that story:
+
+* :class:`UpdateBatch` — a typed, validated description of one atomic
+  change set: node additions, edge inserts, edge deletions, and weight
+  upserts, per relation, applied in issue order.
+* :class:`Mutation` — the builder :meth:`repro.networks.hin.HIN.mutate`
+  returns; an :class:`UpdateBatch` bound to a network, committed
+  explicitly or on ``with``-block exit.
+* :class:`RelationDelta` / :class:`AppliedUpdate` — the *receipt* of an
+  applied batch: for every changed relation, the old matrix (padded to
+  the post-update shape), the new matrix, and their sparse difference
+  ``ΔW = W_new - W_old``.  The engine consumes this receipt to maintain
+  cached commuting matrices incrementally (delta products) instead of
+  recomputing them from scratch — see
+  :meth:`repro.engine.MetaPathEngine.apply_update`.
+
+Example
+-------
+>>> from repro.networks import HIN, NetworkSchema, UpdateBatch
+>>> schema = NetworkSchema(
+...     ["author", "paper"], [("writes", "author", "paper")]
+... )
+>>> hin = HIN.from_edges(
+...     schema, nodes={"author": 2, "paper": 2},
+...     edges={"writes": [(0, 0), (1, 1)]},
+... )
+>>> batch = (
+...     UpdateBatch()
+...     .add_nodes("paper", 1)
+...     .add_edges("writes", [(0, 2), (1, 2)])
+...     .remove_edges("writes", [(1, 1)])
+... )
+>>> applied = hin.apply(batch)
+>>> hin.node_count("paper"), hin.total_links, hin.version
+(3, 3, 1)
+>>> applied.deltas["writes"].delta.nnz
+3
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import EdgeError, GraphError, UpdateError
+
+__all__ = [
+    "UpdateBatch",
+    "Mutation",
+    "RelationDelta",
+    "AppliedUpdate",
+    "pad_csr",
+]
+
+#: Op kinds a batch records per relation, applied in issue order.
+_INSERT, _DELETE, _UPSERT = "insert", "delete", "upsert"
+
+
+def pad_csr(matrix: sp.csr_matrix, shape: tuple[int, int]) -> sp.csr_matrix:
+    """*matrix* grown with zero rows/columns to *shape* (data shared, no copy).
+
+    Growing a CSR matrix only extends ``indptr`` (rows) or re-declares the
+    column bound, so the padded view shares ``data``/``indices`` with the
+    original — callers must not mutate either in place.
+    """
+    n_rows, n_cols = matrix.shape
+    new_rows, new_cols = shape
+    if new_rows < n_rows or new_cols < n_cols:
+        raise GraphError(f"cannot pad {matrix.shape} down to {shape}")
+    if (new_rows, new_cols) == (n_rows, n_cols):
+        return matrix
+    indptr = matrix.indptr
+    if new_rows > n_rows:
+        indptr = np.concatenate(
+            [indptr, np.full(new_rows - n_rows, indptr[-1], dtype=indptr.dtype)]
+        )
+    return sp.csr_matrix((matrix.data, matrix.indices, indptr), shape=shape)
+
+
+@dataclass(frozen=True)
+class RelationDelta:
+    """One relation's change under an applied batch.
+
+    Attributes
+    ----------
+    relation:
+        Relation name.
+    old:
+        The pre-update matrix, zero-padded to the post-update shape (so
+        ``old``, ``new`` and ``delta`` are all conformable).
+    new:
+        The post-update matrix.
+    delta:
+        ``new - old`` as a sparse matrix; its support is exactly the set
+        of cells the batch touched with a net effect.
+    """
+
+    relation: str
+    old: sp.csr_matrix
+    new: sp.csr_matrix
+    delta: sp.csr_matrix
+
+    @property
+    def density_vs_rebuild(self) -> float:
+        """``delta.nnz / new.nnz`` — the engine's cheap proxy for whether a
+        delta product still beats re-materializing from the new matrix."""
+        return self.delta.nnz / max(self.new.nnz, 1)
+
+
+@dataclass(frozen=True)
+class AppliedUpdate:
+    """The receipt :meth:`HIN.apply` returns (and hands to the engine).
+
+    Attributes
+    ----------
+    epoch:
+        The network version *after* this update (``hin.version``).
+    deltas:
+        ``{relation: RelationDelta}`` for relations with a net value change.
+    node_growth:
+        ``{type: (old_count, new_count)}`` for types that gained nodes.
+    resized:
+        Names of relations whose matrix shape changed (an endpoint type
+        grew) — including ones whose values did not.
+    """
+
+    epoch: int
+    deltas: Mapping[str, RelationDelta] = field(default_factory=dict)
+    node_growth: Mapping[str, tuple[int, int]] = field(default_factory=dict)
+    resized: frozenset = frozenset()
+
+    @property
+    def changed_relations(self) -> frozenset:
+        return frozenset(self.deltas)
+
+    @property
+    def n_changed_links(self) -> int:
+        """Total touched cells across all relation deltas."""
+        return int(sum(d.delta.nnz for d in self.deltas.values()))
+
+    def __repr__(self) -> str:
+        return (
+            f"AppliedUpdate(epoch={self.epoch}, "
+            f"relations={sorted(self.deltas)}, "
+            f"changed_links={self.n_changed_links}, "
+            f"grown={dict(self.node_growth)!r})"
+        )
+
+
+class UpdateBatch:
+    """A typed change set to apply atomically with :meth:`HIN.apply`.
+
+    Builder methods chain and validate eagerly where they can (shapes and
+    index bounds are only checkable against a network, so those checks
+    happen at apply time).  Within a batch, node additions take effect
+    first — edge ops may therefore reference indices of nodes the same
+    batch adds — and each relation's ops replay in issue order, so
+    ``remove_edges`` then ``add_edges`` on the same cell re-creates it.
+    """
+
+    def __init__(self):
+        self._node_adds: dict[str, list | int] = {}
+        self._ops: dict[str, list[tuple[str, int, int, float]]] = {}
+
+    # ------------------------------------------------------------------
+    # Builder surface
+    # ------------------------------------------------------------------
+    def add_nodes(self, node_type: str, nodes) -> "UpdateBatch":
+        """Append nodes to *node_type*: an integer count (anonymous types)
+        or a sequence of new, unique names (named types)."""
+        if node_type in self._node_adds:
+            raise UpdateError(f"batch already adds nodes to {node_type!r}")
+        if isinstance(nodes, (int, np.integer)):
+            count = int(nodes)
+            if count < 0:
+                raise UpdateError(f"node count must be >= 0, got {count}")
+            self._node_adds[node_type] = count
+        else:
+            names = list(nodes)
+            if len(set(names)) != len(names):
+                raise UpdateError(f"new {node_type!r} names must be unique")
+            self._node_adds[node_type] = names
+        return self
+
+    def add_edges(self, relation: str, edges: Iterable[tuple]) -> "UpdateBatch":
+        """Insert ``(src, dst[, weight])`` edges (weight defaults to 1.0;
+        inserting onto an existing cell accumulates, like construction)."""
+        ops = self._ops.setdefault(relation, [])
+        for edge in edges:
+            if len(edge) == 2:
+                u, v = edge
+                w = 1.0
+            elif len(edge) == 3:
+                u, v, w = edge
+            else:
+                raise EdgeError(f"edges must be (u, v[, w]), got {edge!r}")
+            w = float(w)
+            if w < 0:
+                raise EdgeError(f"edge weight must be >= 0, got {w}")
+            ops.append((_INSERT, int(u), int(v), w))
+        return self
+
+    def remove_edges(self, relation: str, pairs: Iterable[tuple]) -> "UpdateBatch":
+        """Delete the cells at ``(src, dst)`` pairs (zeroing their weight;
+        deleting an absent cell is a no-op, like SQL ``DELETE``)."""
+        ops = self._ops.setdefault(relation, [])
+        for pair in pairs:
+            u, v = pair
+            ops.append((_DELETE, int(u), int(v), 0.0))
+        return self
+
+    def set_weights(self, relation: str, entries: Iterable[tuple]) -> "UpdateBatch":
+        """Upsert ``(src, dst, weight)`` cells to exactly *weight*
+        (creating absent cells; a weight of 0 removes the cell)."""
+        ops = self._ops.setdefault(relation, [])
+        for entry in entries:
+            u, v, w = entry
+            w = float(w)
+            if w < 0:
+                raise EdgeError(f"weight must be >= 0, got {w}")
+            ops.append((_UPSERT, int(u), int(v), w))
+        return self
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def node_additions(self) -> dict:
+        """``{type: count or name list}`` of pending node additions."""
+        return dict(self._node_adds)
+
+    @property
+    def touched_relations(self) -> list[str]:
+        """Relations with pending edge ops, in first-touch order."""
+        return list(self._ops)
+
+    def __len__(self) -> int:
+        """Number of pending operations (node additions count as one each)."""
+        return len(self._node_adds) + sum(len(v) for v in self._ops.values())
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __repr__(self) -> str:
+        ops = {r: len(v) for r, v in self._ops.items()}
+        return f"UpdateBatch(node_adds={self._node_adds!r}, edge_ops={ops!r})"
+
+    # ------------------------------------------------------------------
+    # Application (driven by HIN.apply)
+    # ------------------------------------------------------------------
+    def _final_values(
+        self, relation: str, old: sp.csr_matrix
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Replay *relation*'s ops over *old* (already padded): the touched
+        cells as ``(rows, cols, current_values, final_values)`` arrays."""
+        ops = self._ops.get(relation, ())
+        coords: list[tuple[int, int]] = []
+        seen: set[tuple[int, int]] = set()
+        n_src, n_dst = old.shape
+        for _, u, v, _ in ops:
+            if not (0 <= u < n_src and 0 <= v < n_dst):
+                raise EdgeError(
+                    f"edge ({u}, {v}) out of range for relation {relation!r} "
+                    f"({n_src}x{n_dst})"
+                )
+            if (u, v) not in seen:
+                seen.add((u, v))
+                coords.append((u, v))
+        if not coords:
+            empty = np.array([], dtype=np.int64)
+            return empty, empty, np.array([]), np.array([])
+        rows = np.array([c[0] for c in coords], dtype=np.int64)
+        cols = np.array([c[1] for c in coords], dtype=np.int64)
+        current = np.asarray(old[rows, cols]).ravel().astype(np.float64)
+        pending = {c: current[i] for i, c in enumerate(coords)}
+        for kind, u, v, w in ops:
+            if kind == _INSERT:
+                pending[(u, v)] += w
+            elif kind == _DELETE:
+                pending[(u, v)] = 0.0
+            else:  # upsert
+                pending[(u, v)] = w
+        final = np.array([pending[c] for c in coords], dtype=np.float64)
+        return rows, cols, current, final
+
+
+class Mutation(UpdateBatch):
+    """An :class:`UpdateBatch` bound to one network — what
+    :meth:`repro.networks.hin.HIN.mutate` returns.
+
+    Use as a context manager (committing on clean exit) or call
+    :meth:`commit` explicitly; either way the batch applies atomically
+    through :meth:`HIN.apply` exactly once.
+
+    >>> with hin.mutate() as m:                              # doctest: +SKIP
+    ...     m.add_nodes("author", ["newcomer"])
+    ...     m.add_edges("writes", [(new_author, paper)])
+    >>> m.applied.epoch == hin.version                       # doctest: +SKIP
+    True
+    """
+
+    def __init__(self, hin):
+        super().__init__()
+        self._hin = hin
+        self.applied: AppliedUpdate | None = None
+
+    def commit(self) -> AppliedUpdate:
+        """Apply the collected operations to the bound network (once)."""
+        if self.applied is not None:
+            raise UpdateError("mutation already committed")
+        self.applied = self._hin.apply(self)
+        return self.applied
+
+    def __enter__(self) -> "Mutation":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None and self.applied is None and self:
+            self.commit()

@@ -77,6 +77,10 @@ class TopKResult(QueryResult, list):
         path-free measures such as SimRank over a prepared graph).
     measure:
         ``"pathsim"``, ``"connectivity"``, ``"simrank"``, ...
+    network_version:
+        The network's update epoch (``hin.version``) this answer was
+        computed against — how a serving layer tells a pre-update answer
+        from a post-update one (``None`` when unknown).
     """
 
     def __init__(
@@ -87,12 +91,14 @@ class TopKResult(QueryResult, list):
         query=None,
         path: str | None = None,
         measure: str | None = None,
+        network_version: int | None = None,
     ):
         list.__init__(self, pairs)
         self.node_type = node_type
         self.query = query
         self.path = path
         self.measure = measure
+        self.network_version = network_version
 
     def top(self, n: int) -> list[tuple]:
         """The first *n* ``(label, score)`` pairs."""
@@ -113,6 +119,7 @@ class TopKResult(QueryResult, list):
             "kind": "topk",
             "measure": self.measure,
             "path": self.path,
+            "network_version": self.network_version,
             "query": _jsonable(self.query),
             "node_type": self.node_type,
             "results": [
@@ -143,6 +150,9 @@ class RankingResult(QueryResult, list):
         The ranked type.
     method:
         ``"authority"``, ``"simple"``, ``"degree"``, or ``"path"``.
+    network_version:
+        Update epoch of the network that produced this ranking
+        (``None`` when unknown).
     """
 
     def __init__(
@@ -152,6 +162,7 @@ class RankingResult(QueryResult, list):
         *,
         node_type: str | None = None,
         method: str | None = None,
+        network_version: int | None = None,
     ):
         scores = np.asarray(scores, dtype=np.float64).ravel()
         order = np.argsort(-scores, kind="stable")
@@ -162,6 +173,7 @@ class RankingResult(QueryResult, list):
         list.__init__(self, pairs)
         self.node_type = node_type
         self.method = method
+        self.network_version = network_version
         self._scores = scores
 
     def top(self, n: int) -> list[tuple]:
@@ -191,6 +203,7 @@ class RankingResult(QueryResult, list):
             "kind": "ranking",
             "node_type": self.node_type,
             "method": self.method,
+            "network_version": self.network_version,
             "ranking": [
                 {"object": _jsonable(label), "score": float(score)}
                 for label, score in self
@@ -241,6 +254,7 @@ class ClusteringResult(QueryResult):
         algorithm: str | None = None,
         model=None,
         extras: Mapping | None = None,
+        network_version: int | None = None,
     ):
         self._labels = np.asarray(labels)
         if n_clusters is None:
@@ -253,6 +267,7 @@ class ClusteringResult(QueryResult):
         self.algorithm = algorithm
         self.model = model
         self.extras = dict(extras or {})
+        self.network_version = network_version
 
     @property
     def labels(self) -> np.ndarray:
@@ -301,6 +316,7 @@ class ClusteringResult(QueryResult):
             "kind": "clustering",
             "algorithm": self.algorithm,
             "node_type": self.node_type,
+            "network_version": self.network_version,
             "n_clusters": self.n_clusters,
             "labels": _jsonable(self._labels),
             "scores": None if self._scores is None else _jsonable(self._scores),
@@ -337,12 +353,14 @@ class ClassificationResult(QueryResult):
         *,
         names: Mapping | None = None,
         method: str | None = None,
+        network_version: int | None = None,
     ):
         self.classes = np.asarray(classes)
         self._labels = {t: np.asarray(v) for t, v in labels.items()}
         self._scores = {t: np.asarray(v) for t, v in (scores or {}).items()}
         self.names = {t: (None if v is None else list(v)) for t, v in (names or {}).items()}
         self.method = method
+        self.network_version = network_version
 
     @property
     def labels(self) -> dict:
@@ -409,6 +427,7 @@ class ClassificationResult(QueryResult):
         return {
             "kind": "classification",
             "method": self.method,
+            "network_version": self.network_version,
             "classes": _jsonable(self.classes),
             "labels": {t: _jsonable(v) for t, v in self._labels.items()},
         }

@@ -69,6 +69,16 @@ class QuerySession:
         """The :class:`~repro.engine.MetaPathEngine` executing this session."""
         return self._engine
 
+    @property
+    def epoch(self) -> int:
+        """The network's current update epoch (``hin.version``).
+
+        Results carry the epoch they answered for as
+        ``result.network_version``; comparing the two tells whether an
+        answer predates the latest ``hin.apply()``.
+        """
+        return getattr(self.hin, "version", 0)
+
     def path(self, spec):
         """Resolve any meta-path spelling against the network's schema."""
         return as_metapath(self._engine, spec)
@@ -148,7 +158,9 @@ class QuerySession:
                 f"SimRank over a projection needs a round-trip path, got "
                 f"{mp.source_type!r} -> {mp.target_type!r}"
             )
-        key = mp.canonical_key()
+        # Keyed by (epoch, path): a network update strands the old fitted
+        # index, which the bounded LRU then ages out naturally.
+        key = (self.epoch, mp.canonical_key())
         cached = self._simrank.get(key)
         if cached is None:
             graph = self.hin.homogeneous_projection(mp)
@@ -157,6 +169,7 @@ class QuerySession:
         out = cached.top_k(obj, k, exclude_self=exclude_self)
         out.path = str(mp)
         out.node_type = mp.source_type
+        out.network_version = self.epoch
         return out
 
     # ------------------------------------------------------------------
@@ -201,6 +214,7 @@ class QuerySession:
                 scores,
                 node_type=mp.target_type,
                 method="path",
+                network_version=self.epoch,
             )
         node_type = self.hin.schema.resolve_type(target)
         if by is None and path is None:
@@ -218,6 +232,7 @@ class QuerySession:
                 degrees,
                 node_type=node_type,
                 method="degree",
+                network_version=self.epoch,
             )
         from repro.ranking.authority import _rank_bi_type
 
@@ -248,6 +263,7 @@ class QuerySession:
             ranking.target_scores,
             node_type=node_type,
             method=method,
+            network_version=self.epoch,
         )
         return result
 
@@ -310,7 +326,9 @@ class QuerySession:
                 f"unknown clustering algorithm {algo!r} "
                 f"(choose from {sorted(dispatch)})"
             )
-        return dispatch[algo](**kwargs)
+        result = dispatch[algo](**kwargs)
+        result.network_version = self.epoch
+        return result
 
     def _cluster_netclus(self, n_clusters: int, *, center_type=None, **kwargs):
         from repro.core.netclus import NetClus
@@ -404,7 +422,9 @@ class QuerySession:
         from repro.classification.gnetmine import GNetMine
 
         model = GNetMine(**kwargs).fit(self.hin, seeds)
-        return model.result()
+        result = model.result()
+        result.network_version = self.epoch
+        return result
 
     # ------------------------------------------------------------------
     # OLAP queries

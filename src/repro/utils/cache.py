@@ -31,6 +31,11 @@ class CacheInfo:
     evictions: int
     currsize: int
     maxsize: int
+    #: Versioned-cache generation: starts at 0 and advances every time the
+    #: owner declares the cached world changed (see
+    #: :meth:`LRUCache.bump_generation`); entries remember the generation
+    #: they were written under.
+    generation: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -52,9 +57,11 @@ class LRUCache:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = int(maxsize)
         self._data: OrderedDict = OrderedDict()
+        self._written_at: dict = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.generation = 0
 
     def __len__(self) -> int:
         return len(self._data)
@@ -76,10 +83,61 @@ class LRUCache:
     def put(self, key: Hashable, value) -> None:
         """Insert or refresh *key*, evicting the LRU entry when full."""
         self._data[key] = value
+        self._written_at[key] = self.generation
         self._data.move_to_end(key)
         while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
+            evicted, _ = self._data.popitem(last=False)
+            self._written_at.pop(evicted, None)
             self.evictions += 1
+
+    def keys(self) -> list:
+        """Current keys, least-recently-used first (a stable snapshot —
+        safe to iterate while mutating the cache)."""
+        return list(self._data)
+
+    def peek(self, key: Hashable, default=None):
+        """Value for *key* without touching recency or hit/miss counters
+        (maintenance reads, not cache traffic)."""
+        return self._data.get(key, default)
+
+    def pop(self, key: Hashable, default=None):
+        """Remove and return *key*'s value (*default* when absent).
+
+        A targeted eviction: no counters change except the eviction count,
+        and only when something was actually removed.
+        """
+        if key not in self._data:
+            return default
+        self._written_at.pop(key, None)
+        self.evictions += 1
+        return self._data.pop(key)
+
+    def replace(self, key: Hashable, value) -> None:
+        """Swap the value stored under an existing *key* in place.
+
+        Unlike :meth:`put`, recency is preserved and no hit/miss counter
+        moves — this is maintenance (the engine rewriting a materialized
+        matrix after an incremental update), not cache traffic.  The
+        entry's generation stamp does advance to the current generation.
+        """
+        if key not in self._data:
+            raise KeyError(key)
+        self._data[key] = value
+        self._written_at[key] = self.generation
+
+    def bump_generation(self) -> int:
+        """Advance (and return) the cache generation.
+
+        Owners call this when the data the cache derives from changes —
+        one bump per network update epoch — so observers can tell which
+        entries were written under which version of the world.
+        """
+        self.generation += 1
+        return self.generation
+
+    def generation_of(self, key: Hashable) -> int | None:
+        """Generation *key* was last written under (``None`` when absent)."""
+        return self._written_at.get(key)
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], object]):
         """Cached value for *key*, calling *compute* (and storing) on a miss."""
@@ -93,6 +151,7 @@ class LRUCache:
     def clear(self) -> None:
         """Drop every entry (counters are kept — they describe the lifetime)."""
         self._data.clear()
+        self._written_at.clear()
 
     def info(self) -> CacheInfo:
         """Current :class:`CacheInfo` snapshot."""
@@ -102,6 +161,7 @@ class LRUCache:
             evictions=self.evictions,
             currsize=len(self._data),
             maxsize=self.maxsize,
+            generation=self.generation,
         )
 
     def __repr__(self) -> str:

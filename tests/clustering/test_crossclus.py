@@ -27,7 +27,11 @@ def bank_db():
     )
     accounts = []
     for i in range(n):
-        region = ("north", "south")[groups[i]] if rng.random() < 0.95 else ("south", "north")[groups[i]]
+        region = (
+            ("north", "south")[groups[i]]
+            if rng.random() < 0.95
+            else ("south", "north")[groups[i]]
+        )
         accounts.append((100 + i, i, region))
     db.add_table(
         Table("account", ["id", "client_id", "region"], accounts, primary_key="id")
@@ -36,7 +40,11 @@ def bank_db():
     pid = 0
     for i in range(n):
         for _ in range(3):
-            product = ("bond", "stock")[groups[i]] if rng.random() < 0.9 else ("stock", "bond")[groups[i]]
+            product = (
+                ("bond", "stock")[groups[i]]
+                if rng.random() < 0.9
+                else ("stock", "bond")[groups[i]]
+            )
             purchases.append((pid, 100 + i, product))
             pid += 1
     db.add_table(

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.datasets import (
-    AREAS,
     RANKCLUS_CONFIGS,
     VENUES_BY_AREA,
     make_bitype_network,

@@ -58,6 +58,42 @@ class TestLRUCache:
         assert c.get_or_compute("k", lambda: calls.append(1) or 42) == 42
         assert len(calls) == 1
 
+    def test_keys_snapshot_in_lru_order(self):
+        c = LRUCache(maxsize=4)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.get("a")
+        assert c.keys() == ["b", "a"]
+
+    def test_pop_is_targeted_eviction(self):
+        c = LRUCache(maxsize=4)
+        c.put("a", 1)
+        assert c.pop("a") == 1
+        assert c.pop("missing", "fallback") == "fallback"
+        assert "a" not in c and c.evictions == 1
+
+    def test_replace_preserves_recency_and_counters(self):
+        c = LRUCache(maxsize=2)
+        c.put("a", 1)
+        c.put("b", 2)
+        hits, misses = c.hits, c.misses
+        c.replace("a", 10)  # "a" stays LRU: replace is maintenance
+        c.put("c", 3)
+        assert "a" not in c and c.get("b") == 2
+        assert (c.hits, c.misses) == (hits + 1, misses)
+        with pytest.raises(KeyError):
+            c.replace("missing", 0)
+
+    def test_generation_counter_stamps_entries(self):
+        c = LRUCache(maxsize=4)
+        c.put("a", 1)
+        assert c.info().generation == 0 and c.generation_of("a") == 0
+        assert c.bump_generation() == 1
+        c.put("b", 2)
+        c.replace("a", 10)
+        assert c.generation_of("a") == 1 and c.generation_of("b") == 1
+        assert c.generation_of("missing") is None
+
 
 class TestTopKIndices:
     def test_matches_stable_argsort(self):

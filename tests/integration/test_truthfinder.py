@@ -91,7 +91,9 @@ class TestTruthFinder:
         # numeric claims: 1999 and 2000 support each other (implication
         # 2*sim-1 > 0), so their confidence rises versus the categorical
         # treatment where every different value opposes.
-        sim = lambda a, b: float(np.exp(-abs(a - b) / 2.0))
+        def sim(a, b):
+            return float(np.exp(-abs(a - b) / 2.0))
+
         claims = [
             ("s1", "b", 1999),
             ("s2", "b", 2000),

@@ -11,7 +11,7 @@ import pytest
 from repro.classification import GNetMine
 from repro.clustering import clustering_accuracy
 from repro.core import NetClus, RankClus
-from repro.datasets import AREAS, make_dblp_four_area
+from repro.datasets import make_dblp_four_area
 from repro.networks import read_hin, write_hin
 from repro.olap import Dimension, InfoNetCube
 from repro.relational import Database, Table, infer_hin

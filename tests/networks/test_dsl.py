@@ -12,7 +12,7 @@ from repro.exceptions import (
     SchemaError,
     TypeNotFoundError,
 )
-from repro.networks import HIN, MetaPath, NetworkSchema, as_metapath
+from repro.networks import MetaPath, NetworkSchema, as_metapath
 
 
 @pytest.fixture

@@ -1,0 +1,231 @@
+"""Dynamic HIN updates: UpdateBatch semantics, HIN.apply/mutate, receipts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import EdgeError, RelationNotFoundError, UpdateError
+from repro.networks import HIN, NetworkSchema, UpdateBatch
+from repro.networks.updates import pad_csr
+
+
+@pytest.fixture
+def bib():
+    schema = NetworkSchema(
+        ["author", "paper", "venue"],
+        [("writes", "author", "paper"), ("published_in", "paper", "venue")],
+    )
+    return HIN.from_edges(
+        schema,
+        nodes={"author": ["a0", "a1"], "paper": 3, "venue": ["v0"]},
+        edges={
+            "writes": [(0, 0), (0, 1), (1, 2)],
+            "published_in": [(0, 0), (1, 0), (2, 0)],
+        },
+    )
+
+
+class TestPadCsr:
+    def test_pads_rows_and_cols_with_zeros(self):
+        m = sp.csr_matrix(np.array([[1.0, 2.0], [0.0, 3.0]]))
+        p = pad_csr(m, (4, 3))
+        assert p.shape == (4, 3)
+        assert np.array_equal(p.toarray()[:2, :2], m.toarray())
+        assert p.toarray()[2:].sum() == 0 and p.toarray()[:, 2:].sum() == 0
+
+    def test_same_shape_is_identity(self):
+        m = sp.csr_matrix(np.eye(3))
+        assert pad_csr(m, (3, 3)) is m
+
+    def test_shrinking_raises(self):
+        from repro.exceptions import GraphError
+
+        with pytest.raises(GraphError, match="pad"):
+            pad_csr(sp.csr_matrix(np.eye(3)), (2, 3))
+
+
+class TestUpdateBatchBuilder:
+    def test_chaining_and_len(self):
+        batch = (
+            UpdateBatch()
+            .add_nodes("paper", 2)
+            .add_edges("writes", [(0, 0), (0, 1, 2.0)])
+            .remove_edges("writes", [(1, 1)])
+            .set_weights("published_in", [(0, 0, 3.0)])
+        )
+        assert len(batch) == 5 and bool(batch)
+        assert batch.touched_relations == ["writes", "published_in"]
+        assert batch.node_additions == {"paper": 2}
+
+    def test_empty_batch_is_falsy(self):
+        assert not UpdateBatch()
+
+    def test_negative_weight_rejected_eagerly(self):
+        with pytest.raises(EdgeError, match=">= 0"):
+            UpdateBatch().add_edges("writes", [(0, 0, -1.0)])
+        with pytest.raises(EdgeError, match=">= 0"):
+            UpdateBatch().set_weights("writes", [(0, 0, -2.0)])
+
+    def test_malformed_edge_rejected(self):
+        with pytest.raises(EdgeError, match="u, v"):
+            UpdateBatch().add_edges("writes", [(0,)])
+
+    def test_duplicate_node_adds_rejected(self):
+        batch = UpdateBatch().add_nodes("paper", 1)
+        with pytest.raises(UpdateError, match="already adds"):
+            batch.add_nodes("paper", 2)
+
+    def test_duplicate_new_names_rejected(self):
+        with pytest.raises(UpdateError, match="unique"):
+            UpdateBatch().add_nodes("author", ["x", "x"])
+
+
+class TestApply:
+    def test_insert_accumulates_and_bumps_version(self, bib):
+        assert bib.version == 0
+        applied = bib.apply(UpdateBatch().add_edges("writes", [(0, 0), (1, 0)]))
+        assert bib.version == 1 and applied.epoch == 1
+        m = bib.relation_matrix("writes")
+        assert m[0, 0] == 2.0 and m[1, 0] == 1.0
+
+    def test_delete_zeroes_cell_and_prunes_storage(self, bib):
+        bib.apply(UpdateBatch().remove_edges("writes", [(0, 0)]))
+        m = bib.relation_matrix("writes")
+        assert m[0, 0] == 0.0 and m.nnz == 2
+
+    def test_delete_absent_cell_is_noop(self, bib):
+        applied = bib.apply(UpdateBatch().remove_edges("writes", [(1, 0)]))
+        assert "writes" not in applied.deltas
+        assert bib.version == 1  # still an applied (empty) batch
+
+    def test_upsert_sets_exact_weight(self, bib):
+        bib.apply(UpdateBatch().set_weights("writes", [(0, 0, 7.5), (1, 0, 2.0)]))
+        m = bib.relation_matrix("writes")
+        assert m[0, 0] == 7.5 and m[1, 0] == 2.0
+
+    def test_ops_replay_in_issue_order(self, bib):
+        batch = (
+            UpdateBatch()
+            .remove_edges("writes", [(0, 0)])
+            .add_edges("writes", [(0, 0, 4.0)])
+        )
+        bib.apply(batch)
+        assert bib.relation_matrix("writes")[0, 0] == 4.0
+
+    def test_add_nodes_named_and_anonymous(self, bib):
+        applied = bib.apply(
+            UpdateBatch().add_nodes("author", ["a2"]).add_nodes("paper", 2)
+        )
+        assert bib.node_count("author") == 3 and bib.node_count("paper") == 5
+        assert bib.index_of("author", "a2") == 2
+        assert applied.node_growth == {"author": (2, 3), "paper": (3, 5)}
+        assert applied.resized == {"writes", "published_in"}
+        # relation matrices grew with the types
+        assert bib.relation_matrix("writes").shape == (3, 5)
+
+    def test_new_edges_may_reference_new_nodes(self, bib):
+        batch = (
+            UpdateBatch()
+            .add_nodes("paper", 1)
+            .add_edges("writes", [(1, 3)])
+            .add_edges("published_in", [(3, 0)])
+        )
+        bib.apply(batch)
+        assert bib.relation_matrix("writes")[1, 3] == 1.0
+
+    def test_count_for_named_type_rejected(self, bib):
+        with pytest.raises(UpdateError, match="needs names"):
+            bib.apply(UpdateBatch().add_nodes("author", 1))
+
+    def test_names_for_anonymous_type_rejected(self, bib):
+        with pytest.raises(UpdateError, match="takes a count"):
+            bib.apply(UpdateBatch().add_nodes("paper", ["p9"]))
+
+    def test_clashing_name_rejected(self, bib):
+        with pytest.raises(UpdateError, match="already exist"):
+            bib.apply(UpdateBatch().add_nodes("author", ["a0"]))
+
+    def test_out_of_range_edge_rejected_atomically(self, bib):
+        batch = UpdateBatch().add_edges("writes", [(0, 2), (0, 99)])
+        with pytest.raises(EdgeError, match="out of range"):
+            bib.apply(batch)
+        # nothing committed: the in-range edge did not land either
+        assert bib.version == 0 and bib.relation_matrix("writes")[0, 2] == 0.0
+
+    def test_unknown_relation_rejected(self, bib):
+        with pytest.raises(RelationNotFoundError):
+            bib.apply(UpdateBatch().add_edges("cites", [(0, 0)]))
+
+    def test_non_batch_rejected(self, bib):
+        with pytest.raises(UpdateError, match="UpdateBatch"):
+            bib.apply({"writes": [(0, 0)]})
+
+    def test_receipt_delta_is_exact_difference(self, bib):
+        old = bib.relation_matrix("writes").toarray()
+        applied = bib.apply(
+            UpdateBatch()
+            .add_edges("writes", [(1, 0)])
+            .remove_edges("writes", [(0, 1)])
+        )
+        d = applied.deltas["writes"]
+        assert np.array_equal(d.old.toarray(), old)
+        assert np.array_equal(d.new.toarray(), bib.relation_matrix("writes").toarray())
+        assert np.array_equal(d.delta.toarray(), d.new.toarray() - d.old.toarray())
+        assert applied.n_changed_links == 2
+
+    def test_transpose_cache_invalidated(self, bib):
+        before = bib.oriented_matrix("writes", forward=False)
+        bib.apply(UpdateBatch().add_edges("writes", [(1, 0)]))
+        after = bib.oriented_matrix("writes", forward=False)
+        assert after is not before
+        assert after[0, 1] == 1.0
+
+
+class TestMutate:
+    def test_context_manager_commits_on_exit(self, bib):
+        with bib.mutate() as m:
+            m.add_edges("writes", [(1, 0)])
+        assert m.applied is not None and bib.version == 1
+
+    def test_explicit_commit_and_double_commit(self, bib):
+        m = bib.mutate().add_edges("writes", [(1, 0)])
+        m.commit()
+        assert bib.version == 1
+        with pytest.raises(UpdateError, match="already committed"):
+            m.commit()
+
+    def test_empty_mutation_does_not_commit(self, bib):
+        with bib.mutate() as m:
+            pass
+        assert m.applied is None and bib.version == 0
+
+    def test_raising_block_does_not_commit(self, bib):
+        with pytest.raises(RuntimeError, match="boom"):
+            with bib.mutate() as m:
+                m.add_edges("writes", [(1, 0)])
+                raise RuntimeError("boom")
+        assert bib.version == 0
+
+
+class TestRebuildEquivalence:
+    def test_incremental_network_equals_rebuilt_network(self, bib):
+        bib.apply(
+            UpdateBatch()
+            .add_nodes("paper", 1)
+            .add_edges("writes", [(0, 3), (1, 3, 2.0)])
+            .remove_edges("writes", [(0, 0)])
+            .set_weights("published_in", [(3, 0, 1.0)])
+        )
+        rebuilt = HIN.from_edges(
+            bib.schema,
+            nodes={"author": ["a0", "a1"], "paper": 4, "venue": ["v0"]},
+            edges={
+                "writes": [(0, 1), (1, 2), (0, 3), (1, 3, 2.0)],
+                "published_in": [(0, 0), (1, 0), (2, 0), (3, 0)],
+            },
+        )
+        for rel in ("writes", "published_in"):
+            a, b = bib.relation_matrix(rel), rebuilt.relation_matrix(rel)
+            assert a.shape == b.shape and (a != b).nnz == 0

@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.datasets import AREAS, make_dblp_four_area
 from repro.exceptions import CubeError, DimensionError
-from repro.olap import CubeCell, Dimension, InfoNetCube
+from repro.olap import Dimension, InfoNetCube
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,123 @@
+"""Property-based invariants of the dynamic-update subsystem.
+
+The central claim of incremental maintenance: *any* sequence of random
+update batches, applied one at a time, leaves both the network and the
+engine's cached commuting matrices identical to rebuilding everything
+from the final state.  Hypothesis hunts for the interleaving that breaks
+it (insert-after-delete on one cell, growth mid-sequence, dense deltas
+that trip the eviction fallback, ...).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import MetaPathEngine
+from repro.networks import HIN, NetworkSchema, UpdateBatch
+
+PATHS = ["a-b-a", "a-b-c", "c-b-a", "a-b-c-b-a"]
+
+
+def _schema():
+    return NetworkSchema(
+        ["a", "b", "c"], [("r_ab", "a", "b"), ("r_bc", "b", "c")]
+    )
+
+
+def _base_hin():
+    return HIN.from_edges(
+        _schema(),
+        nodes={"a": 3, "b": 3, "c": 2},
+        edges={
+            "r_ab": [(0, 0), (1, 1), (2, 2), (0, 2)],
+            "r_bc": [(0, 0), (1, 1), (2, 0)],
+        },
+    )
+
+
+@st.composite
+def update_batches(draw):
+    """A list of batches whose edge ops stay in range *given* the node
+    growth earlier batches (and the same batch) contribute."""
+    counts = {"a": 3, "b": 3, "c": 2}
+    relations = {"r_ab": ("a", "b"), "r_bc": ("b", "c")}
+    batches = []
+    for _ in range(draw(st.integers(1, 4))):
+        batch = UpdateBatch()
+        for t in ("a", "b", "c"):
+            if draw(st.booleans()) and draw(st.integers(0, 2)):
+                added = draw(st.integers(1, 2))
+                batch.add_nodes(t, added)
+                counts[t] += added
+        for rel, (src, dst) in relations.items():
+            for _ in range(draw(st.integers(0, 4))):
+                kind = draw(st.sampled_from(["insert", "delete", "upsert"]))
+                u = draw(st.integers(0, counts[src] - 1))
+                v = draw(st.integers(0, counts[dst] - 1))
+                if kind == "insert":
+                    batch.add_edges(rel, [(u, v, draw(st.integers(1, 3)))])
+                elif kind == "delete":
+                    batch.remove_edges(rel, [(u, v)])
+                else:
+                    batch.set_weights(rel, [(u, v, draw(st.integers(0, 3)))])
+        batches.append(batch)
+    return batches
+
+
+def _rebuilt_copy(hin):
+    """A fresh HIN with the same final matrices, built from the edge list."""
+    edges = {}
+    for rel in hin.schema.relations:
+        m = hin.relation_matrix(rel.name).tocoo()
+        edges[rel.name] = [
+            (int(u), int(v), float(w))
+            for u, v, w in zip(m.row, m.col, m.data)
+        ]
+    counts = {t: hin.node_count(t) for t in hin.node_types}
+    return HIN.from_edges(_schema(), nodes=counts, edges=edges)
+
+
+class TestIncrementalEqualsRebuild:
+    @given(update_batches())
+    @settings(max_examples=40, deadline=None)
+    def test_network_state_matches_rebuild(self, batches):
+        hin = _base_hin()
+        for batch in batches:
+            hin.apply(batch)
+        rebuilt = _rebuilt_copy(hin)
+        for rel in hin.schema.relations:
+            a = hin.relation_matrix(rel.name)
+            b = rebuilt.relation_matrix(rel.name)
+            assert a.shape == b.shape
+            assert (a != b).nnz == 0
+
+    @given(update_batches())
+    @settings(max_examples=40, deadline=None)
+    def test_cached_commuting_matrices_match_rebuild(self, batches):
+        hin = _base_hin()
+        engine = hin.engine()
+        engine.prewarm(PATHS)
+        for batch in batches:
+            hin.apply(batch)
+        fresh = MetaPathEngine(_rebuilt_copy(hin))
+        for path in PATHS:
+            a = engine.commuting_matrix(path)
+            b = fresh.commuting_matrix(path)
+            assert a.shape == b.shape
+            assert (a != b).nnz == 0, f"{path} diverged from rebuild"
+
+    @given(update_batches())
+    @settings(max_examples=20, deadline=None)
+    def test_epoch_counts_batches_and_results_know_it(self, batches):
+        hin = _base_hin()
+        q = hin.query()
+        for batch in batches:
+            hin.apply(batch)
+        assert hin.version == len(batches)
+        r = q.similar(0, "a-b-a", k=2)
+        assert r.network_version == hin.version
+        scores = q.rank("a")
+        assert scores.network_version == hin.version
+        assert np.isfinite(scores.scores).all()

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import warnings
 
 import numpy as np
 import pytest
@@ -11,7 +10,6 @@ from repro.classification import GNetMine
 from repro.clustering import LinkClus
 from repro.core import NetClus, RankClus
 from repro.exceptions import NotFittedError
-from repro.networks import Graph
 from repro.query import (
     ClassificationResult,
     ClusteringResult,

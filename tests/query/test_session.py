@@ -11,7 +11,6 @@ from repro.networks import HIN, NetworkSchema
 from repro.query import (
     ClassificationResult,
     ClusteringResult,
-    QuerySession,
     RankingResult,
     TopKResult,
 )

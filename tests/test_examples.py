@@ -17,6 +17,7 @@ SCRIPTED = [
     "quickstart.py",
     "dblp_case_study.py",
     "network_olap.py",
+    "streaming_updates.py",
 ]
 
 
