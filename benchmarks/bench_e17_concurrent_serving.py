@@ -1,0 +1,319 @@
+"""E17 — concurrent query serving: batching + coalescing vs serial execution.
+
+The serving acceptance benchmark, in three phases over one warm network:
+
+1. **Throughput.**  Eight closed-loop client threads replay a skewed
+   request stream (80% of requests hit a 5% hot set — the shape of real
+   top-k serving traffic, per the LDBC SIGMOD-2014 contest analyses)
+   against a :class:`~repro.serving.QueryService`; the baseline executes
+   the identical stream serially through the engine.  The service wins
+   by *sharing work*, not by parallel compute: duplicate in-flight
+   requests coalesce onto one future, and same-meta-path top-k requests
+   group into single CSR block products.  Acceptance: >= 2x throughput
+   with answers bit-identical to serial for every request.
+2. **Updates.**  The same clients keep querying while the main thread
+   applies a stream of update batches through ``hin.apply()``.  The
+   engine's read-write lock must make every answer consistent with
+   exactly one update epoch: each collected answer is checked against a
+   cold reference engine replayed to that answer's epoch.
+3. **Snapshot.**  The warm engine saves a snapshot
+   (``engine.save_snapshot``); ``repro.load_snapshot`` rebuilds the
+   network in pristine state; the loaded copy must serve identical
+   answers at the recorded epoch with zero re-materialization.
+
+Machine-readable result lands in ``BENCH_e17.json`` for the
+perf-regression CI job; its ``identical`` field is the conjunction of
+all three phases' answer-identity checks.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import format_table, record_table
+from repro.datasets import make_dblp_four_area
+from repro.engine import MetaPathEngine
+from repro.networks import UpdateBatch
+from repro.serving import QueryService, load_snapshot
+
+VPAPV = "venue-paper-author-paper-venue"
+APVPA = "author-paper-venue-paper-author"
+PATHS = [VPAPV, APVPA]
+K = 10
+N_CLIENTS = 8
+REQUESTS_PER_CLIENT = 460
+# Serving traffic is heavily skewed (the LDBC analyses and any web
+# workload): ~85% of requests hit a ~3% hot set of (path, query) pairs.
+HOT_FRACTION = 0.03
+HOT_TRAFFIC = 0.85
+N_UPDATE_EPOCHS = 4
+
+
+def _make_network():
+    dblp = make_dblp_four_area(
+        authors_per_area=225,
+        papers_per_area=3600,
+        terms_per_area=120,
+        seed=0,
+    )
+    return dblp.hin
+
+
+def _make_workload(hin, rng):
+    """A skewed request stream: ``HOT_TRAFFIC`` of requests hit a
+    ``HOT_FRACTION`` hot set of the (path, query) space."""
+    space = [(APVPA, a) for a in range(hin.node_count("author"))]
+    space += [(VPAPV, v) for v in range(hin.node_count("venue"))]
+    hot = rng.choice(len(space), size=max(1, int(len(space) * HOT_FRACTION)), replace=False)
+    n = N_CLIENTS * REQUESTS_PER_CLIENT
+    picks = np.where(
+        rng.random(n) < HOT_TRAFFIC,
+        rng.choice(hot, size=n),
+        rng.integers(0, len(space), size=n),
+    )
+    return [space[i] for i in picks]
+
+
+def _run_clients(service, shards):
+    """Each client submits its shard up front and gathers the futures
+    (closed-loop with pipelining); returns per-client answer lists."""
+    answers = [None] * len(shards)
+
+    def client(i):
+        futures = [service.similar(q, p, K) for p, q in shards[i]]
+        answers[i] = [f.result(timeout=120) for f in futures]
+
+    threads = [
+        threading.Thread(target=client, args=(i,)) for i in range(len(shards))
+    ]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return time.perf_counter() - start, answers
+
+
+def _update_batches(hin, rng):
+    """Deterministic small update batches (reusable for the replay)."""
+    n_authors, n_papers = hin.node_count("author"), hin.node_count("paper")
+    batches = []
+    for _ in range(N_UPDATE_EPOCHS):
+        batch = UpdateBatch()
+        batch.add_edges(
+            "writes",
+            [
+                (int(a), int(p))
+                for a, p in zip(
+                    rng.integers(0, n_authors, size=40),
+                    rng.integers(0, n_papers, size=40),
+                )
+            ],
+        )
+        batches.append(batch)
+    return batches
+
+
+def _experiment():
+    hin = _make_network()
+    engine = hin.engine()
+    engine.prewarm(PATHS)
+    rng = np.random.default_rng(17)
+    workload = _make_workload(hin, rng)
+
+    # -- phase 1: throughput, 8 concurrent clients vs serial ------------
+    # The serial baseline executes every request (a naive server shares
+    # nothing between queries, even repeated ones).  Both sides take the
+    # best of three repetitions: the phases are short, so a single
+    # measurement is at the mercy of scheduler noise on shared machines.
+    serial_s = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        serial_results = [engine.pathsim_top_k(p, q, K) for p, q in workload]
+        serial_s = min(serial_s, time.perf_counter() - start)
+    serial_answers = dict(zip(workload, serial_results))
+
+    shards = [workload[i::N_CLIENTS] for i in range(N_CLIENTS)]
+    concurrent_s = float("inf")
+    for _ in range(3):
+        service = QueryService(hin, workers=2, max_batch=256)
+        elapsed, answers = _run_clients(service, shards)
+        concurrent_s = min(concurrent_s, elapsed)
+        stats = service.stats()
+        service.close()
+
+    throughput_identical = all(
+        list(answer) == list(serial_answers[request])
+        for shard, shard_answers in zip(shards, answers)
+        for request, answer in zip(shard, shard_answers)
+    )
+    speedup = serial_s / concurrent_s
+
+    # -- phase 2: concurrent clients under a live update stream ---------
+    batches = _update_batches(hin, rng)
+    collected: list = []
+    client_errors: list = []
+    stop = threading.Event()
+
+    with QueryService(hin, workers=2, max_batch=256) as live:
+
+        def streaming_client(seed):
+            i = seed
+            try:
+                while not stop.is_set():
+                    venue = i % hin.node_count("venue")
+                    collected.append(
+                        live.similar(venue, VPAPV, K).result(timeout=120)
+                    )
+                    i += 1
+            except BaseException as exc:  # a dead client must fail the phase
+                client_errors.append(exc)
+
+        clients = [
+            threading.Thread(target=streaming_client, args=(s,))
+            for s in range(N_CLIENTS)
+        ]
+        for t in clients:
+            t.start()
+        for batch in batches:
+            time.sleep(0.02)  # let queries interleave with commits
+            hin.apply(batch)
+        time.sleep(0.02)
+        stop.set()
+        for t in clients:
+            t.join()
+
+    # replay the same batches on a fresh network; reference answers per
+    # epoch come from a cold engine that never saw the live traffic
+    replay = _make_network()
+    reference = {}
+    for epoch in range(N_UPDATE_EPOCHS + 1):
+        if epoch:
+            replay.apply(batches[epoch - 1])
+        cold = MetaPathEngine(replay)
+        reference[epoch] = {}
+        for v in range(replay.node_count("venue")):
+            answer = cold.pathsim_top_k(VPAPV, v, K)
+            reference[epoch][answer.query] = list(answer)
+    epochs_served = sorted({a.network_version for a in collected})
+    consistent = (
+        not client_errors
+        # the phase is vacuous unless answers from several epochs were
+        # actually served while the updates landed
+        and len(epochs_served) > 1
+        and all(
+            list(a) == reference[a.network_version][a.query] for a in collected
+        )
+    )
+
+    # -- phase 3: snapshot round trip ------------------------------------
+    snap_dir = Path(tempfile.mkdtemp(prefix="repro-e17-")) / "snapshot"
+    try:
+        manifest = engine.save_snapshot(snap_dir)
+        loaded = load_snapshot(snap_dir)
+        warm_engine = loaded.engine()
+        misses_before = warm_engine.cache_info().misses
+        snapshot_identical = loaded.version == manifest["epoch"] and all(
+            list(warm_engine.pathsim_top_k(VPAPV, v, K))
+            == list(engine.pathsim_top_k(VPAPV, v, K))
+            for v in range(hin.node_count("venue"))
+        )
+        snapshot_warm = warm_engine.cache_info().misses == misses_before
+    finally:
+        shutil.rmtree(snap_dir.parent, ignore_errors=True)
+
+    return {
+        "requests": len(workload),
+        "serial_s": serial_s,
+        "concurrent_s": concurrent_s,
+        "speedup": speedup,
+        "serial_qps": len(workload) / serial_s,
+        "concurrent_qps": len(workload) / concurrent_s,
+        "throughput_identical": throughput_identical,
+        "coalesced": stats["coalesced"],
+        "batches": stats["batches"],
+        "largest_batch": stats["largest_batch"],
+        "update_answers": len(collected),
+        "epochs_served": epochs_served,
+        "consistent_under_updates": consistent,
+        "snapshot_identical": snapshot_identical,
+        "snapshot_warm": snapshot_warm,
+        "identical": bool(
+            throughput_identical and consistent and snapshot_identical
+        ),
+    }
+
+
+@pytest.mark.benchmark(group="e17-concurrent-serving")
+def test_e17_concurrent_serving(benchmark):
+    r = benchmark.pedantic(_experiment, rounds=1, iterations=1, warmup_rounds=1)
+    record_table(
+        "e17_concurrent_serving",
+        format_table(
+            ["serving strategy", "requests", "total s", "queries/s"],
+            [
+                ["serial engine calls", r["requests"], r["serial_s"], r["serial_qps"]],
+                [
+                    f"QueryService, {N_CLIENTS} clients (coalesce+batch)",
+                    r["requests"],
+                    r["concurrent_s"],
+                    r["concurrent_qps"],
+                ],
+                [
+                    f"speedup: {r['speedup']:.1f}x "
+                    f"(coalesced {r['coalesced']}, "
+                    f"largest batch {r['largest_batch']})",
+                    "",
+                    "",
+                    "",
+                ],
+            ],
+            title="E17: concurrent top-k serving on a warm cache",
+        ),
+    )
+    benchmark.extra_info["speedup"] = r["speedup"]
+    (Path(__file__).resolve().parent.parent / "BENCH_e17.json").write_text(
+        json.dumps(
+            {
+                key: r[key]
+                for key in (
+                    "speedup",
+                    "identical",
+                    "requests",
+                    "serial_qps",
+                    "concurrent_qps",
+                    "throughput_identical",
+                    "coalesced",
+                    "batches",
+                    "largest_batch",
+                    "update_answers",
+                    "epochs_served",
+                    "consistent_under_updates",
+                    "snapshot_identical",
+                    "snapshot_warm",
+                )
+            },
+            indent=2,
+        )
+    )
+
+    assert r["throughput_identical"], "concurrent answers diverged from serial"
+    assert r["consistent_under_updates"], (
+        "answers under a live update stream diverged from their epoch's "
+        "reference"
+    )
+    assert r["snapshot_identical"], "snapshot round trip changed answers"
+    assert r["snapshot_warm"], "loaded snapshot re-materialized instead of serving warm"
+    assert r["epochs_served"], "no answers collected under the update stream"
+    assert r["speedup"] >= 2.0, (
+        f"concurrent serving speedup {r['speedup']:.2f}x < 2x for "
+        f"{N_CLIENTS} clients"
+    )

@@ -32,6 +32,7 @@ from repro import (
     query,
     ranking,
     relational,
+    serving,
     similarity,
 )
 from repro.engine import MetaPathEngine
@@ -55,6 +56,12 @@ from repro.query import (
     TopKResult,
     connect,
 )
+from repro.serving import (
+    QueryService,
+    load_snapshot,
+    save_snapshot,
+    warm_from_snapshot,
+)
 
 __version__ = "1.0.0"
 
@@ -70,6 +77,10 @@ __all__ = [
     "ReproError",
     "QuerySession",
     "connect",
+    "QueryService",
+    "save_snapshot",
+    "load_snapshot",
+    "warm_from_snapshot",
     "as_metapath",
     "Estimator",
     "RankingResult",
@@ -79,6 +90,7 @@ __all__ = [
     "networks",
     "engine",
     "query",
+    "serving",
     "relational",
     "measures",
     "ranking",

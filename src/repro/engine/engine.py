@@ -42,6 +42,7 @@ instance rather than constructing one per call site.
 
 from __future__ import annotations
 
+import functools
 from collections.abc import Sequence
 
 import numpy as np
@@ -52,9 +53,39 @@ from repro.networks.schema import MetaPath
 from repro.networks.updates import AppliedUpdate, pad_csr
 from repro.query.results import TopKResult
 from repro.utils.cache import CacheInfo, LRUCache
+from repro.utils.locks import RWLock
 from repro.engine.topk import top_k_indices
 
 __all__ = ["MetaPathEngine"]
+
+
+def _reader(method):
+    """Run *method* under the engine's read lock.
+
+    Read-locked methods may nest freely (the lock is reentrant for
+    readers), so every public query entry point carries this decorator
+    and the internal helpers they call stay lock-free.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        """Read-locked pass-through to the wrapped method."""
+        with self._rwlock.read():
+            return method(self, *args, **kwargs)
+
+    return wrapper
+
+
+def _writer(method):
+    """Run *method* under the engine's write lock (exclusive)."""
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        """Write-locked pass-through to the wrapped method."""
+        with self._rwlock.write():
+            return method(self, *args, **kwargs)
+
+    return wrapper
 
 
 def _canonical(m: sp.csr_matrix) -> sp.csr_matrix:
@@ -107,6 +138,7 @@ class MetaPathEngine:
     ):
         self.hin = hin
         self._cache = LRUCache(max_cached_matrices)
+        self._rwlock = RWLock()
         self.delta_rebuild_threshold = float(delta_rebuild_threshold)
         # The network version this engine's cache describes.  Kept in
         # lock-step by apply_update(); _sync() handles engines that missed
@@ -124,6 +156,24 @@ class MetaPathEngine:
     def epoch(self) -> int:
         """Network version the cached materializations answer for."""
         return self._epoch
+
+    @property
+    def lock(self) -> RWLock:
+        """The engine's read–write lock (see :mod:`repro.utils.locks`).
+
+        Queries hold the read side (any number run concurrently);
+        ``hin.apply()`` commits the network mutation *and* the cache
+        maintenance under the write side, so every query executes
+        entirely at one update epoch.  External callers that read
+        several engine answers as one consistent unit (e.g. snapshot
+        serialization) can hold ``engine.lock.read()`` across the
+        whole sequence — but must compute directly, never by awaiting
+        a :class:`~repro.serving.QueryService` future from inside the
+        block: the lock is writer-priority, so if a writer queues
+        behind your read hold, the service worker's own read acquire
+        blocks behind the writer and the future never resolves.
+        """
+        return self._rwlock
 
     def _sync(self) -> None:
         """Safety net for engines that missed an update receipt.
@@ -211,6 +261,7 @@ class MetaPathEngine:
             self._cache.put(key, cached)
         return cached
 
+    @_reader
     def commuting_matrix(self, path) -> sp.csr_matrix:
         """The commuting matrix ``M_P``, materialized once and cached.
 
@@ -232,6 +283,7 @@ class MetaPathEngine:
         self._cache.put(key, m)
         return m
 
+    @_reader
     def matrix_between(self, source: str, target: str) -> sp.csr_matrix:
         """Type-pair relation lookup, oriented ``source -> target``.
 
@@ -251,6 +303,7 @@ class MetaPathEngine:
         key = ("pathsim", mp.canonical_key())
 
         def compute():
+            """Materialize the half product and its row-norm diagonal."""
             steps = tuple(mp.steps())
             w = self._product(steps[: len(steps) // 2]).tocsr()
             diag = np.asarray(w.multiply(w).sum(axis=1)).ravel()
@@ -267,6 +320,7 @@ class MetaPathEngine:
         out[w.indices[start:end]] = w.data[start:end]
         return out
 
+    @_reader
     def prewarm(self, paths: Sequence) -> "MetaPathEngine":
         """Materialize *paths* up front (symmetric ones as PathSim parts)."""
         for spec in paths:
@@ -280,6 +334,7 @@ class MetaPathEngine:
     # ------------------------------------------------------------------
     # PathSim serving
     # ------------------------------------------------------------------
+    @_reader
     def pathsim(self, path, x, y) -> float:
         """PathSim score of one object pair (indices or names)."""
         mp = self.symmetric_path(path)
@@ -292,6 +347,7 @@ class MetaPathEngine:
         m_ij = w.getrow(i).dot(w.getrow(j).T)[0, 0]
         return float(2.0 * m_ij / denom)
 
+    @_reader
     def pathsim_row(self, path, query) -> np.ndarray:
         """Dense PathSim scores from *query* to every peer.
 
@@ -310,6 +366,7 @@ class MetaPathEngine:
             where=denom != 0,
         )
 
+    @_reader
     def pathsim_rows(self, path, queries) -> np.ndarray:
         """Batched :meth:`pathsim_row`: one ``(len(queries), n)`` score
         block from a single sparse-times-dense block product."""
@@ -327,6 +384,7 @@ class MetaPathEngine:
             where=denom != 0,
         )
 
+    @_reader
     def pathsim_matrix(self, path) -> np.ndarray:
         """Dense all-pairs PathSim matrix (full materialization — prefer
         the row/top-k entry points for serving)."""
@@ -339,6 +397,7 @@ class MetaPathEngine:
             2.0 * dense, denom, out=np.zeros_like(dense), where=denom != 0
         )
 
+    @_reader
     def pathsim_top_k(
         self, path, query, k: int, *, exclude_query: bool = True
     ) -> TopKResult:
@@ -356,6 +415,7 @@ class MetaPathEngine:
         scores = self.pathsim_row(mp, i)
         return self._select(scores, mp, mp.source_type, i, k, exclude_query, "pathsim")
 
+    @_reader
     def pathsim_top_k_batch(
         self, path, queries, k: int, *, exclude_query: bool = True
     ) -> list[TopKResult]:
@@ -399,6 +459,7 @@ class MetaPathEngine:
     # ------------------------------------------------------------------
     # Connectivity (path count) serving — works for asymmetric paths too
     # ------------------------------------------------------------------
+    @_reader
     def connectivity_row(self, path, query) -> np.ndarray:
         """Path-instance counts from *query* to every target-type object.
 
@@ -413,15 +474,19 @@ class MetaPathEngine:
         cached = self._cache.get(("product", key))
         if cached is not None:
             return np.asarray(cached.getrow(i).todense()).ravel()
-        if ("pathsim", key) in self._cache:
+        # Single get, not contains-then-get: a concurrent reader's
+        # materialization may LRU-evict the entry between the two calls.
+        pathsim = self._cache.get(("pathsim", key))
+        if pathsim is not None:
             # A PathSim-warmed symmetric path: M[i, :] = W (W[i, :])^T.
-            w, _ = self._cache.get(("pathsim", key))
+            w, _ = pathsim
             return w.dot(self._dense_row(w, i))
         row = None
         for m in self.hin.step_matrices(mp):
             row = m.getrow(i) if row is None else row.dot(m)
         return np.asarray(row.todense()).ravel()
 
+    @_reader
     def top_k_connectivity(
         self, path, query, k: int, *, exclude_query: bool = False
     ) -> TopKResult:
@@ -447,6 +512,7 @@ class MetaPathEngine:
     # ------------------------------------------------------------------
     # Incremental maintenance under network updates
     # ------------------------------------------------------------------
+    @_writer
     def apply_update(self, update: AppliedUpdate) -> dict:
         """Maintain every cached materialization under *update*.
 
@@ -743,12 +809,72 @@ class MetaPathEngine:
         return cached
 
     # ------------------------------------------------------------------
+    # Warm-cache snapshots
+    # ------------------------------------------------------------------
+    @_reader
+    def snapshot_entries(self) -> list[tuple]:
+        """Stable ``(key, value)`` pairs of every cached materialization.
+
+        Read under the engine's read lock so the list describes one
+        epoch; values are peeked (recency and hit counters untouched).
+        The serving layer's snapshot writer consumes this.
+
+        The read lock excludes *writers*, not other readers: a
+        concurrent query may still materialize (and thereby LRU-evict)
+        entries between the key listing and the peek, so keys whose
+        value has vanished are skipped rather than returned as ``None``.
+        """
+        self._sync()
+        sentinel = object()
+        entries = []
+        for key in self._cache.keys():
+            value = self._cache.peek(key, sentinel)
+            if value is not sentinel:
+                entries.append((key, value))
+        return entries
+
+    @_writer
+    def warm_entries(self, entries) -> int:
+        """Install pre-materialized ``(key, value)`` pairs into the cache.
+
+        The inverse of :meth:`snapshot_entries`, used when warming from
+        a snapshot.  The caller (:func:`repro.serving.warm_from_snapshot`)
+        is responsible for checking that the entries describe this
+        network at its *current* epoch; installing entries from another
+        epoch corrupts every later answer.  The LRU bound grows if
+        needed so that every installed entry survives (a snapshot from
+        a larger-cached engine must not be silently half-evicted).
+        Returns the number installed.
+        """
+        self._sync()
+        entries = list(entries)
+        if len(entries) > self._cache.maxsize:
+            self._cache.resize(len(entries))
+        count = 0
+        for key, value in entries:
+            self._cache.put(key, value)
+            count += 1
+        return count
+
+    def save_snapshot(self, path) -> dict:
+        """Persist the network and this engine's warm cache to *path*.
+
+        Delegates to :func:`repro.serving.save_snapshot`; see that
+        function for the on-disk format (npz arrays + JSON manifest with
+        the update epoch and schema hash).  Returns the manifest dict.
+        """
+        from repro.serving.snapshot import save_snapshot
+
+        return save_snapshot(self, path)
+
+    # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
     def cache_info(self) -> CacheInfo:
         """Hit/miss/eviction counters and occupancy of the matrix cache."""
         return self._cache.info()
 
+    @_writer
     def clear_cache(self) -> None:
         """Drop every materialized matrix and start a new cache generation
         (the blunt alternative to :meth:`apply_update`)."""

@@ -25,6 +25,13 @@ def top_k_indices(scores, k: int) -> np.ndarray:
     Ordering matches ``np.argsort(-scores, kind="stable")[:k]`` exactly:
     descending score, ties broken by ascending index.  ``k`` larger than
     the vector returns every index.
+
+    Parameters
+    ----------
+    scores:
+        1-D array-like of comparable scores.
+    k:
+        How many indices to return (``0`` gives an empty array).
     """
     scores = np.asarray(scores)
     if scores.ndim != 1:

@@ -24,6 +24,7 @@ __all__ = [
     "ForeignKeyError",
     "CubeError",
     "DimensionError",
+    "SnapshotError",
     "NotFittedError",
     "ConvergenceWarning",
     "DataWarning",
@@ -110,6 +111,15 @@ class DimensionError(CubeError, KeyError):
 
     def __str__(self) -> str:
         return Exception.__str__(self)
+
+
+class SnapshotError(ReproError):
+    """A warm-cache snapshot is unreadable, incompatible, or stale.
+
+    Raised when loading a snapshot whose manifest does not describe the
+    target network — wrong schema, wrong update epoch, or relation
+    content that drifted since the snapshot was taken.
+    """
 
 
 class NotFittedError(ReproError, RuntimeError):

@@ -30,6 +30,7 @@ array([[2.],
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
@@ -145,6 +146,16 @@ class HIN:
         self._engine = None
         self._query_session = None
         self._version = 0
+        # Guards lazy creation of the shared engine/session only; the
+        # engine's own read-write lock covers queries vs. updates.
+        # Reentrant: creating the shared session creates the shared
+        # engine inside the same critical section.
+        self._attach_lock = threading.RLock()
+        # Serializes writers (apply) with each other across the whole
+        # validate-build-commit sequence, so the build phase can run
+        # outside the engine write lock without another writer moving
+        # the network underneath it.
+        self._update_mutex = threading.Lock()
 
     # ------------------------------------------------------------------
     # Constructors
@@ -354,7 +365,9 @@ class HIN:
         if kwargs:
             return MetaPathEngine(self, **kwargs)
         if self._engine is None:
-            self._engine = MetaPathEngine(self)
+            with self._attach_lock:
+                if self._engine is None:
+                    self._engine = MetaPathEngine(self)
         return self._engine
 
     def query(self, **kwargs):
@@ -371,7 +384,9 @@ class HIN:
         if kwargs:
             return QuerySession(self, **kwargs)
         if self._query_session is None:
-            self._query_session = QuerySession(self)
+            with self._attach_lock:
+                if self._query_session is None:
+                    self._query_session = QuerySession(self)
         return self._query_session
 
     # ------------------------------------------------------------------
@@ -408,11 +423,42 @@ class HIN:
         maintains its cached commuting matrices incrementally
         (:meth:`repro.engine.MetaPathEngine.apply_update`) instead of
         recomputing them.
+
+        Concurrency: writers serialize with each other on an update
+        mutex across the whole step, but only the *commit* — the pointer
+        swaps plus the engine's incremental cache maintenance — runs
+        under the shared engine's *write* lock.  The read-only
+        validate-and-build phase (delta construction, proportional to
+        the touched relations) overlaps freely with concurrent queries,
+        keeping the exclusive window as short as possible.  In-flight
+        queries finish against the pre-update epoch; queries submitted
+        during the commit see the post-update epoch.  See
+        ``docs/ARCHITECTURE.md`` → "Serving & concurrency".
         """
         if not isinstance(batch, UpdateBatch):
             raise UpdateError(
                 f"apply() takes an UpdateBatch, got {type(batch).__name__}"
             )
+        # Always commit through the shared engine's write lock — created
+        # here if nobody queried yet (cheap: empty cache).  Reading
+        # self._engine directly instead would race with lazy creation: a
+        # concurrent first query could attach an engine and read
+        # mid-commit state without any lock excluding it.
+        engine = self.engine()
+        with self._update_mutex:
+            # Build phase: reads only — matrices are immutable values
+            # and no other writer can run (update mutex held), so this
+            # overlaps safely with read-locked queries.
+            plan = self._prepare(batch)
+            with engine.lock.write():
+                return self._commit(*plan)
+
+    def _prepare(self, batch: UpdateBatch):
+        """Validate *batch* and build its commit plan (read-only phase).
+
+        The caller holds the update mutex (no concurrent writer) but NOT
+        the engine write lock — queries keep flowing while deltas build.
+        """
         # -- validate node growth ---------------------------------------
         growth: dict[str, tuple[int, int]] = {}
         new_counts = dict(self._counts)
@@ -465,7 +511,18 @@ class HIN:
             new.eliminate_zeros()
             new.sort_indices()
             deltas[rel_name] = RelationDelta(rel_name, old, new, delta)
-        # -- commit -----------------------------------------------------
+        return new_counts, appended_names, growth, resized, deltas
+
+    def _commit(
+        self,
+        new_counts: dict,
+        appended_names: dict,
+        growth: dict,
+        resized: frozenset,
+        deltas: dict,
+    ) -> AppliedUpdate:
+        """Install a prepared update plan (caller holds the engine write
+        lock, so no query observes a partial commit)."""
         self._counts = new_counts
         for t, names in appended_names.items():
             base = len(self._names[t])

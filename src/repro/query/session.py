@@ -150,6 +150,15 @@ class QuerySession:
     def _simrank_top_k(
         self, obj, path, k: int, *, exclude_self: bool
     ) -> TopKResult:
+        with self._engine.lock.read():
+            return self._simrank_top_k_locked(
+                obj, path, k, exclude_self=exclude_self
+            )
+
+    def _simrank_top_k_locked(
+        self, obj, path, k: int, *, exclude_self: bool
+    ) -> TopKResult:
+        """Projection + fit + answer at one epoch (read lock held)."""
         from repro.similarity.simrank import SimRank
 
         mp = self.path(path)
@@ -200,7 +209,33 @@ class QuerySession:
         * ``rank("A-P-V")`` — path-visibility ranking: the path's
           *target* type (venue) ranked by total incoming path instances
           (``method="path"``).
+
+        The whole operation runs under the engine's read lock, so the
+        scores, the node names, and the stamped ``network_version``
+        always describe one update epoch even while ``hin.apply()``
+        commits concurrently.
         """
+        with self._engine.lock.read():
+            return self._rank(
+                target,
+                by=by,
+                path=path,
+                attribute_path=attribute_path,
+                method=method,
+                **kwargs,
+            )
+
+    def _rank(
+        self,
+        target,
+        *,
+        by: str | None = None,
+        path=None,
+        attribute_path=None,
+        method: str | None = None,
+        **kwargs,
+    ) -> RankingResult:
+        """:meth:`rank` body (caller holds the engine read lock)."""
         is_path_spec = not isinstance(target, str) or "-" in target
         if is_path_spec:
             mp = self.path(target)

@@ -1,5 +1,10 @@
 """Ranking: PageRank, HITS, Personalized PageRank, and the bi-type
-simple/authority ranking functions used by RankClus."""
+simple/authority ranking functions used by RankClus.
+
+:func:`rank_bi_type` survives as a deprecated shim — the blessed
+spelling is ``hin.query().rank(target, by=attribute)``, which returns a
+typed :class:`~repro.query.results.RankingResult` (see ``docs/API.md``).
+"""
 
 from repro.ranking.authority import (
     BiTypeRanking,

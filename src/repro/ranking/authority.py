@@ -212,13 +212,27 @@ def rank_bi_type(
         Superseded by the query facade:
         ``hin.query().rank(target_type, by=attribute_type)`` returns a
         typed :class:`~repro.query.results.RankingResult`.  This shim
-        keeps the old signature and behaviour.
+        keeps the old signature and behaviour (and emits
+        ``DeprecationWarning``).
 
-    ``target_attribute_path`` defaults to the unique direct relation
-    between the two types; pass a meta-path (e.g.
-    ``"venue-paper-author"``) when the connection is indirect.
-    ``attribute_attribute_path`` (e.g. ``"author-paper-author"``) supplies
-    the W_YY matrix for authority ranking's propagation step.
+    Parameters
+    ----------
+    hin:
+        The network holding both types.
+    target_type, attribute_type:
+        The X (ranked conditionally) and Y (evidence) node types.
+    target_attribute_path:
+        Defaults to the unique direct relation between the two types;
+        pass a meta-path (e.g. ``"venue-paper-author"``) when the
+        connection is indirect.
+    attribute_attribute_path:
+        Optional Y–Y propagation path (e.g. ``"author-paper-author"``)
+        supplying the ``W_YY`` matrix for authority ranking.
+    method:
+        ``"authority"`` (default) or ``"simple"``.
+    alpha:
+        Authority ranking's direct-evidence weight; see
+        :func:`authority_ranking`.
     """
     warnings.warn(
         "rank_bi_type() is deprecated; use hin.query().rank(target, by=...) "

@@ -26,6 +26,15 @@ def hits(
 ) -> tuple[np.ndarray, np.ndarray, ConvergenceInfo]:
     """HITS hub and authority scores (each vector sums to 1).
 
+    Parameters
+    ----------
+    graph:
+        The graph to score; edges point hub → authority.  Raises
+        :class:`~repro.exceptions.GraphError` when it has no edges.
+    max_iter, tol:
+        Power iteration stops when the L1 change of both vectors falls
+        below *tol*.
+
     Returns
     -------
     (hubs, authorities, info)
@@ -68,6 +77,14 @@ def hits(
 
 
 def hits_scores(graph: Graph, **kwargs) -> tuple[np.ndarray, np.ndarray]:
-    """Convenience wrapper returning only ``(hubs, authorities)``."""
+    """Convenience wrapper returning only ``(hubs, authorities)``.
+
+    Parameters
+    ----------
+    graph:
+        The graph to score.
+    **kwargs:
+        Forwarded to :func:`hits` (``max_iter``, ``tol``).
+    """
     hubs, authorities, _ = hits(graph, **kwargs)
     return hubs, authorities

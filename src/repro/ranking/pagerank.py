@@ -92,6 +92,15 @@ def pagerank(
 
 
 def pagerank_scores(graph: Graph, **kwargs) -> np.ndarray:
-    """Convenience wrapper returning only the score vector."""
+    """Convenience wrapper returning only the score vector.
+
+    Parameters
+    ----------
+    graph:
+        The graph to score.
+    **kwargs:
+        Forwarded to :func:`pagerank` (``damping``, ``personalization``,
+        ``max_iter``, ``tol``).
+    """
     scores, _ = pagerank(graph, **kwargs)
     return scores

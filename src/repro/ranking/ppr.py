@@ -31,8 +31,18 @@ def personalized_pagerank(
 ) -> tuple[np.ndarray, ConvergenceInfo]:
     """PPR scores with restart mass spread uniformly over *seeds*.
 
-    *seeds* is a single node index or an iterable of node indices
-    (duplicates are ignored).
+    Parameters
+    ----------
+    graph:
+        The graph to walk.
+    seeds:
+        A single node index or an iterable of node indices (duplicates
+        are ignored); restart mass is spread uniformly over them.
+    damping:
+        Continuation probability (restart probability is ``1 - damping``).
+    max_iter, tol:
+        Power-iteration stopping rule, forwarded to
+        :func:`repro.ranking.pagerank`.
     """
     n = graph.n_nodes
     restart = np.zeros(n)
@@ -58,7 +68,20 @@ def personalized_pagerank(
 def random_walk_with_restart(
     graph: Graph, source: int, *, restart_prob: float = 0.15, **kwargs
 ) -> np.ndarray:
-    """RWR scores from a single *source* (PPR parameterized by restart prob)."""
+    """RWR scores from a single *source* (PPR parameterized by restart prob).
+
+    Parameters
+    ----------
+    graph:
+        The graph to walk.
+    source:
+        The restart node.
+    restart_prob:
+        Probability of jumping back to *source* at each step
+        (``damping = 1 - restart_prob``).
+    **kwargs:
+        Forwarded to :func:`personalized_pagerank`.
+    """
     scores, _ = personalized_pagerank(
         graph, source, damping=1.0 - restart_prob, **kwargs
     )
@@ -73,7 +96,21 @@ def ppr_top_k(
     damping: float = 0.85,
     exclude_source: bool = True,
 ) -> list[tuple[int, float]]:
-    """Top-*k* nodes by PPR score from *source*, as ``(node, score)`` pairs."""
+    """Top-*k* nodes by PPR score from *source*, as ``(node, score)`` pairs.
+
+    Parameters
+    ----------
+    graph:
+        The graph to walk.
+    source:
+        The restart node.
+    k:
+        How many nodes to return (fewer when the graph is smaller).
+    damping:
+        Continuation probability of the underlying PPR.
+    exclude_source:
+        Drop *source* itself from the ranking (default True).
+    """
     if k < 0:
         raise ValueError(f"k must be >= 0, got {k}")
     scores, _ = personalized_pagerank(graph, source, damping=damping)

@@ -1,0 +1,38 @@
+"""Concurrent query serving: worker pools, batching, warm-cache snapshots.
+
+The production-facing layer above the query facade.  Three pieces:
+
+* thread-safe engine serving — the engine's read–write lock
+  (:attr:`repro.engine.MetaPathEngine.lock`) lets any number of query
+  threads share one cache while ``hin.apply()`` commits update batches
+  atomically between them;
+* :class:`QueryService` — a worker pool that accepts
+  ``similar``/``top_k``/``connected``/``rank`` requests as futures,
+  coalesces duplicate in-flight requests, and batches same-meta-path
+  top-k queries into single block products;
+* snapshots — :func:`save_snapshot` / :func:`load_snapshot` /
+  :func:`warm_from_snapshot` persist the network plus its materialized
+  commuting matrices so a new process starts warm, with epoch and
+  schema/content hashes guarding against stale caches.
+
+See ``docs/ARCHITECTURE.md`` → "Serving & concurrency" for the design
+and benchmark E17 for the measured throughput.
+"""
+
+from repro.serving.service import QueryService
+from repro.serving.snapshot import (
+    load_snapshot,
+    network_fingerprint,
+    save_snapshot,
+    schema_fingerprint,
+    warm_from_snapshot,
+)
+
+__all__ = [
+    "QueryService",
+    "save_snapshot",
+    "load_snapshot",
+    "warm_from_snapshot",
+    "schema_fingerprint",
+    "network_fingerprint",
+]

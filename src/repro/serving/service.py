@@ -1,0 +1,467 @@
+"""QueryService — a concurrent, batching front end over one network.
+
+The facade (:class:`~repro.query.session.QuerySession`) answers one
+query at a time on the calling thread.  A serving process has a
+different shape: many clients issue small top-k queries concurrently,
+most of them over the same handful of meta-paths, while a writer
+occasionally lands an update batch.  The LDBC SIGMOD-2014 contest
+analyses (PAPERS.md) locate the throughput on such workloads in two
+places — *sharing* work between concurrent queries and *batching*
+same-shape queries into single matrix operations — and this module
+implements exactly those two moves on top of the engine's thread-safe
+serving layer:
+
+* **Worker pool.**  ``submit``-style entry points (:meth:`similar`,
+  :meth:`top_k`, :meth:`connected`, :meth:`rank`) enqueue a request and
+  return a :class:`concurrent.futures.Future`; a small pool of worker
+  threads drains the queue.  Queries execute under the engine's read
+  lock, so they interleave freely with each other and serialize only
+  against update commits (``hin.apply()``), each answer computed
+  entirely at one update epoch.
+* **Request coalescing.**  Identical requests in flight at the same
+  time (same operation, same spelling of the arguments) share one
+  computation and one future — a thundering herd of ``similar("SIGMOD",
+  "V-P-A-P-V", k=10)`` costs one row slice.
+* **Opportunistic batching.**  When a worker picks up a PathSim top-k
+  request, it drains every queued request with the same
+  ``(path, k, exclude)`` shape (up to ``max_batch``) and answers them
+  with one call to
+  :meth:`~repro.engine.MetaPathEngine.pathsim_top_k_batch` — one sparse
+  × dense block product instead of one mat-vec per query.  Under load
+  the batch assembles itself; an idle service degenerates to per-query
+  execution with no added latency.
+
+Batched answers are *bit-identical* to per-query answers (the block
+product runs the same summation per row), which benchmark E17 asserts
+while measuring the throughput gain.
+
+Example
+-------
+>>> from repro.serving import QueryService                # doctest: +SKIP
+>>> with QueryService(hin, workers=2) as svc:             # doctest: +SKIP
+...     futures = [svc.similar(v, "V-P-A-P-V", k=5) for v in venues]
+...     answers = [f.result() for f in futures]
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import Future, InvalidStateError
+from dataclasses import dataclass
+
+__all__ = ["QueryService"]
+
+
+@dataclass
+class _Request:
+    """One queued unit of work, fanned out to one future per submitter.
+
+    Coalesced submitters share the computation but each holds its own
+    :class:`~concurrent.futures.Future`, so one client cancelling its
+    future never cancels another client's answer.
+    """
+
+    op: str
+    call: object  # () -> result, for solo execution
+    futures: list  # one Future per (coalesced) submitter
+    key: tuple | None = None  # coalescing identity (None: never coalesce)
+    batch_key: tuple | None = None  # grouping shape (None: not batchable)
+    batch_call: object = None  # (queries) -> [results], for grouped execution
+    query: object = None  # this request's query object within a batch
+
+
+class QueryService:
+    """Thread-safe query serving over one HIN's shared engine.
+
+    Parameters
+    ----------
+    hin:
+        The network to serve.  The service always executes through the
+        network's *shared* session and engine (``hin.query()`` /
+        ``hin.engine()``), so its cache is the same one every other
+        caller warms — and so update commits via ``hin.apply()``
+        coordinate with in-flight queries through the engine's
+        read–write lock.
+    workers:
+        Worker-thread count.  Batching does most of the work; a small
+        pool (2–4) is usually right even for many clients.
+    max_batch:
+        Upper bound on how many same-shape top-k requests one worker
+        groups into a single block product.
+    session:
+        Override the session object (e.g. one with a different SimRank
+        memo bound).  It must execute on the network's *shared* engine —
+        a session built over a detached engine is rejected, because
+        ``hin.apply()`` only coordinates with the shared engine's lock.
+
+    Use as a context manager, or call :meth:`close` explicitly; both
+    drain queued work before returning.
+    """
+
+    def __init__(self, hin, *, workers: int = 2, max_batch: int = 64, session=None):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.hin = hin
+        self._session = session if session is not None else hin.query()
+        self._engine = self._session.engine
+        if self._engine is not hin.engine():
+            # A detached engine holds its own lock — the one hin.apply()
+            # does NOT commit under — so queries through it could observe
+            # torn mid-commit network state.  Concurrent serving is only
+            # sound on the shared engine.
+            raise ValueError(
+                "QueryService requires a session on the network's shared "
+                "engine (hin.engine()); detached engines cannot coordinate "
+                "with hin.apply()"
+            )
+        self._max_batch = int(max_batch)
+        self._cond = threading.Condition()
+        self._work: deque[_Request] = deque()
+        self._inflight: dict[tuple, _Request] = {}
+        self._closed = False
+        self._stats = {
+            "submitted": 0,
+            "coalesced": 0,
+            "completed": 0,
+            "cancelled": 0,
+            "batches": 0,
+            "batched_requests": 0,
+            "largest_batch": 0,
+        }
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"repro-serve-{i}", daemon=True
+            )
+            for i in range(int(workers))
+        ]
+        for t in self._threads:
+            t.start()
+
+    # ------------------------------------------------------------------
+    # Submission surface
+    # ------------------------------------------------------------------
+    def similar(
+        self,
+        obj,
+        path,
+        k: int = 10,
+        *,
+        measure: str = "pathsim",
+        exclude_self: bool = True,
+    ) -> Future:
+        """Enqueue a top-*k* similarity query; returns a future.
+
+        ``measure="pathsim"`` requests are batchable: queued requests
+        over the same ``(path, k, exclude_self)`` shape are answered by
+        one block product.  Other measures execute singly through the
+        session.
+
+        Every failure — bad path, unknown object, engine error — is
+        delivered through the returned future, never raised on the
+        submitting thread.
+        """
+        if measure == "pathsim":
+            try:
+                mp = self._session.path(path)
+            except Exception as exc:  # uniform error contract: via the future
+                return self._failed(exc)
+            shape = ("similar", mp.canonical_key(), int(k), bool(exclude_self))
+            return self._submit(
+                self._safe_key("similar", shape[1:] + (obj,)),
+                lambda key: _Request(
+                    op="similar",
+                    call=lambda: self._engine.pathsim_top_k(
+                        mp, obj, k, exclude_query=exclude_self
+                    ),
+                    futures=[Future()],
+                    key=key,
+                    batch_key=shape,
+                    batch_call=lambda queries: self._engine.pathsim_top_k_batch(
+                        mp, queries, k, exclude_query=exclude_self
+                    ),
+                    query=obj,
+                ),
+            )
+        return self._submit(
+            self._safe_key(
+                "similar", (str(path), obj, int(k), measure, bool(exclude_self))
+            ),
+            lambda key: _Request(
+                op="similar",
+                call=lambda: self._session.similar(
+                    obj, path, k, measure=measure, exclude_self=exclude_self
+                ),
+                futures=[Future()],
+                key=key,
+            ),
+        )
+
+    def top_k(self, path, obj, k: int = 10, *, exclude_self: bool = True) -> Future:
+        """Engine-parity spelling of :meth:`similar` (path first)."""
+        return self.similar(obj, path, k, exclude_self=exclude_self)
+
+    def connected(self, obj, path, k: int = 10, *, exclude_self: bool = False) -> Future:
+        """Enqueue a top-*k* connectivity (path-count) query; returns a future."""
+        try:
+            mp = self._session.path(path)
+        except Exception as exc:  # uniform error contract: via the future
+            return self._failed(exc)
+        return self._submit(
+            self._safe_key(
+                "connected", (mp.canonical_key(), int(k), bool(exclude_self), obj)
+            ),
+            lambda key: _Request(
+                op="connected",
+                call=lambda: self._engine.top_k_connectivity(
+                    mp, obj, k, exclude_query=exclude_self
+                ),
+                futures=[Future()],
+                key=key,
+            ),
+        )
+
+    def rank(self, target, **kwargs) -> Future:
+        """Enqueue a ranking query (`QuerySession.rank` semantics); returns a future."""
+        return self._submit(
+            self._safe_key("rank", (target, tuple(sorted(kwargs.items())))),
+            lambda key: _Request(
+                op="rank",
+                call=lambda: self._session.rank(target, **kwargs),
+                futures=[Future()],
+                key=key,
+            ),
+        )
+
+    def prewarm(self, *paths) -> "QueryService":
+        """Materialize *paths* into the shared cache before serving."""
+        self._session.prewarm(*paths)
+        return self
+
+    @staticmethod
+    def _failed(exc: BaseException) -> Future:
+        """A pre-failed future: submit-time errors use the same channel
+        as execution errors."""
+        future = Future()
+        future.set_exception(exc)
+        return future
+
+    @staticmethod
+    def _safe_key(op: str, parts: tuple) -> tuple | None:
+        """A coalescing key, or ``None`` when any argument is unhashable."""
+        key = (op,) + parts
+        try:
+            hash(key)
+        except TypeError:
+            return None
+        return key
+
+    # ------------------------------------------------------------------
+    # Queue machinery
+    # ------------------------------------------------------------------
+    def _submit(self, key: tuple | None, factory) -> Future:
+        """Coalesce onto an in-flight request for *key*, or enqueue a new
+        one built by *factory* — which only runs on a coalescing miss, so
+        the hot duplicate path never constructs futures it throws away."""
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("QueryService is closed")
+            if key is not None:
+                existing = self._inflight.get(key)
+                if existing is not None:
+                    # Share the computation, not the future: each
+                    # coalesced submitter gets its own, so cancelling
+                    # one never cancels another's answer.
+                    self._stats["coalesced"] += 1
+                    future = Future()
+                    existing.futures.append(future)
+                    return future
+            request = factory(key)
+            if key is not None:
+                self._inflight[key] = request
+            self._stats["submitted"] += 1
+            self._work.append(request)
+            self._cond.notify()
+        return request.futures[0]
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                while not self._work and not self._closed:
+                    self._cond.wait()
+                if not self._work:
+                    return  # closed and fully drained
+                first = self._work.popleft()
+                group = [first]
+                if first.batch_key is not None and self._work:
+                    # Bounded drain: scan at most a few batches' worth of
+                    # queue — unbounded scanning would churn the whole
+                    # deque under this lock for every batchable request
+                    # (O(n²) on deep mixed-shape queues).  Requests past
+                    # the window simply batch on a later pass.
+                    scan_limit = max(self._max_batch * 4, 256)
+                    skipped: deque[_Request] = deque()
+                    while (
+                        self._work
+                        and len(group) < self._max_batch
+                        and len(skipped) + len(group) <= scan_limit
+                    ):
+                        other = self._work.popleft()
+                        if other.batch_key == first.batch_key:
+                            group.append(other)
+                        else:
+                            skipped.append(other)
+                    while skipped:  # restore non-matching requests in order
+                        self._work.appendleft(skipped.pop())
+                if len(group) > 1:
+                    self._stats["batches"] += 1
+                    self._stats["batched_requests"] += len(group)
+                    self._stats["largest_batch"] = max(
+                        self._stats["largest_batch"], len(group)
+                    )
+            self._execute(group)
+
+    def _execute(self, group: list[_Request]) -> None:
+        # Honour Future.cancel(): a submitter's cancelled future is
+        # dropped (set_running_or_notify_cancel flips the survivors to
+        # RUNNING, after which cancel() can no longer race set_result);
+        # a request whose every submitter cancelled is retired without
+        # computing.  All under the queue lock, so no duplicate can
+        # join a request that is about to be retired.
+        with self._cond:
+            active = []
+            for request in group:
+                request.futures = [
+                    f for f in request.futures if f.set_running_or_notify_cancel()
+                ]
+                if request.futures:
+                    active.append(request)
+                else:
+                    self._retire_locked(request, cancelled=True)
+        if active:
+            self._run(active)
+
+    def _run(self, group: list[_Request]) -> None:
+        # The engine's own entry points take the read lock; holding it
+        # across the whole request additionally covers facade operations
+        # that read network state outside the engine (degree rankings,
+        # projections), so every answer is computed at one epoch.
+        #
+        # Retirement (_finish) happens INSIDE the read lock: an update
+        # cannot commit until the lock is released, so every submitter
+        # that coalesced onto this request did so before the next epoch
+        # existed — a submitter arriving after a commit always starts a
+        # fresh request and never receives a pre-update answer.
+        # Delivery happens OUTSIDE the lock on every path: a future's
+        # done-callbacks run on this thread, and one that takes the
+        # write lock (hin.apply, clear_cache) would otherwise hit the
+        # read-to-write upgrade guard.
+        deliveries: list[tuple[Future, object, object]] = []
+        with self._engine.lock.read():
+            self._compute(group, deliveries)
+        for future, result, error in deliveries:
+            self._resolve(future, result=result, error=error)
+
+    def _compute(self, group: list[_Request], deliveries: list) -> None:
+        """Execute *group* (caller holds the read lock), retire it, and
+        record the per-future deliveries for after the lock releases."""
+        try:
+            if len(group) == 1:
+                results = [group[0].call()]
+            else:
+                results = group[0].batch_call([r.query for r in group])
+        except BaseException as exc:  # noqa: BLE001 — futures carry failures
+            if len(group) == 1:
+                for future in self._finish(group)[0]:
+                    deliveries.append((future, None, exc))
+            else:
+                # One bad request must not poison the co-batched ones:
+                # retry each solo so every future gets its own result
+                # or its own error.
+                for request in group:
+                    self._compute([request], deliveries)
+            return
+        for futures, result in zip(self._finish(group), results):
+            for future in futures:
+                deliveries.append((future, result, None))
+
+    @staticmethod
+    def _resolve(future: Future, *, result=None, error=None) -> None:
+        """Deliver to one submitter, tolerating a mid-compute cancel.
+
+        Futures that coalesced onto a request after its group started
+        running are still PENDING here; setting their result is legal,
+        but one cancelled in that window would raise InvalidStateError.
+        """
+        try:
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(result)
+        except InvalidStateError:
+            pass  # the submitter cancelled while we computed
+
+    def _finish(self, group: list[_Request]) -> list[list[Future]]:
+        """Retire *group* from the coalescing window; return the futures
+        to deliver to (snapshotted under the lock — once a request is
+        out of ``_inflight``, no new submitter can join it)."""
+        with self._cond:
+            fan_out = []
+            for request in group:
+                self._retire_locked(request)
+                fan_out.append(list(request.futures))
+            return fan_out
+
+    def _retire_locked(self, request: _Request, *, cancelled: bool = False) -> None:
+        """Drop one request from the coalescing map (caller holds the lock).
+
+        Cancelled-before-computing requests count as ``cancelled``, not
+        ``completed`` — the counters describe work actually performed.
+        """
+        self._stats["cancelled" if cancelled else "completed"] += 1
+        if request.key is not None and self._inflight.get(request.key) is request:
+            del self._inflight[request.key]
+
+    # ------------------------------------------------------------------
+    # Observability / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Counters: submitted/coalesced/completed/cancelled requests and
+        batch shapes (``batches``, ``batched_requests``, ``largest_batch``)."""
+        with self._cond:
+            return dict(self._stats)
+
+    def cache_info(self):
+        """The shared engine's cache counters (hits/misses/evictions)."""
+        return self._engine.cache_info()
+
+    @property
+    def epoch(self) -> int:
+        """The served network's current update epoch."""
+        return getattr(self.hin, "version", 0)
+
+    def close(self) -> None:
+        """Stop accepting work, drain the queue, and join the workers."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        for t in self._threads:
+            t.join()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"QueryService({self.hin!r}, workers={len(self._threads)}, "
+            f"served={s['completed']}, coalesced={s['coalesced']}, "
+            f"batches={s['batches']})"
+        )

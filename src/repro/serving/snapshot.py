@@ -1,0 +1,471 @@
+"""Warm-cache snapshots: persist a HIN plus its materialized products.
+
+A fresh serving process pays twice before its first fast answer: once to
+load the network and once to re-materialize every commuting matrix the
+workload needs.  A snapshot removes both costs.
+:func:`save_snapshot` serializes the network (schema, node names,
+relation matrices) *and* the engine's cached materializations — prefix
+products and PathSim ``(W, diag)`` pairs — as plain npz arrays next to
+a JSON manifest; :func:`load_snapshot` rebuilds the HIN and installs the
+cache entries, so the first query after startup is a cache hit.
+
+Staleness is a correctness issue, not a performance one: a cache entry
+from epoch *j* silently served against a network at epoch *k* ≠ *j*
+returns wrong answers.  The manifest therefore records
+
+* the **update epoch** (``hin.version``) the snapshot describes,
+* a **schema hash** (node types + relations), and
+* a **content hash** over every relation matrix's bytes,
+
+and :func:`warm_from_snapshot` — the entry point that installs cached
+products into an *existing* network's engine — refuses with
+:class:`~repro.exceptions.SnapshotError` unless all three match the live
+network.  :func:`load_snapshot` rebuilds the network from the same files
+the hashes describe, re-verifying the content hash on the way in, so a
+truncated or hand-edited snapshot fails loudly instead of serving
+garbage.
+
+On-disk layout (``path`` is a directory)::
+
+    manifest.json             format, epoch, hashes, schema, entry index
+    network-<epoch>-<h>.npz   relation matrices (CSR arrays)
+    cache-<epoch>-<h>.npz     cached products / PathSim parts
+
+Payload files carry content-addressed names and the manifest is
+replaced atomically, so overwriting a snapshot in place is crash-safe:
+a save that dies mid-way leaves the previous snapshot loadable.
+Snapshots are portable across processes and machines (plain numpy
+arrays, no pickling) but tied to one library format version.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from contextlib import ExitStack
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import SnapshotError
+from repro.networks.hin import HIN
+from repro.networks.schema import NetworkSchema
+
+__all__ = [
+    "save_snapshot",
+    "load_snapshot",
+    "warm_from_snapshot",
+    "schema_fingerprint",
+    "network_fingerprint",
+]
+
+_FORMAT = "repro-hin-snapshot"
+_FORMAT_VERSION = 1
+
+# One save at a time per target directory (within this process):
+# concurrent saves only hold the engine's shared READ lock, so without
+# this they could interleave and cross-delete each other's payloads.
+_save_locks: dict[str, threading.Lock] = {}
+_save_locks_mutex = threading.Lock()
+
+
+def _save_lock_for(path: Path) -> threading.Lock:
+    key = str(path.resolve())
+    with _save_locks_mutex:
+        lock = _save_locks.get(key)
+        if lock is None:
+            lock = _save_locks[key] = threading.Lock()
+        return lock
+
+
+def _load_npz(path: Path) -> dict:
+    """Load an npz payload, mapping a missing file to SnapshotError."""
+    try:
+        with np.load(path) as npz:
+            return {name: npz[name] for name in npz.files}
+    except FileNotFoundError:
+        raise SnapshotError(
+            f"snapshot payload missing: {path} (partial copy or "
+            f"interrupted save)"
+        ) from None
+
+
+def schema_fingerprint(schema: NetworkSchema) -> str:
+    """SHA-256 over the schema's types and relations (order included)."""
+    payload = json.dumps(
+        {
+            "node_types": list(schema.node_types),
+            "relations": [
+                [r.name, r.source, r.target] for r in schema.relations
+            ],
+        },
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def network_fingerprint(hin: HIN) -> str:
+    """SHA-256 over node counts and every relation matrix's exact content.
+
+    Two networks fingerprint equal iff they have the same counts and
+    bit-identical CSR arrays — the property :func:`warm_from_snapshot`
+    needs to decide that cached products are still valid.
+    """
+    return _content_fingerprint(
+        [(t, hin.node_count(t)) for t in hin.schema.node_types],
+        [(rel.name, hin.relation_matrix(rel.name)) for rel in hin.schema.relations],
+    )
+
+
+def _content_fingerprint(counts: list, matrices: list) -> str:
+    """The :func:`network_fingerprint` hash from captured ``(name, value)``
+    lists — lets a caller capture references under a lock and pay for the
+    hashing after releasing it (matrices are replaced, never mutated)."""
+    digest = hashlib.sha256()
+    for t, count in counts:
+        digest.update(f"{t}={count};".encode())
+    for name, m in matrices:
+        m = m.tocsr()
+        if not m.has_canonical_format:
+            # Canonicalize a COPY: fingerprinting must never mutate the
+            # live network (sum_duplicates rewrites the CSR arrays in
+            # place, racing concurrent readers of the same matrix).
+            m = m.copy()
+            m.sum_duplicates()
+        digest.update(name.encode())
+        digest.update(np.ascontiguousarray(m.indptr).tobytes())
+        digest.update(np.ascontiguousarray(m.indices).tobytes())
+        digest.update(np.ascontiguousarray(m.data, dtype=np.float64).tobytes())
+    return digest.hexdigest()
+
+
+def _write_npz(path: Path, arrays: dict) -> None:
+    """Write *arrays* as npz via a temp file + atomic rename."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as f:
+        np.savez(f, **arrays)
+    os.replace(tmp, path)
+
+
+def _arrays_fingerprint(arrays) -> str:
+    """SHA-256 over a name→array mapping (sorted names, raw bytes)."""
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        digest.update(name.encode())
+        digest.update(np.ascontiguousarray(arrays[name]).tobytes())
+    return digest.hexdigest()
+
+
+def _csr_arrays(prefix: str, m: sp.csr_matrix, arrays: dict) -> dict:
+    """Record *m*'s CSR arrays under *prefix* and return its descriptor."""
+    m = m.tocsr()
+    arrays[f"{prefix}/data"] = m.data
+    arrays[f"{prefix}/indices"] = m.indices
+    arrays[f"{prefix}/indptr"] = m.indptr
+    return {"shape": list(m.shape)}
+
+
+def _csr_from(prefix: str, arrays, shape) -> sp.csr_matrix:
+    return sp.csr_matrix(
+        (
+            arrays[f"{prefix}/data"],
+            arrays[f"{prefix}/indices"],
+            arrays[f"{prefix}/indptr"],
+        ),
+        shape=tuple(shape),
+    )
+
+
+def _resolve_engine(target):
+    """Accept a HIN or an engine; return ``(hin, engine)``."""
+    if isinstance(target, HIN):
+        return target, target.engine()
+    hin = getattr(target, "hin", None)
+    if hin is None or not hasattr(target, "snapshot_entries"):
+        raise TypeError(
+            f"save_snapshot() takes a HIN or a MetaPathEngine, "
+            f"got {type(target).__name__}"
+        )
+    return hin, target
+
+
+def save_snapshot(target, path) -> dict:
+    """Write a warm-cache snapshot of *target* (HIN or engine) to *path*.
+
+    Parameters
+    ----------
+    target:
+        A :class:`~repro.networks.hin.HIN` (its shared engine's cache is
+        captured) or a :class:`~repro.engine.MetaPathEngine`.
+    path:
+        Directory to create/overwrite.  Files written: ``manifest.json``
+        plus uniquely-named payload npz files referenced by it.
+
+    The engine's read lock is held while the network and cache are
+    extracted, so the snapshot describes exactly one update epoch even
+    while writers are active.  For a *detached* engine (constructed with
+    kwargs), the network's shared engine's lock is held as well — that
+    is the lock ``hin.apply()`` commits under, so the single-epoch
+    guarantee covers detached caches too.
+
+    Overwriting an existing snapshot is crash-safe: payload files carry
+    content-addressed names and the manifest is swapped in atomically
+    (write-then-rename) only after they are fully written, so a save
+    that dies mid-way leaves the previous snapshot loadable; files the
+    new manifest no longer references are removed last.  Returns the
+    manifest dict.
+    """
+    hin, engine = _resolve_engine(target)
+    out = Path(path)
+    out.mkdir(parents=True, exist_ok=True)
+
+    with ExitStack() as stack:
+        stack.enter_context(engine.lock.read())
+        shared = hin.engine() if isinstance(hin, HIN) else None
+        if shared is not None and shared is not engine:
+            stack.enter_context(shared.lock.read())
+        epoch = getattr(hin, "version", 0)
+        entries = engine.snapshot_entries()
+
+        net_arrays: dict[str, np.ndarray] = {}
+        relations = []
+        captured_matrices = []
+        for rel in hin.schema.relations:
+            matrix = hin.relation_matrix(rel.name)
+            captured_matrices.append((rel.name, matrix))
+            desc = _csr_arrays(f"rel/{rel.name}", matrix, net_arrays)
+            relations.append(
+                {
+                    "name": rel.name,
+                    "source": rel.source,
+                    "target": rel.target,
+                    **desc,
+                }
+            )
+        node_counts = {t: hin.node_count(t) for t in hin.schema.node_types}
+
+        names = {}
+        for t in hin.schema.node_types:
+            type_names = hin.names(t)
+            if type_names is not None:
+                names[t] = type_names
+
+        cache_arrays: dict[str, np.ndarray] = {}
+        entry_index = []
+        for i, (key, value) in enumerate(entries):
+            kind, steps = key
+            prefix = f"entry{i}"
+            if kind == "pathsim":
+                w, diag = value
+                desc = _csr_arrays(f"{prefix}/w", w, cache_arrays)
+                cache_arrays[f"{prefix}/diag"] = np.asarray(diag, dtype=np.float64)
+            else:
+                desc = _csr_arrays(prefix, value, cache_arrays)
+            entry_index.append(
+                {
+                    "kind": kind,
+                    "steps": [[name, bool(fwd)] for name, fwd in steps],
+                    "prefix": prefix,
+                    **desc,
+                }
+            )
+
+    # Hashing happens AFTER the locks release: the captured matrix and
+    # array references stay valid (updates replace matrices, never
+    # mutate them), and the O(total-bytes) SHA-256 work must not extend
+    # the window during which a queued writer stalls new queries.
+    content_hash = _content_fingerprint(list(node_counts.items()), captured_matrices)
+    cache_hash = _arrays_fingerprint(cache_arrays)
+    files = {
+        "network": f"network-{int(epoch)}-{content_hash[:12]}.npz",
+        "cache": f"cache-{int(epoch)}-{cache_hash[:12]}.npz",
+    }
+    manifest = {
+        "format": _FORMAT,
+        "format_version": _FORMAT_VERSION,
+        "epoch": int(epoch),
+        "schema_hash": schema_fingerprint(hin.schema),
+        "content_hash": content_hash,
+        "cache_hash": cache_hash,
+        "files": files,
+        "node_types": list(hin.schema.node_types),
+        "node_counts": node_counts,
+        "relations": relations,
+        "names": names,
+        "entries": entry_index,
+    }
+
+    try:
+        manifest_text = json.dumps(manifest, indent=2)
+    except TypeError as exc:
+        raise SnapshotError(
+            f"node names are not JSON-serializable: {exc}"
+        ) from None
+    # Crash-safe ordering: payloads first (each via tmp + atomic rename,
+    # so a re-save at the same epoch never rewrites a referenced file in
+    # place), manifest swapped in atomically last, then orphans from
+    # previous or crashed saves removed.  Serialized per directory so
+    # concurrent saves cannot delete each other's payloads.
+    with _save_lock_for(out):
+        _write_files(out, files, net_arrays, cache_arrays, manifest_text)
+    return manifest
+
+
+def _write_files(
+    out: Path, files: dict, net_arrays: dict, cache_arrays: dict, manifest_text: str
+) -> None:
+    """Write one snapshot's payloads + manifest and clean prior strays."""
+    _write_npz(out / files["network"], net_arrays)
+    _write_npz(out / files["cache"], cache_arrays)
+    tmp_manifest = out / "manifest.json.tmp"
+    tmp_manifest.write_text(manifest_text, encoding="utf-8")
+    os.replace(tmp_manifest, out / "manifest.json")
+    # Remove only files matching the snapshot's OWN naming scheme: the
+    # target directory may contain unrelated user files.
+    keep = set(files.values())
+    stray_patterns = (
+        "network-*.npz",
+        "cache-*.npz",
+        "network-*.npz.tmp",
+        "cache-*.npz.tmp",
+        "manifest.json.tmp",
+    )
+    for pattern in stray_patterns:
+        for stray in out.glob(pattern):
+            if stray.name not in keep:
+                stray.unlink(missing_ok=True)
+
+
+def _read_manifest(path) -> dict:
+    snap = Path(path)
+    manifest_path = snap / "manifest.json"
+    if not manifest_path.exists():
+        raise SnapshotError(f"no snapshot manifest at {manifest_path}")
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise SnapshotError(f"unreadable snapshot manifest: {exc}") from None
+    if manifest.get("format") != _FORMAT:
+        raise SnapshotError(
+            f"not a {_FORMAT} snapshot: format={manifest.get('format')!r}"
+        )
+    if manifest.get("format_version") != _FORMAT_VERSION:
+        raise SnapshotError(
+            f"snapshot format version {manifest.get('format_version')!r} "
+            f"not supported (expected {_FORMAT_VERSION})"
+        )
+    return manifest
+
+
+def _load_entries(manifest: dict, path) -> list[tuple]:
+    """Rebuild (and hash-verify) the engine cache entries of *manifest*."""
+    entries: list[tuple] = []
+    if not manifest["entries"]:
+        return entries
+    arrays = _load_npz(Path(path) / manifest["files"]["cache"])
+    if _arrays_fingerprint(arrays) != manifest["cache_hash"]:
+        raise SnapshotError(
+            f"snapshot at {path} failed cache verification "
+            f"(cached products do not match the manifest hash)"
+        )
+    for desc in manifest["entries"]:
+        key = (
+            desc["kind"],
+            tuple((name, bool(fwd)) for name, fwd in desc["steps"]),
+        )
+        if desc["kind"] == "pathsim":
+            w = _csr_from(f"{desc['prefix']}/w", arrays, desc["shape"])
+            diag = np.asarray(arrays[f"{desc['prefix']}/diag"])
+            entries.append((key, (w, diag)))
+        else:
+            entries.append((key, _csr_from(desc["prefix"], arrays, desc["shape"])))
+    return entries
+
+
+def load_snapshot(path) -> HIN:
+    """Rebuild the snapshotted network with a pre-warmed engine.
+
+    Returns a new :class:`~repro.networks.hin.HIN` whose
+    :attr:`~repro.networks.hin.HIN.version` is the snapshot's recorded
+    epoch and whose shared engine already holds every materialization
+    the snapshot captured — the first query is a cache hit.  The
+    relation content is re-verified against the manifest's content hash;
+    a corrupted snapshot raises :class:`~repro.exceptions.SnapshotError`.
+    """
+    manifest = _read_manifest(path)
+    schema = NetworkSchema(
+        manifest["node_types"],
+        [(r["name"], r["source"], r["target"]) for r in manifest["relations"]],
+    )
+    arrays = _load_npz(Path(path) / manifest["files"]["network"])
+    matrices = {
+        r["name"]: _csr_from(f"rel/{r['name']}", arrays, r["shape"])
+        for r in manifest["relations"]
+    }
+    hin = HIN(
+        schema,
+        manifest["node_counts"],
+        matrices,
+        node_names=manifest["names"] or None,
+    )
+    if network_fingerprint(hin) != manifest["content_hash"]:
+        raise SnapshotError(
+            f"snapshot at {path} failed content verification "
+            f"(relation matrices do not match the manifest hash)"
+        )
+    hin._version = int(manifest["epoch"])
+    engine = hin.engine()
+    engine.warm_entries(_load_entries(manifest, path))
+    return hin
+
+
+def warm_from_snapshot(hin: HIN, path) -> int:
+    """Install a snapshot's cached products into *hin*'s shared engine.
+
+    The snapshot must describe **this** network at its **current**
+    state: the schema hash, the update epoch, and the relation content
+    hash must all match, otherwise :class:`~repro.exceptions.SnapshotError`
+    is raised — a snapshot taken before the latest ``hin.apply()`` is
+    *stale* and will not be installed.  The checks and the install run
+    atomically under the engine's write lock, so an update landing
+    concurrently cannot slip between validation and installation.
+    Returns the number of cache entries installed.
+    """
+    manifest = _read_manifest(path)
+    if manifest["schema_hash"] != schema_fingerprint(hin.schema):
+        raise SnapshotError(
+            f"snapshot at {path} was taken on a different schema "
+            f"(schema hash mismatch)"
+        )
+    def check_epoch() -> int:
+        """Raise SnapshotError unless the manifest's epoch matches."""
+        epoch = getattr(hin, "version", 0)
+        if manifest["epoch"] != epoch:
+            raise SnapshotError(
+                f"stale snapshot: network is at epoch {epoch}, snapshot was "
+                f"taken at epoch {manifest['epoch']}; re-run save_snapshot() "
+                f"after updates"
+            )
+        return epoch
+
+    # Optimistic pre-check before the expensive cache load: the common
+    # stale case (a restart after updates landed) fails on a one-integer
+    # comparison instead of reading and hashing the whole cache payload.
+    # The full (content-hashed) validation runs once, under the lock.
+    check_epoch()
+    entries = _load_entries(manifest, path)
+    engine = hin.engine()
+    with engine.lock.write():
+        # Re-validate under the lock: an update may have landed between
+        # the pre-check and here, and nothing may slip between this
+        # check and the install.
+        epoch = check_epoch()
+        if manifest["content_hash"] != network_fingerprint(hin):
+            raise SnapshotError(
+                f"stale snapshot: relation content differs from the network "
+                f"(content hash mismatch at shared epoch {epoch})"
+            )
+        return engine.warm_entries(entries)

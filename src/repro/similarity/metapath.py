@@ -36,7 +36,19 @@ __all__ = [
 
 
 def path_count_matrix(hin: HIN, path, *, engine=None) -> sp.csr_matrix:
-    """Raw path-instance counts ``M_P`` (the engine's cached commuting matrix)."""
+    """Raw path-instance counts ``M_P`` (the engine's cached commuting matrix).
+
+    Parameters
+    ----------
+    hin:
+        The network to traverse.
+    path:
+        Any meta-path spelling the DSL accepts (string, type list,
+        :class:`~repro.networks.schema.MetaPath`).
+    engine:
+        Override the network's shared engine (isolated cache); by
+        default ``hin.engine()`` is used.
+    """
     engine = engine if engine is not None else hin.engine()
     return engine.commuting_matrix(path)
 
@@ -48,6 +60,15 @@ def random_walk_matrix(hin: HIN, path, *, engine=None) -> sp.csr_matrix:
     follow *path* from *x* ends at *y*.  Asymmetric: popular objects
     attract probability mass regardless of the source's perspective —
     exactly the bias PathSim was designed to remove.
+
+    Parameters
+    ----------
+    hin:
+        The network to traverse.
+    path:
+        Any meta-path spelling the DSL accepts.
+    engine:
+        Override the network's shared engine; defaults to ``hin.engine()``.
     """
     engine = engine if engine is not None else hin.engine()
     return row_normalize(engine.commuting_matrix(path))
@@ -62,6 +83,14 @@ def path_constrained_random_walk(hin: HIN, path) -> sp.csr_matrix:
     uniform typed neighbour at each hop — the measure used by
     path-constrained relational retrieval (Lao & Cohen), one of PathSim's
     comparison points.
+
+    Parameters
+    ----------
+    hin:
+        The network to traverse.
+    path:
+        Any meta-path spelling the DSL accepts.  Step-normalized
+        products are path-specific, so they bypass the engine's cache.
     """
     product: sp.csr_matrix | None = None
     for m in hin.step_matrices(as_metapath(hin, path)):
@@ -78,6 +107,15 @@ def pairwise_random_walk_matrix(hin: HIN, path, *, engine=None) -> sp.csr_matrix
     both halves are row-normalized from their own endpoint.  The two
     un-normalized half products are engine materializations, shared with
     any PathSim index on the same path.
+
+    Parameters
+    ----------
+    hin:
+        The network to traverse.
+    path:
+        Any even-length meta-path spelling (``MetaPathError`` otherwise).
+    engine:
+        Override the network's shared engine; defaults to ``hin.engine()``.
     """
     engine = engine if engine is not None else hin.engine()
     mp = engine.path(path)

@@ -39,6 +39,15 @@ def pathsim_matrix(hin: HIN, path, *, engine=None) -> np.ndarray:
 
     This is the full-materialization entry point; for serving queries use
     :class:`PathSim` or the engine's row/top-k methods directly.
+
+    Parameters
+    ----------
+    hin:
+        The network to measure.
+    path:
+        Any *symmetric* meta-path spelling the DSL accepts.
+    engine:
+        Override the network's shared engine; defaults to ``hin.engine()``.
     """
     engine = engine if engine is not None else hin.engine()
     return engine.pathsim_matrix(path)
@@ -52,6 +61,12 @@ class PathSim(Estimator):
     and materializes its symmetric decomposition into the engine's cache;
     queries then run on sparse row slices, so repeated top-k searches stay
     cheap — and two ``PathSim`` objects on the same HIN share the work.
+
+    Parameters
+    ----------
+    path:
+        The symmetric meta-path to index, in any DSL spelling; resolved
+        and validated against the network at :meth:`fit` time.
 
     Example
     -------

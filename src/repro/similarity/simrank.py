@@ -102,6 +102,17 @@ def simrank_bipartite(
     Returns ``(S_A, S_B, info)``.  This is the "similar conferences share
     similar authors" recursion the tutorial uses to motivate link-based
     clustering.
+
+    Parameters
+    ----------
+    relation:
+        The ``(n_A, n_B)`` biadjacency matrix (anything
+        :func:`~repro.utils.sparse.to_csr` accepts).
+    c:
+        Decay constant in (0, 1); the classical value is 0.8.
+    max_iter, tol:
+        Iteration stops when the max-norm update over both sides falls
+        below *tol*.
     """
     check_probability(c, "c")
     w = to_csr(relation)
@@ -145,6 +156,13 @@ class SimRank(Estimator):
     Fits the all-pairs matrix once and then answers pair/top-k queries;
     ``hin.query().similar(obj, path, measure="simrank")`` uses this over
     the meta-path's homogeneous projection.
+
+    Parameters
+    ----------
+    c:
+        Decay constant in (0, 1); the classical value is 0.8.
+    max_iter, tol:
+        Stopping rule forwarded to :func:`simrank`.
 
     Example
     -------

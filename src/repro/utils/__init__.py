@@ -7,6 +7,7 @@ public names are re-exported here.
 
 from repro.utils.cache import CacheInfo, LRUCache
 from repro.utils.convergence import ConvergenceInfo, IterativeSolverMixin
+from repro.utils.locks import RWLock
 from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.utils.sparse import (
     column_normalize,
@@ -26,6 +27,7 @@ from repro.utils.validation import (
 __all__ = [
     "CacheInfo",
     "LRUCache",
+    "RWLock",
     "ConvergenceInfo",
     "IterativeSolverMixin",
     "ensure_rng",

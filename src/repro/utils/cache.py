@@ -15,6 +15,7 @@ different paths — land on the same entry.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from collections.abc import Callable, Hashable
 from dataclasses import dataclass
@@ -48,8 +49,12 @@ class LRUCache:
     """A dict-like mapping bounded to ``maxsize`` entries, LRU eviction.
 
     Both :meth:`get` and :meth:`put` refresh an entry's recency; counters
-    track hits, misses, and evictions for observability.  Not thread-safe —
-    the engine is a per-process, per-network object.
+    track hits, misses, and evictions for observability.  Every method is
+    individually atomic (an internal mutex guards the recency structure),
+    so concurrent query threads can share one cache; *compound* protocols
+    — the engine's incremental-maintenance pass rewriting many entries
+    against one epoch — need the owner's read–write lock on top
+    (:class:`repro.utils.locks.RWLock`), which the serving layer provides.
     """
 
     def __init__(self, maxsize: int = 64):
@@ -58,47 +63,54 @@ class LRUCache:
         self.maxsize = int(maxsize)
         self._data: OrderedDict = OrderedDict()
         self._written_at: dict = {}
+        self._mutex = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.generation = 0
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._mutex:
+            return len(self._data)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        with self._mutex:
+            return key in self._data
 
     def get(self, key: Hashable, default=None):
         """Value for *key* (refreshing its recency), or *default*."""
-        try:
-            value = self._data[key]
-        except KeyError:
-            self.misses += 1
-            return default
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._mutex:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: Hashable, value) -> None:
         """Insert or refresh *key*, evicting the LRU entry when full."""
-        self._data[key] = value
-        self._written_at[key] = self.generation
-        self._data.move_to_end(key)
-        while len(self._data) > self.maxsize:
-            evicted, _ = self._data.popitem(last=False)
-            self._written_at.pop(evicted, None)
-            self.evictions += 1
+        with self._mutex:
+            self._data[key] = value
+            self._written_at[key] = self.generation
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                evicted, _ = self._data.popitem(last=False)
+                self._written_at.pop(evicted, None)
+                self.evictions += 1
 
     def keys(self) -> list:
         """Current keys, least-recently-used first (a stable snapshot —
         safe to iterate while mutating the cache)."""
-        return list(self._data)
+        with self._mutex:
+            return list(self._data)
 
     def peek(self, key: Hashable, default=None):
         """Value for *key* without touching recency or hit/miss counters
         (maintenance reads, not cache traffic)."""
-        return self._data.get(key, default)
+        with self._mutex:
+            return self._data.get(key, default)
 
     def pop(self, key: Hashable, default=None):
         """Remove and return *key*'s value (*default* when absent).
@@ -106,11 +118,12 @@ class LRUCache:
         A targeted eviction: no counters change except the eviction count,
         and only when something was actually removed.
         """
-        if key not in self._data:
-            return default
-        self._written_at.pop(key, None)
-        self.evictions += 1
-        return self._data.pop(key)
+        with self._mutex:
+            if key not in self._data:
+                return default
+            self._written_at.pop(key, None)
+            self.evictions += 1
+            return self._data.pop(key)
 
     def replace(self, key: Hashable, value) -> None:
         """Swap the value stored under an existing *key* in place.
@@ -120,10 +133,22 @@ class LRUCache:
         matrix after an incremental update), not cache traffic.  The
         entry's generation stamp does advance to the current generation.
         """
-        if key not in self._data:
-            raise KeyError(key)
-        self._data[key] = value
-        self._written_at[key] = self.generation
+        with self._mutex:
+            if key not in self._data:
+                raise KeyError(key)
+            self._data[key] = value
+            self._written_at[key] = self.generation
+
+    def resize(self, maxsize: int) -> None:
+        """Change the entry bound, evicting LRU entries when shrinking."""
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        with self._mutex:
+            self.maxsize = int(maxsize)
+            while len(self._data) > self.maxsize:
+                evicted, _ = self._data.popitem(last=False)
+                self._written_at.pop(evicted, None)
+                self.evictions += 1
 
     def bump_generation(self) -> int:
         """Advance (and return) the cache generation.
@@ -132,15 +157,23 @@ class LRUCache:
         one bump per network update epoch — so observers can tell which
         entries were written under which version of the world.
         """
-        self.generation += 1
-        return self.generation
+        with self._mutex:
+            self.generation += 1
+            return self.generation
 
     def generation_of(self, key: Hashable) -> int | None:
         """Generation *key* was last written under (``None`` when absent)."""
-        return self._written_at.get(key)
+        with self._mutex:
+            return self._written_at.get(key)
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], object]):
-        """Cached value for *key*, calling *compute* (and storing) on a miss."""
+        """Cached value for *key*, calling *compute* (and storing) on a miss.
+
+        *compute* runs outside the internal mutex, so a slow
+        materialization never blocks unrelated cache traffic; two threads
+        missing the same key concurrently may both compute, and the later
+        :meth:`put` wins (the values are equal by construction).
+        """
         sentinel = object()
         value = self.get(key, sentinel)
         if value is sentinel:
@@ -150,19 +183,21 @@ class LRUCache:
 
     def clear(self) -> None:
         """Drop every entry (counters are kept — they describe the lifetime)."""
-        self._data.clear()
-        self._written_at.clear()
+        with self._mutex:
+            self._data.clear()
+            self._written_at.clear()
 
     def info(self) -> CacheInfo:
         """Current :class:`CacheInfo` snapshot."""
-        return CacheInfo(
-            hits=self.hits,
-            misses=self.misses,
-            evictions=self.evictions,
-            currsize=len(self._data),
-            maxsize=self.maxsize,
-            generation=self.generation,
-        )
+        with self._mutex:
+            return CacheInfo(
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+                currsize=len(self._data),
+                maxsize=self.maxsize,
+                generation=self.generation,
+            )
 
     def __repr__(self) -> str:
         return (

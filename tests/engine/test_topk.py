@@ -1,0 +1,103 @@
+"""Edge cases of the top-k selection and its engine-level serving:
+k beyond the candidate count, ties exactly at the cut, empty relation
+matrices, and single-node types."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.topk import top_k_indices
+from repro.networks import HIN, NetworkSchema
+
+
+def reference_order(scores, k):
+    return np.argsort(-np.asarray(scores), kind="stable")[:k]
+
+
+class TestTopKIndices:
+    def test_k_larger_than_vector_returns_everything(self):
+        scores = np.array([0.1, 0.9, 0.5])
+        out = top_k_indices(scores, 10)
+        assert out.tolist() == reference_order(scores, 10).tolist()
+        assert out.size == 3
+
+    def test_k_equal_to_vector_size(self):
+        scores = np.array([3.0, 1.0, 2.0, 1.0])
+        assert top_k_indices(scores, 4).tolist() == [0, 2, 1, 3]
+
+    def test_zero_k_and_empty_vector(self):
+        assert top_k_indices(np.array([1.0, 2.0]), 0).size == 0
+        assert top_k_indices(np.array([]), 3).size == 0
+        assert top_k_indices(np.array([]), 0).size == 0
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5])
+    def test_ties_at_the_cut_break_by_index(self, k):
+        # scores with a three-way tie straddling every cut position
+        scores = np.array([0.5, 0.9, 0.5, 0.5, 0.1])
+        assert top_k_indices(scores, k).tolist() == reference_order(
+            scores, k
+        ).tolist()
+
+    def test_all_tied(self):
+        scores = np.zeros(6)
+        for k in (1, 3, 6, 9):
+            assert top_k_indices(scores, k).tolist() == list(range(min(k, 6)))
+
+    def test_matches_reference_on_random_vectors(self):
+        rng = np.random.default_rng(17)
+        for _ in range(25):
+            n = int(rng.integers(1, 40))
+            # coarse quantization forces frequent ties
+            scores = rng.integers(0, 5, size=n).astype(float)
+            k = int(rng.integers(0, n + 3))
+            assert top_k_indices(scores, k).tolist() == reference_order(
+                scores, k
+            ).tolist()
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError, match="1-D"):
+            top_k_indices(np.zeros((2, 2)), 1)
+        with pytest.raises(ValueError, match="k"):
+            top_k_indices(np.zeros(3), -1)
+
+
+class TestEngineEdgeCases:
+    def test_k_at_least_candidate_count(self, small_bib):
+        engine = small_bib.engine()
+        full = engine.pathsim_top_k("author-paper-author", "a0", 100)
+        assert len(full) == 3  # every other author, query excluded
+        exact = engine.pathsim_top_k("author-paper-author", "a0", 3)
+        assert list(exact) == list(full)
+
+    def test_tied_scores_at_cut_match_dense_ranking(self, small_bib):
+        engine = small_bib.engine()
+        scores = engine.pathsim_row("author-paper-author", 0)
+        order = [j for j in reference_order(scores, 4) if j != 0]
+        expected = [(small_bib.name_of("author", j), scores[j]) for j in order][:2]
+        got = engine.pathsim_top_k("author-paper-author", "a0", 2)
+        assert [(n, pytest.approx(s)) for n, s in expected] == list(got)
+
+    def test_empty_relation_matrix(self):
+        schema = NetworkSchema(["a", "p"], [("w", "a", "p")])
+        hin = HIN.from_edges(schema, nodes={"a": 3, "p": 2}, edges={"w": []})
+        engine = hin.engine()
+        result = engine.pathsim_top_k("a-p-a", 0, 5)
+        assert [s for _, s in result] == [0.0, 0.0]
+        assert engine.top_k_connectivity("a-p", 0, 5).scores.tolist() == [0.0, 0.0]
+
+    def test_single_node_types(self):
+        schema = NetworkSchema(["a", "p"], [("w", "a", "p")])
+        hin = HIN.from_edges(schema, nodes={"a": 1, "p": 1}, edges={"w": [(0, 0)]})
+        engine = hin.engine()
+        # the only peer is the query itself: excluded -> empty
+        assert list(engine.pathsim_top_k("a-p-a", 0, 5)) == []
+        kept = engine.pathsim_top_k("a-p-a", 0, 5, exclude_query=False)
+        assert kept.labels == [0] and kept.scores.tolist() == [1.0]
+
+    def test_zero_count_type(self):
+        schema = NetworkSchema(["a", "p"], [("w", "a", "p")])
+        hin = HIN.from_edges(schema, nodes={"a": 0, "p": 2}, edges={"w": []})
+        engine = hin.engine()
+        batch = engine.pathsim_top_k_batch("a-p-a", [], 3)
+        assert batch == []

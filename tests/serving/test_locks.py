@@ -1,0 +1,241 @@
+"""RWLock semantics: shared readers, exclusive writer, reentrancy."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.utils.locks import RWLock
+
+
+def test_readers_share():
+    lock = RWLock()
+    inside = threading.Barrier(3, timeout=5)
+
+    def reader():
+        with lock.read():
+            inside.wait()  # all three readers inside simultaneously
+
+    threads = [threading.Thread(target=reader) for _ in range(3)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=5)
+    assert not any(t.is_alive() for t in threads)
+
+
+def test_writer_excludes_readers_and_writers():
+    lock = RWLock()
+    log: list[str] = []
+
+    def writer(tag):
+        with lock.write():
+            log.append(f"{tag}-in")
+            time.sleep(0.05)
+            log.append(f"{tag}-out")
+
+    def reader():
+        with lock.read():
+            log.append("r-in")
+            log.append("r-out")
+
+    with lock.write():
+        threads = [
+            threading.Thread(target=writer, args=("w",)),
+            threading.Thread(target=reader),
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)
+        assert log == []  # nobody got in while we hold the write lock
+    for t in threads:
+        t.join(timeout=5)
+    # critical sections never interleave
+    assert log.index("w-out") == log.index("w-in") + 1
+    assert log.index("r-out") == log.index("r-in") + 1
+
+
+def test_writer_priority_over_new_readers():
+    lock = RWLock()
+    order: list[str] = []
+    reader_holding = threading.Event()
+    release_reader = threading.Event()
+
+    def first_reader():
+        with lock.read():
+            reader_holding.set()
+            release_reader.wait(timeout=5)
+
+    def writer():
+        with lock.write():
+            order.append("writer")
+
+    def late_reader():
+        with lock.read():
+            order.append("late-reader")
+
+    t1 = threading.Thread(target=first_reader)
+    t1.start()
+    reader_holding.wait(timeout=5)
+    tw = threading.Thread(target=writer)
+    tw.start()
+    time.sleep(0.05)  # writer is now queued behind the active reader
+    tr = threading.Thread(target=late_reader)
+    tr.start()
+    time.sleep(0.05)
+    assert order == []  # late reader must queue behind the waiting writer
+    release_reader.set()
+    for t in (t1, tw, tr):
+        t.join(timeout=5)
+    assert order[0] == "writer"
+
+
+def test_sustained_writer_stream_does_not_starve_readers():
+    # Phase fairness: with a writer re-acquiring in a tight loop, a
+    # reader must still get in (every writer release admits the readers
+    # already waiting before the next writer enters).
+    lock = RWLock()
+    stop = threading.Event()
+    reads_done = threading.Event()
+
+    def writer_loop():
+        while not stop.is_set():
+            with lock.write():
+                pass
+
+    def reader():
+        for _ in range(25):
+            with lock.read():
+                pass
+        reads_done.set()
+
+    writers = [threading.Thread(target=writer_loop) for _ in range(2)]
+    for t in writers:
+        t.start()
+    t_reader = threading.Thread(target=reader)
+    t_reader.start()
+    finished = reads_done.wait(timeout=10)
+    stop.set()
+    t_reader.join(timeout=5)
+    for t in writers:
+        t.join(timeout=5)
+    assert finished, "reader starved by a sustained writer stream"
+
+
+def test_sustained_update_stream_does_not_starve_queries(small_bib):
+    # End-to-end: hin.apply() in a tight loop must not lock queries out.
+    from repro.networks import UpdateBatch
+
+    stop = threading.Event()
+    served = threading.Event()
+
+    def updater():
+        while not stop.is_set():
+            small_bib.apply(UpdateBatch().add_edges("writes", [(0, 0)]))
+
+    engine = small_bib.engine()
+    t = threading.Thread(target=updater)
+    t.start()
+    try:
+        for _ in range(10):
+            engine.pathsim_top_k("author-paper-author", 0, 2)
+        served.set()
+    finally:
+        stop.set()
+        t.join(timeout=10)
+    assert served.is_set()
+
+
+def test_newcomer_readers_do_not_steal_the_cohort():
+    # R1 queues behind an active writer, then W2 queues.  When W1
+    # releases, R1 must be admitted before W2 even if fresh readers
+    # arrive in the gap — newcomers join the next cohort, they do not
+    # consume the slot reserved for R1.
+    lock = RWLock()
+    order: list[str] = []
+    r1_waiting = threading.Event()
+
+    def r1():
+        r1_waiting.set()
+        with lock.read():
+            order.append("r1")
+
+    def w2():
+        with lock.write():
+            order.append("w2")
+
+    def newcomer():
+        with lock.read():
+            order.append("new")
+
+    lock.acquire_write()
+    t_r1 = threading.Thread(target=r1)
+    t_r1.start()
+    r1_waiting.wait(timeout=5)
+    time.sleep(0.05)  # r1 is in the wait loop
+    t_w2 = threading.Thread(target=w2)
+    t_w2.start()
+    time.sleep(0.05)  # w2 is queued
+    lock.release_write()  # cohort formed for r1
+    newcomers = [threading.Thread(target=newcomer) for _ in range(4)]
+    for t in newcomers:
+        t.start()
+    for t in [t_r1, t_w2, *newcomers]:
+        t.join(timeout=5)
+    assert order.index("r1") < order.index("w2")
+
+
+def test_read_reentrancy():
+    lock = RWLock()
+    with lock.read():
+        with lock.read():
+            pass
+    # fully released: a writer can take it immediately
+    with lock.write():
+        pass
+
+
+def test_read_reentrancy_with_waiting_writer_does_not_deadlock():
+    lock = RWLock()
+    entered = threading.Event()
+    done = threading.Event()
+
+    def nested_reader():
+        with lock.read():
+            entered.set()
+            time.sleep(0.1)  # give the writer time to queue
+            with lock.read():  # must not block on the waiting writer
+                done.set()
+
+    t = threading.Thread(target=nested_reader)
+    t.start()
+    entered.wait(timeout=5)
+    with lock.write():
+        pass
+    t.join(timeout=5)
+    assert done.is_set()
+
+
+def test_write_reentrancy_and_writer_may_read():
+    lock = RWLock()
+    with lock.write():
+        with lock.write():
+            with lock.read():
+                pass
+
+
+def test_upgrade_raises():
+    lock = RWLock()
+    with lock.read():
+        with pytest.raises(RuntimeError, match="upgrade"):
+            lock.acquire_write()
+
+
+def test_unbalanced_releases_raise():
+    lock = RWLock()
+    with pytest.raises(RuntimeError):
+        lock.release_read()
+    with pytest.raises(RuntimeError):
+        lock.release_write()

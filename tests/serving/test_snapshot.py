@@ -1,0 +1,259 @@
+"""Warm-cache snapshots: round trips, warm starts, stale rejection."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SnapshotError
+from repro.networks import HIN
+from repro.serving import (
+    load_snapshot,
+    network_fingerprint,
+    save_snapshot,
+    schema_fingerprint,
+    warm_from_snapshot,
+)
+
+APA = "author-paper-author"
+APVPA = "author-paper-venue-paper-author"
+
+
+def _warm(hin):
+    engine = hin.engine()
+    engine.prewarm([APA, APVPA])
+    engine.commuting_matrix("author-paper-venue")
+    return engine
+
+
+class TestRoundTrip:
+    def test_network_round_trips_exactly(self, small_bib, tmp_path):
+        save_snapshot(small_bib, tmp_path / "snap")
+        loaded = load_snapshot(tmp_path / "snap")
+        assert loaded.schema.node_types == small_bib.schema.node_types
+        for t in small_bib.schema.node_types:
+            assert loaded.node_count(t) == small_bib.node_count(t)
+            assert loaded.names(t) == small_bib.names(t)
+        for rel in small_bib.schema.relations:
+            a = small_bib.relation_matrix(rel.name)
+            b = loaded.relation_matrix(rel.name)
+            assert (a != b).nnz == 0
+        assert network_fingerprint(loaded) == network_fingerprint(small_bib)
+
+    def test_served_answers_identical_after_reload(self, small_bib, tmp_path):
+        engine = _warm(small_bib)
+        expected = [engine.pathsim_top_k(APVPA, a, 3) for a in range(4)]
+        engine.save_snapshot(tmp_path / "snap")
+        loaded = load_snapshot(tmp_path / "snap")
+        got = [loaded.engine().pathsim_top_k(APVPA, a, 3) for a in range(4)]
+        for e, g in zip(expected, got):
+            assert list(e) == list(g)
+
+    def test_loaded_engine_starts_warm(self, small_bib, tmp_path):
+        _warm(small_bib)
+        save_snapshot(small_bib, tmp_path / "snap")
+        loaded = load_snapshot(tmp_path / "snap")
+        engine = loaded.engine()
+        before = engine.cache_info()
+        assert before.currsize >= 3  # pathsim pairs + product entries
+        engine.pathsim_top_k(APVPA, 0, 3)
+        after = engine.cache_info()
+        assert after.misses == before.misses  # first query hits the cache
+        assert after.hits > before.hits
+
+    def test_epoch_recorded_and_restored(self, small_bib, tmp_path):
+        with small_bib.mutate() as m:
+            m.add_edges("writes", [(0, 3)])
+        _warm(small_bib)
+        manifest = save_snapshot(small_bib, tmp_path / "snap")
+        assert manifest["epoch"] == 1
+        loaded = load_snapshot(tmp_path / "snap")
+        assert loaded.version == 1
+        assert loaded.engine().epoch == 1
+        result = loaded.query().similar("a0", APA, k=2)
+        assert result.network_version == 1
+
+    def test_snapshot_of_cold_engine_has_no_entries(self, small_bib, tmp_path):
+        manifest = save_snapshot(small_bib, tmp_path / "snap")
+        assert manifest["entries"] == []
+        loaded = load_snapshot(tmp_path / "snap")
+        assert loaded.engine().cache_info().currsize == 0
+        # still serves correct answers, just cold
+        expected = small_bib.engine().pathsim_top_k(APA, "a0", 2)
+        assert list(loaded.engine().pathsim_top_k(APA, "a0", 2)) == list(expected)
+
+    def test_anonymous_types_round_trip(self, bib_schema, tmp_path):
+        hin = HIN.from_edges(
+            bib_schema,
+            nodes={"author": 2, "paper": 2, "venue": 1, "term": 1},
+            edges={
+                "writes": [(0, 0), (1, 1)],
+                "published_in": [(0, 0), (1, 0)],
+                "mentions": [(0, 0)],
+            },
+        )
+        _warm(hin)
+        save_snapshot(hin, tmp_path / "snap")
+        loaded = load_snapshot(tmp_path / "snap")
+        assert loaded.names("author") is None
+        assert list(loaded.engine().pathsim_top_k(APA, 0, 1)) == list(
+            hin.engine().pathsim_top_k(APA, 0, 1)
+        )
+
+    def test_save_accepts_engine_or_hin_only(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_snapshot(object(), tmp_path / "snap")
+
+
+class TestWarmFromSnapshot:
+    def test_installs_entries_into_live_engine(self, small_bib, tmp_path):
+        _warm(small_bib)
+        save_snapshot(small_bib, tmp_path / "snap")
+        # a second identical network starts cold, then warms from disk
+        fresh = load_snapshot(tmp_path / "snap")
+        fresh.engine().clear_cache()
+        installed = warm_from_snapshot(fresh, tmp_path / "snap")
+        assert installed >= 3
+        info = fresh.engine().cache_info()
+        fresh.engine().pathsim_top_k(APVPA, 0, 3)
+        assert fresh.engine().cache_info().misses == info.misses
+
+    def test_rejects_snapshot_after_update(self, small_bib, tmp_path):
+        _warm(small_bib)
+        save_snapshot(small_bib, tmp_path / "snap")
+        with small_bib.mutate() as m:
+            m.add_edges("writes", [(0, 3)])
+        with pytest.raises(SnapshotError, match="stale"):
+            warm_from_snapshot(small_bib, tmp_path / "snap")
+
+    def test_rejects_different_schema(self, small_bib, tmp_path):
+        _warm(small_bib)
+        save_snapshot(small_bib, tmp_path / "snap")
+        other = small_bib.subschema(["author", "paper"])
+        with pytest.raises(SnapshotError, match="schema"):
+            warm_from_snapshot(other, tmp_path / "snap")
+
+    def test_rejects_same_epoch_different_content(self, bib_schema, tmp_path):
+        # Two networks both at epoch 0, different edges: the epoch check
+        # alone cannot tell them apart — the content hash must.
+        def build(extra):
+            return HIN.from_edges(
+                bib_schema,
+                nodes={"author": 2, "paper": 2, "venue": 1, "term": 1},
+                edges={
+                    "writes": [(0, 0)] + extra,
+                    "published_in": [(0, 0)],
+                    "mentions": [],
+                },
+            )
+
+        a, b = build([]), build([(1, 1)])
+        _warm(a)
+        save_snapshot(a, tmp_path / "snap")
+        with pytest.raises(SnapshotError, match="content"):
+            warm_from_snapshot(b, tmp_path / "snap")
+
+
+class TestVerification:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(SnapshotError, match="manifest"):
+            load_snapshot(tmp_path / "nowhere")
+
+    def test_wrong_format_marker(self, small_bib, tmp_path):
+        save_snapshot(small_bib, tmp_path / "snap")
+        manifest = json.loads((tmp_path / "snap" / "manifest.json").read_text())
+        manifest["format"] = "something-else"
+        (tmp_path / "snap" / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="format"):
+            load_snapshot(tmp_path / "snap")
+
+    def test_unsupported_format_version(self, small_bib, tmp_path):
+        save_snapshot(small_bib, tmp_path / "snap")
+        manifest = json.loads((tmp_path / "snap" / "manifest.json").read_text())
+        manifest["format_version"] = 999
+        (tmp_path / "snap" / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(SnapshotError, match="version"):
+            load_snapshot(tmp_path / "snap")
+
+    def test_corrupted_network_payload_detected(self, small_bib, tmp_path):
+        manifest = save_snapshot(small_bib, tmp_path / "snap")
+        payload = tmp_path / "snap" / manifest["files"]["network"]
+        with np.load(payload) as npz:
+            arrays = {name: npz[name].copy() for name in npz.files}
+        key = "rel/writes/data"
+        arrays[key] = arrays[key] + 1.0  # silently different weights
+        with open(payload, "wb") as f:
+            np.savez(f, **arrays)
+        with pytest.raises(SnapshotError, match="content"):
+            load_snapshot(tmp_path / "snap")
+
+    def test_corrupted_cache_payload_detected(self, small_bib, tmp_path):
+        _warm(small_bib)
+        manifest = save_snapshot(small_bib, tmp_path / "snap")
+        payload = tmp_path / "snap" / manifest["files"]["cache"]
+        with np.load(payload) as npz:
+            arrays = {name: npz[name].copy() for name in npz.files}
+        name = next(n for n in arrays if n.endswith("/data"))
+        arrays[name] = arrays[name] * 2.0
+        with open(payload, "wb") as f:
+            np.savez(f, **arrays)
+        with pytest.raises(SnapshotError, match="cache"):
+            load_snapshot(tmp_path / "snap")
+
+    def test_resave_in_place_is_cleaned_and_loadable(self, small_bib, tmp_path):
+        # Overwriting a snapshot after updates leaves exactly one
+        # loadable snapshot and no orphaned payload files — while
+        # unrelated user files in the directory survive untouched.
+        (tmp_path / "snap").mkdir()
+        bystander = tmp_path / "snap" / "my_dataset.npz"
+        bystander.write_bytes(b"not a snapshot payload")
+        _warm(small_bib)
+        first = save_snapshot(small_bib, tmp_path / "snap")
+        with small_bib.mutate() as m:
+            m.add_edges("writes", [(0, 3)])
+        second = save_snapshot(small_bib, tmp_path / "snap")
+        assert second["files"] != first["files"]
+        on_disk = {p.name for p in (tmp_path / "snap").glob("*.npz")}
+        assert on_disk == set(second["files"].values()) | {bystander.name}
+        assert bystander.read_bytes() == b"not a snapshot payload"
+        assert load_snapshot(tmp_path / "snap").version == 1
+
+    def test_warm_entries_grow_a_smaller_cache(self, small_bib):
+        # A snapshot from a larger-cached engine must not be silently
+        # half-evicted when installed into a smaller-bounded cache.
+        donor = small_bib.engine(max_cached_matrices=16)
+        donor.prewarm([APA, APVPA])
+        donor.commuting_matrix("author-paper-venue")
+        entries = donor.snapshot_entries()
+        assert len(entries) >= 3
+        small = small_bib.engine(max_cached_matrices=2)
+        assert small.warm_entries(entries) == len(entries)
+        assert small.cache_info().currsize == len(entries)
+
+    def test_fingerprints_are_deterministic(self, small_bib):
+        assert schema_fingerprint(small_bib.schema) == schema_fingerprint(
+            small_bib.schema
+        )
+        assert network_fingerprint(small_bib) == network_fingerprint(small_bib)
+
+    def test_fingerprint_does_not_mutate_the_network(self, bib_schema):
+        # A matrix with duplicate (uncanonical) entries must hash like
+        # its canonical form WITHOUT being compacted in place.
+        import scipy.sparse as sp
+
+        dup = sp.csr_matrix(
+            (np.array([1.0, 1.0]), np.array([0, 0]), np.array([0, 2, 2])),
+            shape=(2, 2),
+        )
+        counts = {"author": 2, "paper": 2, "venue": 1, "term": 1}
+        hin = HIN(bib_schema, counts, {"writes": dup})
+        nnz_before = hin.relation_matrix("writes").nnz
+        fp = network_fingerprint(hin)
+        assert hin.relation_matrix("writes").nnz == nnz_before  # untouched
+        merged = sp.csr_matrix(
+            (np.array([2.0]), np.array([0]), np.array([0, 1, 1])), shape=(2, 2)
+        )
+        canonical = HIN(bib_schema, counts, {"writes": merged})
+        assert fp == network_fingerprint(canonical)

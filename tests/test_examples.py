@@ -18,6 +18,7 @@ SCRIPTED = [
     "dblp_case_study.py",
     "network_olap.py",
     "streaming_updates.py",
+    "concurrent_serving.py",
 ]
 
 
