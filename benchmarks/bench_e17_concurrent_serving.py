@@ -55,6 +55,8 @@ REQUESTS_PER_CLIENT = 460
 HOT_FRACTION = 0.03
 HOT_TRAFFIC = 0.85
 N_UPDATE_EPOCHS = 4
+SERVICE_WORKERS = 2
+MAX_BATCH = 256
 
 
 def _make_network():
@@ -144,7 +146,7 @@ def _experiment():
     shards = [workload[i::N_CLIENTS] for i in range(N_CLIENTS)]
     concurrent_s = float("inf")
     for _ in range(3):
-        service = QueryService(hin, workers=2, max_batch=256)
+        service = QueryService(hin, workers=SERVICE_WORKERS, max_batch=MAX_BATCH)
         elapsed, answers = _run_clients(service, shards)
         concurrent_s = min(concurrent_s, elapsed)
         stats = service.stats()
@@ -163,7 +165,7 @@ def _experiment():
     client_errors: list = []
     stop = threading.Event()
 
-    with QueryService(hin, workers=2, max_batch=256) as live:
+    with QueryService(hin, workers=SERVICE_WORKERS, max_batch=MAX_BATCH) as live:
 
         def streaming_client(seed):
             i = seed
@@ -283,23 +285,42 @@ def test_e17_concurrent_serving(benchmark):
     (Path(__file__).resolve().parent.parent / "BENCH_e17.json").write_text(
         json.dumps(
             {
-                key: r[key]
-                for key in (
-                    "speedup",
-                    "identical",
-                    "requests",
-                    "serial_qps",
-                    "concurrent_qps",
-                    "throughput_identical",
-                    "coalesced",
-                    "batches",
-                    "largest_batch",
-                    "update_answers",
-                    "epochs_served",
-                    "consistent_under_updates",
-                    "snapshot_identical",
-                    "snapshot_warm",
-                )
+                **{
+                    key: r[key]
+                    for key in (
+                        "speedup",
+                        "identical",
+                        "requests",
+                        "serial_qps",
+                        "concurrent_qps",
+                        "throughput_identical",
+                        "coalesced",
+                        "batches",
+                        "largest_batch",
+                        "update_answers",
+                        "epochs_served",
+                        "consistent_under_updates",
+                        "snapshot_identical",
+                        "snapshot_warm",
+                    )
+                },
+                # The workload/service configuration the numbers were
+                # measured under: the perf-regression job compares runs
+                # across commits, and a silent config change (more
+                # clients, less skew, a bigger batch bound) would
+                # masquerade as a perf change.  Schema documented in
+                # docs/BENCHMARKS.md -> "Deployment sizing".
+                "config": {
+                    "clients": N_CLIENTS,
+                    "requests_per_client": REQUESTS_PER_CLIENT,
+                    "hot_fraction": HOT_FRACTION,
+                    "hot_traffic": HOT_TRAFFIC,
+                    "update_epochs": N_UPDATE_EPOCHS,
+                    "service_workers": SERVICE_WORKERS,
+                    "max_batch": MAX_BATCH,
+                    "k": K,
+                    "paths": PATHS,
+                },
             },
             indent=2,
         )

@@ -57,6 +57,7 @@ from repro.query import (
     connect,
 )
 from repro.serving import (
+    ClusterService,
     QueryService,
     load_snapshot,
     save_snapshot,
@@ -78,6 +79,7 @@ __all__ = [
     "QuerySession",
     "connect",
     "QueryService",
+    "ClusterService",
     "save_snapshot",
     "load_snapshot",
     "warm_from_snapshot",

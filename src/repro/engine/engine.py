@@ -833,6 +833,60 @@ class MetaPathEngine:
                 entries.append((key, value))
         return entries
 
+    @_reader
+    def export_state(self) -> tuple[int, list[tuple]]:
+        """One consistent ``(epoch, entries)`` read of the warm cache.
+
+        The multi-process publish path: everything a peer process needs
+        to serve this engine's answers — the update epoch plus every
+        cached materialization — captured under a single read-lock hold,
+        so the pair can never describe two different epochs.  The values
+        are the engine's *own* matrix objects (immutable by library
+        convention); callers serialize or copy them into shared buffers
+        after the lock releases.
+
+        Returns
+        -------
+        ``(epoch, entries)`` where *entries* is the
+        :meth:`snapshot_entries` list.
+        """
+        self._sync()
+        return self._epoch, self.snapshot_entries()
+
+    @_writer
+    def attach_state(self, epoch: int, entries) -> int:
+        """Adopt pre-materialized *entries* as this engine's cache at *epoch*.
+
+        The inverse of :meth:`export_state`, used by a worker process
+        attaching a published shared-memory generation: values typically
+        wrap buffers the process does not own (read-only shared-memory
+        or mmap views), which is safe because the engine never mutates
+        cached matrices in place — maintenance *replaces* entries.
+
+        Parameters
+        ----------
+        epoch:
+            The update epoch *entries* describe.  The network this
+            engine serves must already be at that epoch (the attach path
+            constructs the HIN at the published version); a mismatch
+            raises ``ValueError`` rather than installing a cache that
+            every later answer would silently mistrust.
+        entries:
+            ``(key, value)`` pairs as produced by :meth:`export_state`.
+
+        Returns
+        -------
+        The number of entries installed.
+        """
+        version = getattr(self.hin, "version", 0)
+        if int(epoch) != version:
+            raise ValueError(
+                f"attach_state() epoch {epoch} does not match the "
+                f"network's version {version}"
+            )
+        self._epoch = int(epoch)
+        return self._install_entries(entries)
+
     @_writer
     def warm_entries(self, entries) -> int:
         """Install pre-materialized ``(key, value)`` pairs into the cache.
@@ -847,6 +901,12 @@ class MetaPathEngine:
         Returns the number installed.
         """
         self._sync()
+        return self._install_entries(entries)
+
+    def _install_entries(self, entries) -> int:
+        """Install ``(key, value)`` pairs, growing the LRU bound so none
+        of them is evicted by the install itself (caller holds the write
+        lock)."""
         entries = list(entries)
         if len(entries) > self._cache.maxsize:
             self._cache.resize(len(entries))

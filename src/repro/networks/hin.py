@@ -73,6 +73,15 @@ class HIN:
         Optional mapping from type name to a sequence of unique names.
     relation_matrices:
         Mapping from relation name to a ``(n_source, n_target)`` matrix.
+    validate:
+        When ``True`` (the default) every matrix is converted to
+        canonical float64 CSR (zeros eliminated, indices sorted,
+        negative weights rejected) — which copies or mutates the input
+        arrays.  ``validate=False`` is the *attach* path for matrices
+        that are already canonical CSR and must be adopted **zero-copy**
+        (shared-memory segments, read-only snapshot mmaps): the arrays
+        are stored as handed in and never written to.  Shapes are still
+        checked; content is trusted.
 
     Notes
     -----
@@ -88,6 +97,7 @@ class HIN:
         relation_matrices: Mapping[str, object],
         *,
         node_names: Mapping[str, Sequence] | None = None,
+        validate: bool = True,
     ):
         if not isinstance(schema, NetworkSchema):
             raise SchemaError(f"schema must be a NetworkSchema, got {type(schema).__name__}")
@@ -125,17 +135,21 @@ class HIN:
         self._matrices: dict[str, sp.csr_matrix] = {}
         for name, matrix in relation_matrices.items():
             rel = schema.relation(name)  # raises RelationNotFoundError
-            m = to_csr(matrix)
+            m = matrix if not validate else to_csr(matrix)
             expected = (self._counts[rel.source], self._counts[rel.target])
             if m.shape != expected:
                 raise GraphError(
                     f"relation {name!r} matrix has shape {m.shape}, "
                     f"expected {expected} for {rel.source!r}x{rel.target!r}"
                 )
-            if m.nnz and m.data.min() < 0:
-                raise EdgeError(f"relation {name!r} has negative weights")
-            m.eliminate_zeros()
-            m.sort_indices()
+            if validate:
+                if m.nnz and m.data.min() < 0:
+                    raise EdgeError(f"relation {name!r} has negative weights")
+                # These normalizations write the CSR arrays in place —
+                # exactly what the validate=False attach path must never
+                # do to a shared or read-only buffer.
+                m.eliminate_zeros()
+                m.sort_indices()
             self._matrices[name] = m
         for rel in schema.relations:
             if rel.name not in self._matrices:
@@ -156,6 +170,11 @@ class HIN:
         # outside the engine write lock without another writer moving
         # the network underneath it.
         self._update_mutex = threading.Lock()
+        # Post-commit hooks (see add_commit_hook): called by apply()
+        # after the commit, outside the engine write lock but still
+        # inside the update mutex, so a hook observes exactly the
+        # committed epoch and no later one.
+        self._commit_hooks: list = []
 
     # ------------------------------------------------------------------
     # Constructors
@@ -392,6 +411,43 @@ class HIN:
     # ------------------------------------------------------------------
     # Dynamic updates
     # ------------------------------------------------------------------
+    def add_commit_hook(self, hook):
+        """Register *hook* to run after every committed update batch.
+
+        The serving layer's publish path: a multi-process cluster
+        (:class:`~repro.serving.ClusterService`) registers a hook that
+        exports the post-commit matrices and warm cache into a new
+        shared-memory generation, so worker processes can swap to the
+        new epoch atomically.
+
+        Parameters
+        ----------
+        hook:
+            Callable receiving the :class:`~repro.networks.updates.AppliedUpdate`
+            receipt.  It runs on the writer's thread *after* the commit
+            released the engine write lock (queries are already flowing
+            against the new epoch) but still inside the update mutex, so
+            no later update can land while the hook observes the network
+            — relation matrices are immutable values, making the
+            captured state a consistent snapshot of exactly the
+            committed epoch.  A raising hook propagates to the
+            ``hin.apply()`` caller; the update itself stays committed.
+
+        Returns
+        -------
+        The *hook* itself, so the call can be used expression-style.
+        """
+        self._commit_hooks.append(hook)
+        return hook
+
+    def remove_commit_hook(self, hook) -> None:
+        """Unregister a hook added with :meth:`add_commit_hook` (no-op
+        when it was never registered)."""
+        try:
+            self._commit_hooks.remove(hook)
+        except ValueError:
+            pass
+
     def mutate(self) -> Mutation:
         """Open a :class:`~repro.networks.updates.Mutation` builder on this
         network.
@@ -451,7 +507,13 @@ class HIN:
             # overlaps safely with read-locked queries.
             plan = self._prepare(batch)
             with engine.lock.write():
-                return self._commit(*plan)
+                applied = self._commit(*plan)
+            # Publish hooks run AFTER the write lock releases (queries
+            # must not stall behind an expensive export) but inside the
+            # update mutex (no later epoch can appear underneath them).
+            for hook in list(self._commit_hooks):
+                hook(applied)
+            return applied
 
     def _prepare(self, batch: UpdateBatch):
         """Validate *batch* and build its commit plan (read-only phase).

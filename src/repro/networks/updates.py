@@ -70,6 +70,19 @@ def pad_csr(matrix: sp.csr_matrix, shape: tuple[int, int]) -> sp.csr_matrix:
     Growing a CSR matrix only extends ``indptr`` (rows) or re-declares the
     column bound, so the padded view shares ``data``/``indices`` with the
     original — callers must not mutate either in place.
+
+    Parameters
+    ----------
+    matrix:
+        The CSR matrix to grow.
+    shape:
+        Target ``(rows, cols)``; each dimension must be >= the current
+        one.
+
+    Raises
+    ------
+    repro.exceptions.GraphError
+        When *shape* would shrink either dimension.
     """
     n_rows, n_cols = matrix.shape
     new_rows, new_cols = shape
@@ -174,8 +187,24 @@ class UpdateBatch:
     # Builder surface
     # ------------------------------------------------------------------
     def add_nodes(self, node_type: str, nodes) -> "UpdateBatch":
-        """Append nodes to *node_type*: an integer count (anonymous types)
-        or a sequence of new, unique names (named types)."""
+        """Append nodes to *node_type* (chainable).
+
+        Parameters
+        ----------
+        node_type:
+            The type to grow (validated against the network at apply
+            time).
+        nodes:
+            An integer count (anonymous types) or a sequence of new,
+            unique names (named types) — the count/names distinction is
+            enforced at apply time against the network.
+
+        Raises
+        ------
+        repro.exceptions.UpdateError
+            On a negative count, duplicate names, or a second
+            ``add_nodes`` for the same type within this batch.
+        """
         if node_type in self._node_adds:
             raise UpdateError(f"batch already adds nodes to {node_type!r}")
         if isinstance(nodes, (int, np.integer)):
@@ -191,8 +220,23 @@ class UpdateBatch:
         return self
 
     def add_edges(self, relation: str, edges: Iterable[tuple]) -> "UpdateBatch":
-        """Insert ``(src, dst[, weight])`` edges (weight defaults to 1.0;
-        inserting onto an existing cell accumulates, like construction)."""
+        """Insert edges into *relation* (chainable).
+
+        Parameters
+        ----------
+        relation:
+            Relation name (validated against the schema at apply time).
+        edges:
+            ``(src, dst)`` or ``(src, dst, weight)`` tuples of integer
+            indices; weight defaults to 1.0, and inserting onto an
+            existing cell accumulates, like construction.
+
+        Raises
+        ------
+        repro.exceptions.EdgeError
+            On a malformed tuple or a negative weight (index bounds are
+            checked at apply time).
+        """
         ops = self._ops.setdefault(relation, [])
         for edge in edges:
             if len(edge) == 2:
@@ -209,8 +253,16 @@ class UpdateBatch:
         return self
 
     def remove_edges(self, relation: str, pairs: Iterable[tuple]) -> "UpdateBatch":
-        """Delete the cells at ``(src, dst)`` pairs (zeroing their weight;
-        deleting an absent cell is a no-op, like SQL ``DELETE``)."""
+        """Delete cells from *relation* (chainable).
+
+        Parameters
+        ----------
+        relation:
+            Relation name (validated at apply time).
+        pairs:
+            ``(src, dst)`` index pairs whose weight is zeroed; deleting
+            an absent cell is a no-op, like SQL ``DELETE``.
+        """
         ops = self._ops.setdefault(relation, [])
         for pair in pairs:
             u, v = pair
@@ -218,8 +270,22 @@ class UpdateBatch:
         return self
 
     def set_weights(self, relation: str, entries: Iterable[tuple]) -> "UpdateBatch":
-        """Upsert ``(src, dst, weight)`` cells to exactly *weight*
-        (creating absent cells; a weight of 0 removes the cell)."""
+        """Upsert cell weights in *relation* (chainable).
+
+        Parameters
+        ----------
+        relation:
+            Relation name (validated at apply time).
+        entries:
+            ``(src, dst, weight)`` triples; each cell is set to exactly
+            *weight*, creating absent cells, and a weight of 0 removes
+            the cell.
+
+        Raises
+        ------
+        repro.exceptions.EdgeError
+            On a negative weight.
+        """
         ops = self._ops.setdefault(relation, [])
         for entry in entries:
             u, v, w = entry
@@ -313,7 +379,20 @@ class Mutation(UpdateBatch):
         self.applied: AppliedUpdate | None = None
 
     def commit(self) -> AppliedUpdate:
-        """Apply the collected operations to the bound network (once)."""
+        """Apply the collected operations to the bound network (once).
+
+        Returns
+        -------
+        The :class:`AppliedUpdate` receipt (also kept as ``.applied``).
+
+        Raises
+        ------
+        repro.exceptions.UpdateError
+            When the mutation was already committed; plus anything
+            :meth:`repro.networks.hin.HIN.apply` raises for an invalid
+            batch (in which case the network is untouched and the
+            mutation stays uncommitted).
+        """
         if self.applied is not None:
             raise UpdateError("mutation already committed")
         self.applied = self._hin.apply(self)

@@ -1,6 +1,6 @@
-"""Concurrent query serving: worker pools, batching, warm-cache snapshots.
+"""Concurrent query serving: worker pools, process clusters, snapshots.
 
-The production-facing layer above the query facade.  Three pieces:
+The production-facing layer above the query facade.  Four pieces:
 
 * thread-safe engine serving — the engine's read–write lock
   (:attr:`repro.engine.MetaPathEngine.lock`) lets any number of query
@@ -10,15 +10,24 @@ The production-facing layer above the query facade.  Three pieces:
   ``similar``/``top_k``/``connected``/``rank`` requests as futures,
   coalesces duplicate in-flight requests, and batches same-meta-path
   top-k queries into single block products;
+* :class:`ClusterService` — the same futures surface over N worker
+  *processes*, each attaching the network's canonical-CSR matrices and
+  warm cache zero-copy through shared memory
+  (:mod:`repro.serving.shm`); updates commit centrally in the parent
+  and publish immutable epoch-stamped generations that workers swap
+  atomically — real multi-core throughput past the GIL;
 * snapshots — :func:`save_snapshot` / :func:`load_snapshot` /
   :func:`warm_from_snapshot` persist the network plus its materialized
-  commuting matrices so a new process starts warm, with epoch and
-  schema/content hashes guarding against stale caches.
+  commuting matrices so a new process starts warm (optionally
+  memory-mapped, zero-copy), with epoch and schema/content hashes
+  guarding against stale caches.
 
-See ``docs/ARCHITECTURE.md`` → "Serving & concurrency" for the design
-and benchmark E17 for the measured throughput.
+See ``docs/GUIDE.md`` for the task-oriented walkthrough,
+``docs/ARCHITECTURE.md`` → "Serving & concurrency" for the design, and
+benchmarks E17/E18 for the measured throughput.
 """
 
+from repro.serving.cluster import ClusterService
 from repro.serving.service import QueryService
 from repro.serving.snapshot import (
     load_snapshot,
@@ -30,6 +39,7 @@ from repro.serving.snapshot import (
 
 __all__ = [
     "QueryService",
+    "ClusterService",
     "save_snapshot",
     "load_snapshot",
     "warm_from_snapshot",

@@ -1,0 +1,622 @@
+"""ClusterService — multi-process serving over shared-memory generations.
+
+:class:`~repro.serving.QueryService` made serving concurrent, but its
+worker pool lives in one Python process: the phase-fair lock buys
+fairness while the GIL caps the dense-product hot paths at roughly one
+core.  This module is the step past that ceiling — the shape the
+SIGMOD-2014-contest analyses land on for graph query serving at scale:
+**read-only index state shared across worker processes, updates
+committed centrally by a single writer.**
+
+Architecture
+------------
+
+* The **parent** owns the live, mutable network.  All updates keep
+  flowing through the single-writer ``hin.apply()`` path; a commit hook
+  (:meth:`repro.networks.hin.HIN.add_commit_hook`) exports every
+  committed epoch as a new immutable shared-memory **generation**
+  (:mod:`repro.serving.shm`) and bumps a shared generation counter.
+* Each of N **worker processes** attaches the current generation
+  zero-copy — relation matrices and the warm commuting-matrix cache are
+  numpy views over the shared segment — and answers query jobs against
+  it.  Before picking up each job a worker compares the shared counter
+  with its attached generation and, when behind, attaches the new one
+  and atomically swaps; generations are immutable, so a worker can
+  never serve a torn matrix: it answers entirely at one epoch or
+  entirely at the next.
+* The parent-facing API is the **same futures surface** as
+  :class:`~repro.serving.QueryService` — in fact it *is* a
+  ``QueryService`` whose execution backend dispatches request groups to
+  worker processes instead of computing under the engine read lock, so
+  request coalescing and same-shape batching keep working unchanged
+  (one block product per batch, now on a core of its own).
+
+Warm starts attach straight off a snapshot:
+``ClusterService(warm_snapshot=path)`` publishes a generation whose
+payloads are the snapshot's npz files, memory-mapped by every worker
+through the shared OS page cache — one page-in instead of N
+deserializations.
+
+Benchmark E18 measures the throughput against single-process
+``QueryService`` serving and asserts bit-identical answers; see
+``docs/GUIDE.md`` → "Cluster serving" for usage and
+``docs/BENCHMARKS.md`` → "Deployment sizing" for how to size the
+process count.
+"""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing
+import os
+import pickle
+import queue as _queue
+import shutil
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.serving.service import QueryService
+from repro.serving.shm import (
+    attach_generation,
+    generation_from_snapshot,
+    publish_generation,
+)
+from repro.utils.cache import LRUCache
+
+__all__ = ["ClusterService"]
+
+_SHUTDOWN = None  # task-queue sentinel
+
+
+def _default_start_method() -> str:
+    """``fork`` where the platform offers it (fast, shares the imported
+    interpreter), ``spawn`` elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def _pickles(value) -> bool:
+    """Whether *value* survives a pickle round trip."""
+    try:
+        pickle.dumps(value)
+        return True
+    except Exception:
+        return False
+
+
+def _picklable(error: BaseException) -> BaseException:
+    """*error* itself when it survives pickling, else a faithful stand-in
+    (a result queue must never choke on an exotic exception)."""
+    try:
+        pickle.loads(pickle.dumps(error))
+        return error
+    except Exception:
+        return RuntimeError(f"{type(error).__name__}: {error}")
+
+
+def _execute_spec(state, spec):  # pragma: no cover
+    """Run one declarative request spec against an attached generation."""
+    op = spec[0]
+    if op == "pathsim":
+        _, path, obj, k, exclude = spec
+        return state.engine.pathsim_top_k(path, obj, k, exclude_query=exclude)
+    if op == "similar":
+        _, obj, path, k, measure, exclude = spec
+        return state.hin.query().similar(
+            obj, path, k, measure=measure, exclude_self=exclude
+        )
+    if op == "connected":
+        _, obj, path, k, exclude = spec
+        return state.engine.top_k_connectivity(path, obj, k, exclude_query=exclude)
+    if op == "rank":
+        _, target, kwargs = spec
+        return state.hin.query().rank(target, **dict(kwargs))
+    raise ValueError(f"unknown request spec {op!r}")
+
+
+def _execute_job(state, kind, payload):  # pragma: no cover
+    """One job -> aligned ``("ok", value) | ("err", error)`` statuses.
+
+    ``batch`` jobs answer every query with one block product — the same
+    ``pathsim_top_k_batch`` call the in-process service makes, so
+    answers stay bit-identical — and fall back to per-query execution
+    when the batch raises, so one bad request cannot poison its
+    co-batched neighbours.
+    """
+    if kind == "batch":
+        path, k, exclude, objs = payload
+        try:
+            results = state.engine.pathsim_top_k_batch(
+                path, objs, k, exclude_query=exclude
+            )
+            return [("ok", result) for result in results]
+        except BaseException:
+            return [
+                _execute_job(state, "solo", [("pathsim", path, obj, k, exclude)])[0]
+                for obj in objs
+            ]
+    out = []
+    for spec in payload:
+        try:
+            out.append(("ok", _execute_spec(state, spec)))
+        except BaseException as exc:  # noqa: BLE001 — status travels the queue
+            out.append(("err", _picklable(exc)))
+    return out
+
+
+def _close_attachment(state) -> None:  # pragma: no cover
+    """Release one attached generation: break the hin<->engine reference
+    cycle promptly so the segment mapping can actually unmap."""
+    state.close()
+    gc.collect()
+
+
+def _worker_main(  # pragma: no cover — runs in child processes
+    worker_id, task_queue, result_queue, gen_value, gen_dir, untrack
+):
+    """Worker-process loop: attach the current generation, serve jobs.
+
+    Generation swaps happen *between* jobs: the worker polls the shared
+    counter before each job and attaches the newer descriptor when
+    behind.  Each job carries an **epoch floor** — the parent's update
+    epoch when the job was dispatched — and the worker refuses to
+    answer from an older generation: a commit's publish may still be
+    copying when the next request arrives, so the worker waits for the
+    counter to catch up rather than serve a pre-update answer.  The
+    previous attachments live in a small generation-stamped LRU whose
+    eviction hook closes their segments — the worker-side half of
+    generation retirement.
+    """
+    current = None
+    attached = LRUCache(2, on_evict=lambda _key, state: _close_attachment(state))
+
+    def ensure_generation(min_epoch):
+        """The current generation, at epoch >= *min_epoch* (waits for an
+        in-flight publish; raises after a 60 s deadline)."""
+        nonlocal current
+        deadline = time.monotonic() + 60.0
+        while True:
+            target = gen_value.value
+            if current is None or current.generation != target:
+                try:
+                    state = attach_generation(
+                        Path(gen_dir) / f"gen-{target}.json", untrack=untrack
+                    )
+                except FileNotFoundError:
+                    # Raced a republish-and-retire; re-read the counter.
+                    if time.monotonic() > deadline:
+                        raise RuntimeError(
+                            f"worker {worker_id} could not attach "
+                            f"generation {target}"
+                        ) from None
+                    time.sleep(0.002)
+                    continue
+                current = state
+                attached.bump_generation()
+                attached.put(target, state)
+                attached.evict_written_before(attached.generation)
+            if current.epoch >= min_epoch:
+                return current
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"worker {worker_id} waited for epoch {min_epoch} but "
+                    f"generation {current.generation} is at epoch "
+                    f"{current.epoch} (publish stalled?)"
+                )
+            time.sleep(0.002)
+
+    while True:
+        job = task_queue.get()
+        if job is _SHUTDOWN:
+            break
+        job_id, kind, payload, min_epoch = job
+        try:
+            state = ensure_generation(min_epoch)
+            statuses = _execute_job(state, kind, payload)
+        except BaseException as exc:  # noqa: BLE001 — deliver, don't die
+            size = len(payload[3]) if kind == "batch" else len(payload)
+            statuses = [("err", _picklable(exc))] * size
+        try:
+            pickle.dumps(statuses)
+        except Exception:
+            # An unpicklable "ok" value would kill the queue's feeder
+            # thread silently; sanitize per status so the parent always
+            # hears back.
+            statuses = [
+                (status, value)
+                if _pickles(value)
+                else ("err", RuntimeError(f"result not picklable: {value!r:.200}"))
+                for status, value in statuses
+            ]
+        result_queue.put((job_id, statuses))
+    attached.clear()
+
+
+class _WorkerChannel:
+    """One worker process plus its private task/result queues.
+
+    A channel is checked out exclusively for the duration of one job
+    (the free-list in :class:`ClusterService` guarantees it), so the
+    synchronous put-then-get protocol needs no response routing.
+    """
+
+    def __init__(self, ctx, worker_id, gen_value, gen_dir):
+        self.task_queue = ctx.Queue()
+        self.result_queue = ctx.Queue()
+        self.jobs = 0
+        # Workers share the parent's resource tracker under fork AND
+        # spawn (multiprocessing hands children the tracker fd), so the
+        # publisher's create-time registration is the single
+        # authoritative one — workers must NOT untrack their
+        # attachments, or they would strip it.  untrack=True is only
+        # for foreign processes attaching outside multiprocessing.
+        untrack = False
+        self.process = ctx.Process(
+            target=_worker_main,
+            name=f"repro-cluster-{worker_id}",
+            args=(
+                worker_id,
+                self.task_queue,
+                self.result_queue,
+                gen_value,
+                gen_dir,
+                untrack,
+            ),
+            daemon=True,
+        )
+        self.process.start()
+
+    def call(self, kind, payload, min_epoch: int, timeout: float):
+        """Synchronous job round trip; raises when the worker died.
+
+        The payload is pickle-validated *here*, on the calling thread:
+        ``Queue.put`` pickles in a background feeder thread whose
+        failure would otherwise surface only as a silent
+        ``timeout``-long hang.
+        """
+        try:
+            pickle.dumps(payload)
+        except Exception as exc:
+            raise TypeError(
+                f"request arguments are not picklable for cluster "
+                f"dispatch: {exc}"
+            ) from exc
+        self.jobs += 1
+        self.task_queue.put((self.jobs, kind, payload, min_epoch))
+        while True:
+            try:
+                job_id, statuses = self.result_queue.get(timeout=min(timeout, 1.0))
+            except _queue.Empty:
+                timeout -= 1.0
+                if not self.process.is_alive():
+                    raise RuntimeError(
+                        f"cluster worker {self.process.name} died "
+                        f"(exit code {self.process.exitcode})"
+                    ) from None
+                if timeout <= 0:
+                    raise TimeoutError(
+                        f"cluster worker {self.process.name} did not answer"
+                    ) from None
+                continue
+            if job_id == self.jobs:
+                return statuses
+            # A stale answer from a job whose waiter gave up; drop it.
+
+    def shutdown(self, join_timeout: float = 5.0) -> None:
+        """Stop the worker: sentinel, join, terminate stragglers."""
+        try:
+            self.task_queue.put(_SHUTDOWN)
+        except (ValueError, OSError):
+            pass
+        self.process.join(timeout=join_timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=join_timeout)
+        self.process.close()
+        self.task_queue.close()
+        self.result_queue.close()
+
+
+class ClusterService:
+    """Multi-process query serving with shared-memory state.
+
+    Parameters
+    ----------
+    hin:
+        The network to serve.  The parent keeps the only mutable copy;
+        updates go through ``hin.apply()`` as usual and re-publish
+        automatically.  Omit it (``None``) together with
+        *warm_snapshot* to cold-start the parent from a snapshot too.
+    processes:
+        Worker-process count — size it to cores, not clients (the
+        parent coalesces and batches, so a handful of processes absorbs
+        many clients).  Defaults to the usable CPU count capped at 4.
+    max_batch:
+        Per-job bound on same-shape top-k batching, as in
+        :class:`~repro.serving.QueryService`.
+    warm_snapshot:
+        Optional snapshot directory (from
+        :func:`repro.serving.save_snapshot`).  Generation 0 then points
+        at the snapshot's npz payloads and every worker memory-maps
+        them zero-copy instead of deserializing — the cluster warm
+        start.  Requires the snapshot to describe *hin*'s current
+        epoch when *hin* is given.
+    directory:
+        Where generation descriptors live (a private temp directory by
+        default).
+    mp_context:
+        ``multiprocessing`` start method (``"fork"`` where available,
+        else ``"spawn"``).  With ``fork``, construct the cluster before
+        starting your own threads.
+    keep_generations:
+        How many published generations stay attachable at once (>= 2,
+        so a worker mid-swap never finds its target retired).
+    job_timeout:
+        Seconds a dispatched job may take before the parent gives up on
+        that worker.
+
+    Raises
+    ------
+    ValueError
+        On a non-positive process count, or when neither *hin* nor
+        *warm_snapshot* is given.
+    repro.exceptions.SnapshotError
+        When *warm_snapshot* is unreadable or describes a different
+        epoch than the live *hin*.
+
+    Use as a context manager, or call :meth:`close` explicitly.  The
+    futures API (:meth:`similar`, :meth:`top_k`, :meth:`connected`,
+    :meth:`rank`) matches :class:`~repro.serving.QueryService` exactly
+    — one client's code does not change when serving moves from
+    threads to processes.
+    """
+
+    def __init__(
+        self,
+        hin=None,
+        *,
+        processes: int | None = None,
+        max_batch: int = 64,
+        warm_snapshot=None,
+        directory=None,
+        mp_context: str | None = None,
+        keep_generations: int = 2,
+        job_timeout: float = 120.0,
+    ):
+        if hin is None and warm_snapshot is None:
+            raise ValueError("ClusterService needs a hin, a warm_snapshot, or both")
+        if processes is None:
+            try:
+                usable = len(os.sched_getaffinity(0))
+            except AttributeError:
+                usable = os.cpu_count() or 1
+            processes = max(1, min(usable, 4))
+        if processes < 1:
+            raise ValueError(f"processes must be >= 1, got {processes}")
+        self._ctx = multiprocessing.get_context(mp_context or _default_start_method())
+        # Start the resource tracker BEFORE forking workers: forked
+        # children then share the parent's tracker instead of each
+        # lazily spawning their own (whose exit-time cleanup would warn
+        # about — or on some Pythons unlink — segments it never owned).
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:
+            pass
+        self._directory = (
+            Path(directory)
+            if directory
+            else Path(tempfile.mkdtemp(prefix="repro-cluster-"))
+        )
+        self._own_directory = directory is None
+        self._job_timeout = float(job_timeout)
+        self._gen_counter = 0
+        self._gen_value = self._ctx.Value("L", 0)
+        self._publish_mutex = threading.Lock()
+        self._published = LRUCache(
+            max(2, int(keep_generations)),
+            on_evict=lambda _key, generation: generation.dispose(),
+        )
+        self._jobs_dispatched = 0
+        self._generations_published = 0
+        self._closed = False
+        self._channels: list[_WorkerChannel] = []
+        self._parent_state = None
+        self._hook = None
+        self._service = None
+        self.hin = hin
+
+        # Everything past the directory is resource acquisition; a
+        # failure part-way (stale snapshot, fork error) must release
+        # what was already acquired instead of leaking segments,
+        # processes, and temp directories until interpreter exit.
+        try:
+            if warm_snapshot is not None:
+                first = generation_from_snapshot(
+                    warm_snapshot, directory=self._directory, generation=0
+                )
+                self._published.put(0, first)
+                if hin is None:
+                    # Cold parent: attach the same mmap-backed generation
+                    # the workers will use — one page-in warms everyone.
+                    self._parent_state = attach_generation(first.path)
+                    self.hin = hin = self._parent_state.hin
+                elif getattr(hin, "version", 0) != first.epoch:
+                    from repro.exceptions import SnapshotError
+
+                    raise SnapshotError(
+                        f"warm_snapshot is at epoch {first.epoch} but the "
+                        f"live network is at epoch "
+                        f"{getattr(hin, 'version', 0)}; re-run "
+                        f"save_snapshot() after updates"
+                    )
+            else:
+                first = publish_generation(
+                    hin, hin.engine(), directory=self._directory, generation=0
+                )
+                self._published.put(0, first)
+
+            # Workers fork/spawn BEFORE any service thread exists (fork
+            # while this object's own threads run would be unsound).
+            for i in range(int(processes)):
+                self._channels.append(
+                    _WorkerChannel(
+                        self._ctx, i, self._gen_value, str(self._directory)
+                    )
+                )
+            self._free: _queue.Queue = _queue.Queue()
+            for channel in self._channels:
+                self._free.put(channel)
+
+            self._hook = hin.add_commit_hook(self._on_commit)
+            self._service = QueryService(
+                hin, workers=len(self._channels), max_batch=max_batch, executor=self
+            )
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Futures API (delegates to the embedded QueryService)
+    # ------------------------------------------------------------------
+    def similar(self, obj, path, k: int = 10, **kwargs):
+        """Enqueue a top-*k* similarity query; returns a future
+        (:meth:`QueryService.similar` semantics, executed on a worker
+        process)."""
+        return self._service.similar(obj, path, k, **kwargs)
+
+    def top_k(self, path, obj, k: int = 10, **kwargs):
+        """Engine-parity spelling of :meth:`similar` (path first)."""
+        return self._service.top_k(path, obj, k, **kwargs)
+
+    def connected(self, obj, path, k: int = 10, **kwargs):
+        """Enqueue a top-*k* connectivity query; returns a future."""
+        return self._service.connected(obj, path, k, **kwargs)
+
+    def rank(self, target, **kwargs):
+        """Enqueue a ranking query; returns a future."""
+        return self._service.rank(target, **kwargs)
+
+    def prewarm(self, *paths) -> "ClusterService":
+        """Materialize *paths* in the parent cache and republish, so
+        every worker serves them warm from shared memory."""
+        self.hin.engine().prewarm(list(paths))
+        self.publish()
+        return self
+
+    # ------------------------------------------------------------------
+    # Generation lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """The latest published shared-memory generation counter."""
+        return self._gen_counter
+
+    @property
+    def epoch(self) -> int:
+        """The served network's current update epoch."""
+        return getattr(self.hin, "version", 0)
+
+    def publish(self) -> int:
+        """Export the parent's current state as a new generation.
+
+        Runs automatically from the ``hin.apply()`` commit hook; call it
+        manually after warming the parent cache out-of-band.  Returns
+        the new generation counter.
+        """
+        with self._publish_mutex:
+            self._gen_counter += 1
+            generation = publish_generation(
+                self.hin,
+                self.hin.engine(),
+                directory=self._directory,
+                generation=self._gen_counter,
+            )
+            self._published.bump_generation()
+            self._published.put(self._gen_counter, generation)
+            self._generations_published += 1
+            # Publication point: workers swap on their next job.
+            self._gen_value.value = self._gen_counter
+            return self._gen_counter
+
+    def _on_commit(self, _applied) -> None:
+        """Commit hook: every applied batch publishes a new generation."""
+        self.publish()
+
+    # ------------------------------------------------------------------
+    # QueryService executor protocol
+    # ------------------------------------------------------------------
+    def run_group(self, kind: str, payload) -> list[tuple]:
+        """Dispatch one request group to a free worker (blocking).
+
+        The executor half of the :class:`~repro.serving.QueryService`
+        contract: returns one ``("ok", value) | ("err", error)`` status
+        per request in the group.  The job carries the parent's current
+        epoch as a floor — dispatch happens at or after submission, so
+        a worker that honours the floor can never hand a post-update
+        submitter a pre-update answer, even while the commit's publish
+        is still copying.
+        """
+        min_epoch = self.epoch
+        channel = self._free.get()
+        try:
+            self._jobs_dispatched += 1
+            return channel.call(kind, payload, min_epoch, self._job_timeout)
+        finally:
+            self._free.put(channel)
+
+    # ------------------------------------------------------------------
+    # Observability / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """The embedded service's counters plus cluster-level ones
+        (``processes``, ``jobs_dispatched``, ``generations_published``,
+        ``generation``)."""
+        out = self._service.stats()
+        out.update(
+            processes=len(self._channels),
+            jobs_dispatched=self._jobs_dispatched,
+            generations_published=self._generations_published,
+            generation=self._gen_counter,
+        )
+        return out
+
+    def close(self) -> None:
+        """Drain queued work, stop the workers, retire every generation.
+
+        Also the failure-path cleanup for a partially constructed
+        cluster, so every branch tolerates resources that were never
+        acquired.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._hook is not None and self.hin is not None:
+            self.hin.remove_commit_hook(self._hook)
+        if self._service is not None:
+            self._service.close()
+        for channel in self._channels:
+            channel.shutdown()
+        self._published.clear()  # on_evict disposes segments + descriptors
+        if self._parent_state is not None:
+            # Keep serving the caller's hin object (it may outlive the
+            # cluster) — only the attachment bookkeeping is dropped; the
+            # mmap pages release with the matrices' last reference.
+            self._parent_state._resources = []
+        if self._own_directory:
+            shutil.rmtree(self._directory, ignore_errors=True)
+
+    def __enter__(self) -> "ClusterService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterService({self.hin!r}, processes={len(self._channels)}, "
+            f"generation={self._gen_counter}, epoch={self.epoch})"
+        )

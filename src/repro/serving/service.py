@@ -60,6 +60,12 @@ class _Request:
     Coalesced submitters share the computation but each holds its own
     :class:`~concurrent.futures.Future`, so one client cancelling its
     future never cancels another client's answer.
+
+    Every request carries two execution forms: closures (``call`` /
+    ``batch_call``) for the in-process path, and a declarative,
+    picklable ``spec`` for process-backed executors
+    (:class:`~repro.serving.cluster.ClusterService`) — the same queued
+    request can execute either way.
     """
 
     op: str
@@ -69,6 +75,8 @@ class _Request:
     batch_key: tuple | None = None  # grouping shape (None: not batchable)
     batch_call: object = None  # (queries) -> [results], for grouped execution
     query: object = None  # this request's query object within a batch
+    spec: tuple | None = None  # declarative form for remote execution
+    batch_spec: tuple | None = None  # (path, k, exclude) for remote batching
 
 
 class QueryService:
@@ -94,20 +102,41 @@ class QueryService:
         memo bound).  It must execute on the network's *shared* engine —
         a session built over a detached engine is rejected, because
         ``hin.apply()`` only coordinates with the shared engine's lock.
+    executor:
+        Optional execution backend: an object with
+        ``run_group(kind, payload) -> [("ok", value) | ("err", error)]``
+        — :class:`~repro.serving.cluster.ClusterService` passes itself.
+        When set, request groups are *dispatched* (as picklable specs)
+        instead of computed under the engine read lock on this thread;
+        coalescing and batching still happen here, so a thundering herd
+        costs one dispatched job either way.  Coalescing keys are then
+        epoch-prefixed: the in-process path guarantees "a post-update
+        submitter never receives a pre-update answer" by retiring
+        requests inside the read lock, and the executor path gets the
+        same guarantee by never coalescing across an epoch boundary.
 
     Use as a context manager, or call :meth:`close` explicitly; both
     drain queued work before returning.
     """
 
-    def __init__(self, hin, *, workers: int = 2, max_batch: int = 64, session=None):
+    def __init__(
+        self,
+        hin,
+        *,
+        workers: int = 2,
+        max_batch: int = 64,
+        session=None,
+        executor=None,
+    ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         self.hin = hin
+        self._executor = executor
         self._session = session if session is not None else hin.query()
         self._engine = self._session.engine
-        if self._engine is not hin.engine():
+        if executor is None and self._engine is not hin.engine():
             # A detached engine holds its own lock — the one hin.apply()
             # does NOT commit under — so queries through it could observe
             # torn mid-commit network state.  Concurrent serving is only
@@ -159,9 +188,29 @@ class QueryService:
         one block product.  Other measures execute singly through the
         session.
 
-        Every failure — bad path, unknown object, engine error — is
-        delivered through the returned future, never raised on the
-        submitting thread.
+        Parameters
+        ----------
+        obj:
+            Query object — a name, or an index into the path's source
+            type.
+        path:
+            Any meta-path spelling (DSL string, type list,
+            ``MetaPath``); must be symmetric for ``pathsim``.
+        k:
+            How many peers to return.
+        measure:
+            ``"pathsim"`` (engine-served, batchable) or any measure
+            ``QuerySession.similar`` accepts.
+        exclude_self:
+            Drop the query object from its own answer.
+
+        Raises
+        ------
+        RuntimeError
+            When the service is already closed (the only submit-time
+            raise).  Every other failure — bad path, unknown object,
+            engine error — is delivered through the returned future,
+            never raised on the submitting thread.
         """
         if measure == "pathsim":
             try:
@@ -183,6 +232,8 @@ class QueryService:
                         mp, queries, k, exclude_query=exclude_self
                     ),
                     query=obj,
+                    spec=("pathsim", str(mp), obj, int(k), bool(exclude_self)),
+                    batch_spec=(str(mp), int(k), bool(exclude_self)),
                 ),
             )
         return self._submit(
@@ -196,6 +247,9 @@ class QueryService:
                 ),
                 futures=[Future()],
                 key=key,
+                spec=(
+                    "similar", obj, str(path), int(k), measure, bool(exclude_self)
+                ),
             ),
         )
 
@@ -204,7 +258,27 @@ class QueryService:
         return self.similar(obj, path, k, exclude_self=exclude_self)
 
     def connected(self, obj, path, k: int = 10, *, exclude_self: bool = False) -> Future:
-        """Enqueue a top-*k* connectivity (path-count) query; returns a future."""
+        """Enqueue a top-*k* connectivity (path-count) query; returns a future.
+
+        Parameters
+        ----------
+        obj:
+            Query object of the path's source type.
+        path:
+            Any meta-path spelling; asymmetric paths are fine
+            (connectivity counts path instances, it does not normalize).
+        k:
+            How many targets to return.
+        exclude_self:
+            Drop the query object (round-trip paths only; enforced when
+            the request executes, with the error on the future).
+
+        Raises
+        ------
+        RuntimeError
+            When the service is already closed; execution failures
+            arrive through the future.
+        """
         try:
             mp = self._session.path(path)
         except Exception as exc:  # uniform error contract: via the future
@@ -220,11 +294,28 @@ class QueryService:
                 ),
                 futures=[Future()],
                 key=key,
+                spec=("connected", obj, str(mp), int(k), bool(exclude_self)),
             ),
         )
 
     def rank(self, target, **kwargs) -> Future:
-        """Enqueue a ranking query (`QuerySession.rank` semantics); returns a future."""
+        """Enqueue a ranking query; returns a future.
+
+        Parameters
+        ----------
+        target:
+            A node type or meta-path, exactly as
+            :meth:`repro.query.QuerySession.rank` takes it.
+        **kwargs:
+            Passed through to ``QuerySession.rank`` (``by=``, ``path=``,
+            ``method=``, ...).
+
+        Raises
+        ------
+        RuntimeError
+            When the service is already closed; execution failures
+            arrive through the future.
+        """
         return self._submit(
             self._safe_key("rank", (target, tuple(sorted(kwargs.items())))),
             lambda key: _Request(
@@ -232,6 +323,7 @@ class QueryService:
                 call=lambda: self._session.rank(target, **kwargs),
                 futures=[Future()],
                 key=key,
+                spec=("rank", target, tuple(sorted(kwargs.items()))),
             ),
         )
 
@@ -248,10 +340,18 @@ class QueryService:
         future.set_exception(exc)
         return future
 
-    @staticmethod
-    def _safe_key(op: str, parts: tuple) -> tuple | None:
-        """A coalescing key, or ``None`` when any argument is unhashable."""
+    def _safe_key(self, op: str, parts: tuple) -> tuple | None:
+        """A coalescing key, or ``None`` when any argument is unhashable.
+
+        With an executor, the key is epoch-prefixed: execution happens
+        in another process outside this engine's read lock, so the
+        retire-inside-the-lock guarantee does not apply — refusing to
+        coalesce across an epoch boundary restores "a post-update
+        submitter never receives a pre-update answer".
+        """
         key = (op,) + parts
+        if self._executor is not None:
+            key = (getattr(self.hin, "version", 0),) + key
         try:
             hash(key)
         except TypeError:
@@ -359,10 +459,46 @@ class QueryService:
         # write lock (hin.apply, clear_cache) would otherwise hit the
         # read-to-write upgrade guard.
         deliveries: list[tuple[Future, object, object]] = []
-        with self._engine.lock.read():
-            self._compute(group, deliveries)
+        if self._executor is not None:
+            self._dispatch(group, deliveries)
+        else:
+            with self._engine.lock.read():
+                self._compute(group, deliveries)
         for future, result, error in deliveries:
             self._resolve(future, result=result, error=error)
+
+    def _dispatch(self, group: list[_Request], deliveries: list) -> None:
+        """Execute *group* through the process-backed executor.
+
+        The group travels as its declarative specs — one ``batch`` job
+        when the worker can answer it with a single block product, else
+        one ``solo`` job — and comes back as one aligned status per
+        request (workers retry a failed batch per-query, so statuses
+        never collapse).  Epoch consistency needs no lock here: workers
+        attach immutable generations, so each job is answered entirely
+        at one epoch, and epoch-prefixed coalescing keys (see
+        :meth:`_safe_key`) keep post-update submitters off pre-update
+        requests.
+        """
+        try:
+            if len(group) > 1:
+                path, k, exclude = group[0].batch_spec
+                statuses = self._executor.run_group(
+                    "batch", (path, k, exclude, [r.query for r in group])
+                )
+            else:
+                statuses = self._executor.run_group("solo", [group[0].spec])
+        except BaseException as exc:  # noqa: BLE001 — futures carry failures
+            for futures in self._finish(group):
+                for future in futures:
+                    deliveries.append((future, None, exc))
+            return
+        for futures, (status, value) in zip(self._finish(group), statuses):
+            for future in futures:
+                if status == "ok":
+                    deliveries.append((future, value, None))
+                else:
+                    deliveries.append((future, None, value))
 
     def _compute(self, group: list[_Request], deliveries: list) -> None:
         """Execute *group* (caller holds the read lock), retire it, and

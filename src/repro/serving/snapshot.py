@@ -44,6 +44,7 @@ import hashlib
 import json
 import os
 import threading
+import zipfile
 from contextlib import ExitStack
 from pathlib import Path
 
@@ -81,8 +82,17 @@ def _save_lock_for(path: Path) -> threading.Lock:
         return lock
 
 
-def _load_npz(path: Path) -> dict:
-    """Load an npz payload, mapping a missing file to SnapshotError."""
+def _load_npz(path: Path, *, mmap: bool = False) -> dict:
+    """Load an npz payload, mapping a missing file to SnapshotError.
+
+    ``mmap=True`` returns zero-copy read-only views over the file
+    (:func:`repro.serving.shm.mmap_npz`) instead of deserializing —
+    the warm-start fast path.
+    """
+    if mmap:
+        from repro.serving.shm import mmap_npz
+
+        return mmap_npz(path)
     try:
         with np.load(path) as npz:
             return {name: npz[name] for name in npz.files}
@@ -90,6 +100,13 @@ def _load_npz(path: Path) -> dict:
         raise SnapshotError(
             f"snapshot payload missing: {path} (partial copy or "
             f"interrupted save)"
+        ) from None
+    except (zipfile.BadZipFile, ValueError, EOFError, OSError) as exc:
+        # A payload truncated mid-write (partial copy, full disk) fails
+        # the zip/npy framing before it could fail the content hash.
+        raise SnapshotError(
+            f"snapshot payload unreadable: {path} (truncated or "
+            f"corrupted: {exc})"
         ) from None
 
 
@@ -179,6 +196,58 @@ def _csr_from(prefix: str, arrays, shape) -> sp.csr_matrix:
     )
 
 
+def _build_entry_index(entries, arrays: dict, csr_writer) -> list[dict]:
+    """Flatten engine cache *entries* into *arrays*; return their index.
+
+    The single definition of the on-disk/in-segment entry schema
+    (``kind``/``steps``/``prefix`` plus the writer's descriptor) —
+    snapshots and shared-memory generations both serialize through it,
+    so the two formats cannot drift apart.  *csr_writer* is the
+    ``(prefix, matrix, arrays) -> descriptor`` recorder (snapshots
+    preserve dtypes; generations normalize index dtypes for zero-copy
+    attach).
+    """
+    index = []
+    for i, (key, value) in enumerate(entries):
+        kind, steps = key
+        prefix = f"entry{i}"
+        if kind == "pathsim":
+            w, diag = value
+            desc = csr_writer(f"{prefix}/w", w, arrays)
+            arrays[f"{prefix}/diag"] = np.asarray(diag, dtype=np.float64)
+        else:
+            desc = csr_writer(prefix, value, arrays)
+        index.append(
+            {
+                "kind": kind,
+                "steps": [[name, bool(fwd)] for name, fwd in steps],
+                "prefix": prefix,
+                **desc,
+            }
+        )
+    return index
+
+
+def _restore_entries(entry_index, arrays, csr_reader) -> list[tuple]:
+    """The inverse of :func:`_build_entry_index`: engine ``(key, value)``
+    pairs from a serialized entry index over *arrays*."""
+    entries: list[tuple] = []
+    for desc in entry_index:
+        key = (
+            desc["kind"],
+            tuple((name, bool(fwd)) for name, fwd in desc["steps"]),
+        )
+        if desc["kind"] == "pathsim":
+            w = csr_reader(f"{desc['prefix']}/w", arrays, desc["shape"])
+            diag = np.asarray(arrays[f"{desc['prefix']}/diag"])
+            entries.append((key, (w, diag)))
+        else:
+            entries.append(
+                (key, csr_reader(desc["prefix"], arrays, desc["shape"]))
+            )
+    return entries
+
+
 def _resolve_engine(target):
     """Accept a HIN or an engine; return ``(hin, engine)``."""
     if isinstance(target, HIN):
@@ -254,24 +323,7 @@ def save_snapshot(target, path) -> dict:
                 names[t] = type_names
 
         cache_arrays: dict[str, np.ndarray] = {}
-        entry_index = []
-        for i, (key, value) in enumerate(entries):
-            kind, steps = key
-            prefix = f"entry{i}"
-            if kind == "pathsim":
-                w, diag = value
-                desc = _csr_arrays(f"{prefix}/w", w, cache_arrays)
-                cache_arrays[f"{prefix}/diag"] = np.asarray(diag, dtype=np.float64)
-            else:
-                desc = _csr_arrays(prefix, value, cache_arrays)
-            entry_index.append(
-                {
-                    "kind": kind,
-                    "steps": [[name, bool(fwd)] for name, fwd in steps],
-                    "prefix": prefix,
-                    **desc,
-                }
-            )
+        entry_index = _build_entry_index(entries, cache_arrays, _csr_arrays)
 
     # Hashing happens AFTER the locks release: the captured matrix and
     # array references stay valid (updates replace matrices, never
@@ -360,47 +412,62 @@ def _read_manifest(path) -> dict:
     return manifest
 
 
-def _load_entries(manifest: dict, path) -> list[tuple]:
+def _load_entries(manifest: dict, path, *, mmap: bool = False) -> list[tuple]:
     """Rebuild (and hash-verify) the engine cache entries of *manifest*."""
     entries: list[tuple] = []
     if not manifest["entries"]:
         return entries
-    arrays = _load_npz(Path(path) / manifest["files"]["cache"])
-    if _arrays_fingerprint(arrays) != manifest["cache_hash"]:
+    arrays = _load_npz(Path(path) / manifest["files"]["cache"], mmap=mmap)
+    # Hash verification reads every byte — the exact cost the mmap path
+    # exists to skip (its contract is "trusted snapshot").
+    if not mmap and _arrays_fingerprint(arrays) != manifest["cache_hash"]:
         raise SnapshotError(
             f"snapshot at {path} failed cache verification "
             f"(cached products do not match the manifest hash)"
         )
-    for desc in manifest["entries"]:
-        key = (
-            desc["kind"],
-            tuple((name, bool(fwd)) for name, fwd in desc["steps"]),
-        )
-        if desc["kind"] == "pathsim":
-            w = _csr_from(f"{desc['prefix']}/w", arrays, desc["shape"])
-            diag = np.asarray(arrays[f"{desc['prefix']}/diag"])
-            entries.append((key, (w, diag)))
-        else:
-            entries.append((key, _csr_from(desc["prefix"], arrays, desc["shape"])))
-    return entries
+    return _restore_entries(manifest["entries"], arrays, _csr_from)
 
 
-def load_snapshot(path) -> HIN:
+def load_snapshot(path, *, mmap: bool = False) -> HIN:
     """Rebuild the snapshotted network with a pre-warmed engine.
 
-    Returns a new :class:`~repro.networks.hin.HIN` whose
+    Parameters
+    ----------
+    path:
+        A snapshot directory written by :func:`save_snapshot`.
+    mmap:
+        ``False`` (default) deserializes the payloads into process
+        memory and re-verifies the manifest's content hash — a
+        corrupted snapshot raises
+        :class:`~repro.exceptions.SnapshotError`.  ``True`` returns a
+        network whose matrices are zero-copy, read-only views mapped
+        straight over the payload files: nothing is deserialized, the
+        OS page cache shares one copy across every process mapping the
+        same snapshot, and startup is O(1) in the payload size.  The
+        content hash is **not** re-verified on this path (verification
+        reads every byte, which is exactly the cost being skipped);
+        mmap-load only snapshots you trust, e.g. ones this process
+        wrote.
+
+    Returns
+    -------
+    A new :class:`~repro.networks.hin.HIN` whose
     :attr:`~repro.networks.hin.HIN.version` is the snapshot's recorded
     epoch and whose shared engine already holds every materialization
-    the snapshot captured — the first query is a cache hit.  The
-    relation content is re-verified against the manifest's content hash;
-    a corrupted snapshot raises :class:`~repro.exceptions.SnapshotError`.
+    the snapshot captured — the first query is a cache hit.
+
+    Raises
+    ------
+    repro.exceptions.SnapshotError
+        On a missing/corrupt manifest, missing payloads, or (eager
+        path) payload bytes that fail hash verification.
     """
     manifest = _read_manifest(path)
     schema = NetworkSchema(
         manifest["node_types"],
         [(r["name"], r["source"], r["target"]) for r in manifest["relations"]],
     )
-    arrays = _load_npz(Path(path) / manifest["files"]["network"])
+    arrays = _load_npz(Path(path) / manifest["files"]["network"], mmap=mmap)
     matrices = {
         r["name"]: _csr_from(f"rel/{r['name']}", arrays, r["shape"])
         for r in manifest["relations"]
@@ -410,29 +477,50 @@ def load_snapshot(path) -> HIN:
         manifest["node_counts"],
         matrices,
         node_names=manifest["names"] or None,
+        # Snapshots hold canonical CSR; the mmap views are read-only and
+        # must not be re-normalized in place.
+        validate=not mmap,
     )
-    if network_fingerprint(hin) != manifest["content_hash"]:
+    if not mmap and network_fingerprint(hin) != manifest["content_hash"]:
         raise SnapshotError(
             f"snapshot at {path} failed content verification "
             f"(relation matrices do not match the manifest hash)"
         )
     hin._version = int(manifest["epoch"])
     engine = hin.engine()
-    engine.warm_entries(_load_entries(manifest, path))
+    engine.warm_entries(_load_entries(manifest, path, mmap=mmap))
     return hin
 
 
 def warm_from_snapshot(hin: HIN, path) -> int:
     """Install a snapshot's cached products into *hin*'s shared engine.
 
+    Parameters
+    ----------
+    hin:
+        The live network whose engine cache to warm.
+    path:
+        A snapshot directory written by :func:`save_snapshot`.
+
     The snapshot must describe **this** network at its **current**
     state: the schema hash, the update epoch, and the relation content
-    hash must all match, otherwise :class:`~repro.exceptions.SnapshotError`
-    is raised — a snapshot taken before the latest ``hin.apply()`` is
-    *stale* and will not be installed.  The checks and the install run
-    atomically under the engine's write lock, so an update landing
-    concurrently cannot slip between validation and installation.
-    Returns the number of cache entries installed.
+    hash must all match — a snapshot taken before the latest
+    ``hin.apply()`` is *stale* and will not be installed.  The checks
+    and the install run atomically under the engine's write lock, so an
+    update landing concurrently cannot slip between validation and
+    installation.
+
+    Returns
+    -------
+    The number of cache entries installed (0 for a cold snapshot —
+    valid, not an error).
+
+    Raises
+    ------
+    repro.exceptions.SnapshotError
+        On a missing/unreadable manifest (an empty cache directory
+        included), truncated payloads, or any schema/epoch/content
+        mismatch with the live network.
     """
     manifest = _read_manifest(path)
     if manifest["schema_hash"] != schema_fingerprint(hin.schema):

@@ -229,3 +229,73 @@ class TestRebuildEquivalence:
         for rel in ("writes", "published_in"):
             a, b = bib.relation_matrix(rel), rebuilt.relation_matrix(rel)
             assert a.shape == b.shape and (a != b).nnz == 0
+
+
+class TestCommitHooks:
+    def test_hook_runs_after_commit_with_the_receipt(self, bib):
+        seen = []
+
+        def hook(applied):
+            # The hook observes the committed state: version advanced,
+            # matrices swapped, receipt epoch matching.
+            seen.append((applied.epoch, bib.version, bib.total_links))
+
+        assert bib.add_commit_hook(hook) is hook
+        bib.apply(UpdateBatch().add_edges("writes", [(1, 0)]))
+        assert seen == [(1, 1, 7)]
+
+    def test_removed_hook_stops_firing(self, bib):
+        calls = []
+        hook = bib.add_commit_hook(lambda applied: calls.append(applied.epoch))
+        bib.apply(UpdateBatch().add_edges("writes", [(1, 0)]))
+        bib.remove_commit_hook(hook)
+        bib.remove_commit_hook(hook)  # no-op, not an error
+        bib.apply(UpdateBatch().add_edges("writes", [(0, 2)]))
+        assert calls == [1]
+
+    def test_raising_hook_propagates_but_update_stays_committed(self, bib):
+        def hook(applied):
+            raise RuntimeError("publish failed")
+
+        bib.add_commit_hook(hook)
+        with pytest.raises(RuntimeError, match="publish failed"):
+            bib.apply(UpdateBatch().add_edges("writes", [(1, 0)]))
+        assert bib.version == 1 and bib.total_links == 7
+
+    def test_hook_can_query_without_deadlock(self, bib):
+        # The hook runs outside the engine write lock, so read-locked
+        # queries from inside it must not deadlock.
+        answers = []
+        engine = bib.engine()
+        bib.add_commit_hook(
+            lambda applied: answers.append(
+                engine.pathsim_top_k("author-paper-author", 0, 2)
+            )
+        )
+        bib.apply(UpdateBatch().add_edges("writes", [(1, 0)]))
+        assert len(answers) == 1
+        assert answers[0].network_version == 1
+
+
+class TestTrustedConstruction:
+    def test_validate_false_adopts_arrays_without_writing(self, bib):
+        matrices = {
+            rel.name: bib.relation_matrix(rel.name) for rel in bib.schema.relations
+        }
+        for m in matrices.values():
+            for arr in (m.data, m.indices, m.indptr):
+                arr.flags.writeable = False
+        counts = {t: bib.node_count(t) for t in bib.schema.node_types}
+        trusted = HIN(bib.schema, counts, matrices, validate=False)
+        for rel in bib.schema.relations:
+            a, b = trusted.relation_matrix(rel.name), bib.relation_matrix(rel.name)
+            assert (a != b).nnz == 0
+        assert len(trusted.engine().pathsim_top_k("author-paper-author", 0, 2)) > 0
+
+    def test_validate_false_still_checks_shapes(self, bib):
+        from repro.exceptions import GraphError
+
+        matrices = {"writes": sp.csr_matrix((1, 1))}
+        counts = {t: bib.node_count(t) for t in bib.schema.node_types}
+        with pytest.raises(GraphError, match="shape"):
+            HIN(bib.schema, counts, matrices, validate=False)

@@ -1,0 +1,197 @@
+"""Multi-process cluster serving: identity, epochs, warm starts, lifecycle.
+
+The cluster forks real worker processes, so every test keeps the
+process count at two and the network tiny — the heavy-load story lives
+in benchmark E18.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NodeNotFoundError, SnapshotError
+from repro.networks import UpdateBatch
+from repro.serving import ClusterService, save_snapshot
+
+APA = "author-paper-author"
+APVPA = "author-paper-venue-paper-author"
+
+
+@pytest.fixture
+def cluster(small_bib):
+    small_bib.engine().prewarm([APA, APVPA])
+    with ClusterService(small_bib, processes=2) as service:
+        yield service
+
+
+class TestAnswers:
+    def test_matches_engine_bit_for_bit(self, small_bib, cluster):
+        engine = small_bib.engine()
+        for author in range(small_bib.node_count("author")):
+            expected = engine.pathsim_top_k(APVPA, author, 3)
+            got = cluster.similar(author, APVPA, 3).result(timeout=60)
+            assert list(got) == list(expected)
+            assert got.network_version == expected.network_version
+
+    def test_batched_requests_match_solo(self, small_bib, cluster):
+        engine = small_bib.engine()
+        futures = [
+            cluster.similar(a, APVPA, 3)
+            for a in range(small_bib.node_count("author"))
+            for _ in range(3)
+        ]
+        answers = [f.result(timeout=60) for f in futures]
+        for answer in answers:
+            assert list(answer) == list(engine.pathsim_top_k(APVPA, answer.query, 3))
+
+    def test_connected_and_rank_roundtrip(self, small_bib, cluster):
+        expected = small_bib.engine().top_k_connectivity("author-paper-venue", 0, 2)
+        got = cluster.connected(0, "author-paper-venue", 2).result(timeout=60)
+        assert list(got) == list(expected)
+        ranked = cluster.rank("venue", by="author").result(timeout=60)
+        assert list(ranked) == list(small_bib.query().rank("venue", by="author"))
+
+    def test_errors_arrive_through_the_future(self, cluster):
+        with pytest.raises(NodeNotFoundError):
+            cluster.similar("no-such-author", APVPA, 3).result(timeout=60)
+        # submit-time failures use the same channel
+        with pytest.raises(Exception):
+            cluster.similar(0, "author-paper-nonsense", 3).result(timeout=60)
+
+    def test_one_bad_request_does_not_poison_a_batch(self, small_bib, cluster):
+        good = [cluster.similar(a, APVPA, 3) for a in (0, 1, 2)]
+        bad = cluster.similar(10**6, APVPA, 3)
+        for future, author in zip(good, (0, 1, 2)):
+            assert list(future.result(timeout=60)) == list(
+                small_bib.engine().pathsim_top_k(APVPA, author, 3)
+            )
+        with pytest.raises(NodeNotFoundError):
+            bad.result(timeout=60)
+
+
+class TestUpdates:
+    def test_update_publishes_and_workers_swap(self, small_bib, cluster):
+        before = cluster.similar(0, APA, 3).result(timeout=60)
+        assert before.network_version == 0
+        small_bib.apply(UpdateBatch().add_edges("writes", [(0, 4), (1, 4)]))
+        assert cluster.generation == 1
+        after = cluster.similar(0, APA, 3).result(timeout=60)
+        assert after.network_version == 1
+        assert list(after) == list(small_bib.engine().pathsim_top_k(APA, 0, 3))
+
+    def test_multiple_epochs_with_generation_retirement(self, small_bib, cluster):
+        # keep_generations=2 by default: epoch 3 publishes while epochs
+        # 1-2's segments retire; workers must still land on the latest.
+        for _ in range(3):
+            small_bib.apply(UpdateBatch().add_edges("writes", [(2, 0)]))
+        answer = cluster.similar(2, APA, 3).result(timeout=60)
+        assert answer.network_version == 3
+        assert list(answer) == list(small_bib.engine().pathsim_top_k(APA, 2, 3))
+
+    def test_every_post_update_answer_is_at_the_new_epoch(self, small_bib, cluster):
+        # The epoch floor: a request submitted after hin.apply() returns
+        # must NEVER be answered from a pre-update generation, even when
+        # the request lands on a worker that has not swapped yet.
+        for expected_epoch in range(1, 4):
+            small_bib.apply(UpdateBatch().add_edges("writes", [(1, 0)]))
+            futures = [cluster.similar(a, APA, 3) for a in range(4)]
+            for future in futures:
+                assert future.result(timeout=60).network_version == expected_epoch
+
+    def test_post_update_submitters_do_not_coalesce_across_epochs(
+        self, small_bib, cluster
+    ):
+        # Epoch-prefixed keys: same request before and after an update
+        # must produce answers at their own epochs.
+        first = cluster.similar(0, APA, 3).result(timeout=60)
+        small_bib.apply(UpdateBatch().add_edges("writes", [(0, 4)]))
+        second = cluster.similar(0, APA, 3).result(timeout=60)
+        assert first.network_version == 0
+        assert second.network_version == 1
+
+
+class TestWarmStart:
+    def test_cold_start_from_snapshot(self, small_bib, tmp_path):
+        engine = small_bib.engine()
+        engine.prewarm([APA, APVPA])
+        expected = engine.pathsim_top_k(APVPA, 0, 3)
+        save_snapshot(small_bib, tmp_path / "snap")
+        with ClusterService(
+            warm_snapshot=tmp_path / "snap", processes=2
+        ) as service:
+            got = service.similar(0, APVPA, 3).result(timeout=60)
+            assert list(got) == list(expected)
+            # the mmap-attached parent still accepts updates
+            service.hin.apply(UpdateBatch().add_edges("writes", [(0, 4)]))
+            assert service.similar(0, APVPA, 3).result(
+                timeout=60
+            ).network_version == 1
+
+    def test_snapshot_plus_matching_live_hin(self, small_bib, tmp_path):
+        small_bib.engine().prewarm([APA])
+        save_snapshot(small_bib, tmp_path / "snap")
+        with ClusterService(
+            small_bib, warm_snapshot=tmp_path / "snap", processes=2
+        ) as service:
+            assert service.similar(0, APA, 3).result(timeout=60).network_version == 0
+
+    def test_stale_snapshot_for_live_hin_rejected(self, small_bib, tmp_path):
+        save_snapshot(small_bib, tmp_path / "snap")
+        small_bib.apply(UpdateBatch().add_edges("writes", [(0, 4)]))
+        with pytest.raises(SnapshotError, match="epoch"):
+            ClusterService(small_bib, warm_snapshot=tmp_path / "snap", processes=1)
+
+
+class TestLifecycle:
+    def test_requires_hin_or_snapshot(self):
+        with pytest.raises(ValueError):
+            ClusterService()
+
+    def test_rejects_bad_process_count(self, small_bib):
+        with pytest.raises(ValueError):
+            ClusterService(small_bib, processes=0)
+
+    def test_close_is_idempotent_and_unhooks(self, small_bib):
+        service = ClusterService(small_bib, processes=1)
+        service.close()
+        service.close()
+        # the commit hook is gone: updates no longer publish generations
+        generation = service.generation
+        small_bib.apply(UpdateBatch().add_edges("writes", [(0, 4)]))
+        assert service.generation == generation
+
+    def test_stats_report_cluster_counters(self, small_bib, cluster):
+        cluster.similar(0, APA, 3).result(timeout=60)
+        stats = cluster.stats()
+        assert stats["processes"] == 2
+        assert stats["jobs_dispatched"] >= 1
+        assert stats["generation"] == 0
+
+    def test_unpicklable_arguments_fail_fast_through_the_future(self, cluster):
+        # A lambda in the spec must surface as an immediate error on the
+        # future, not a job_timeout-long silent hang in the queue's
+        # feeder thread.
+        with pytest.raises(TypeError, match="picklable"):
+            cluster.rank("venue", by="author", method=lambda: None).result(timeout=60)
+
+    def test_failed_construction_cleans_up(self, small_bib, tmp_path):
+        # A stale warm_snapshot aborts __init__ — the generation
+        # directory and descriptor must not leak.
+        import pathlib
+        import tempfile
+
+        save_snapshot(small_bib, tmp_path / "snap")
+        small_bib.apply(UpdateBatch().add_edges("writes", [(0, 4)]))
+        before = set(pathlib.Path(tempfile.gettempdir()).glob("repro-cluster-*"))
+        with pytest.raises(SnapshotError):
+            ClusterService(small_bib, warm_snapshot=tmp_path / "snap", processes=1)
+        after = set(pathlib.Path(tempfile.gettempdir()).glob("repro-cluster-*"))
+        assert after == before
+
+    def test_prewarm_republishes(self, small_bib):
+        with ClusterService(small_bib, processes=1) as service:
+            generation = service.generation
+            service.prewarm(APA)
+            assert service.generation == generation + 1
+            answer = service.similar(0, APA, 3).result(timeout=60)
+            assert list(answer) == list(small_bib.engine().pathsim_top_k(APA, 0, 3))

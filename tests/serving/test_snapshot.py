@@ -156,6 +156,40 @@ class TestWarmFromSnapshot:
             warm_from_snapshot(b, tmp_path / "snap")
 
 
+class TestMmapLoad:
+    def test_mmap_load_serves_identical_answers(self, small_bib, tmp_path):
+        engine = _warm(small_bib)
+        save_snapshot(small_bib, tmp_path / "snap")
+        loaded = load_snapshot(tmp_path / "snap", mmap=True)
+        for author in range(small_bib.node_count("author")):
+            assert list(loaded.engine().pathsim_top_k(APVPA, author, 3)) == list(
+                engine.pathsim_top_k(APVPA, author, 3)
+            )
+
+    def test_mmap_load_is_warm_and_at_the_recorded_epoch(self, small_bib, tmp_path):
+        _warm(small_bib)
+        with small_bib.mutate() as m:
+            m.add_edges("writes", [(0, 3)])
+        save_snapshot(small_bib, tmp_path / "snap")
+        loaded = load_snapshot(tmp_path / "snap", mmap=True)
+        assert loaded.version == 1
+        engine = loaded.engine()
+        misses = engine.cache_info().misses
+        engine.pathsim_top_k(APA, 0, 2)
+        assert engine.cache_info().misses == misses
+
+    def test_mmap_loaded_network_accepts_updates(self, small_bib, tmp_path):
+        # Updates REPLACE matrices, so read-only mmap views are fine as
+        # the starting state of a live network.
+        _warm(small_bib)
+        save_snapshot(small_bib, tmp_path / "snap")
+        loaded = load_snapshot(tmp_path / "snap", mmap=True)
+        with loaded.mutate() as m:
+            m.add_edges("writes", [(0, 3)])
+        assert loaded.version == 1
+        assert len(loaded.engine().pathsim_top_k(APA, 0, 2)) > 0
+
+
 class TestVerification:
     def test_missing_manifest(self, tmp_path):
         with pytest.raises(SnapshotError, match="manifest"):
@@ -201,6 +235,48 @@ class TestVerification:
             np.savez(f, **arrays)
         with pytest.raises(SnapshotError, match="cache"):
             load_snapshot(tmp_path / "snap")
+
+    def test_truncated_network_payload_detected(self, small_bib, tmp_path):
+        # A payload cut off mid-write (partial copy, full disk) must
+        # fail loudly on load, never silently serve a partial network.
+        _warm(small_bib)
+        manifest = save_snapshot(small_bib, tmp_path / "snap")
+        payload = tmp_path / "snap" / manifest["files"]["network"]
+        data = payload.read_bytes()
+        payload.write_bytes(data[: len(data) // 2])
+        with pytest.raises(SnapshotError, match="truncated|corrupted|content"):
+            load_snapshot(tmp_path / "snap")
+
+    def test_truncated_cache_payload_detected(self, small_bib, tmp_path):
+        _warm(small_bib)
+        manifest = save_snapshot(small_bib, tmp_path / "snap")
+        payload = tmp_path / "snap" / manifest["files"]["cache"]
+        data = payload.read_bytes()
+        payload.write_bytes(data[: len(data) // 3])
+        with pytest.raises(SnapshotError, match="truncated|corrupted|cache"):
+            load_snapshot(tmp_path / "snap")
+
+    def test_payload_deleted_between_save_and_load(self, small_bib, tmp_path):
+        _warm(small_bib)
+        manifest = save_snapshot(small_bib, tmp_path / "snap")
+        (tmp_path / "snap" / manifest["files"]["cache"]).unlink()
+        with pytest.raises(SnapshotError, match="missing"):
+            load_snapshot(tmp_path / "snap")
+
+    def test_warm_from_snapshot_on_empty_directory(self, small_bib, tmp_path):
+        # A directory that exists but was never written to — the classic
+        # cold-start misconfiguration — must be a clean SnapshotError,
+        # not a stack trace from a missing key.
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(SnapshotError, match="manifest"):
+            warm_from_snapshot(small_bib, tmp_path / "empty")
+
+    def test_warm_from_snapshot_with_empty_cache_payload(self, small_bib, tmp_path):
+        # A snapshot of a cold engine installs zero entries — valid, not
+        # an error — and the live engine keeps serving.
+        save_snapshot(small_bib, tmp_path / "snap")
+        assert warm_from_snapshot(small_bib, tmp_path / "snap") == 0
+        assert len(small_bib.engine().pathsim_top_k(APA, 0, 2)) > 0
 
     def test_resave_in_place_is_cleaned_and_loadable(self, small_bib, tmp_path):
         # Overwriting a snapshot after updates leaves exactly one

@@ -19,6 +19,7 @@ SCRIPTED = [
     "network_olap.py",
     "streaming_updates.py",
     "concurrent_serving.py",
+    "cluster_serving.py",
 ]
 
 
