@@ -1,0 +1,137 @@
+"""E19 — cost-based association planning vs left-to-right materialization.
+
+The planner acceptance benchmark: materialize a long *asymmetric* meta
+path, ``author-paper-venue-paper-author-paper-term``, two ways on the
+same DBLP-shaped network:
+
+* **left** — strict left-to-right folding, the historical evaluation
+  order.  The author-paper products come first and every intermediate
+  is an author×… matrix that densifies as the chain grows;
+* **auto** — the matrix-chain DP over incrementally maintained relation
+  statistics, which routes the product through the 20-row venue type
+  so the expensive factors meet a tiny bottleneck first.
+
+Acceptance: the planned order is >= 2x faster with the *bit-identical*
+result matrix (association never changes the product — link weights are
+integer counts, so not even floating-point association error appears),
+and single-source top-k connectivity answers match exactly.  The
+machine-readable result lands in ``BENCH_e19.json`` for the
+perf-regression CI job; wall-clock is advisory there, bit-identity is
+the mandatory gate.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import format_table, record_table
+from repro.datasets import make_dblp_four_area
+from repro.engine import MetaPathEngine
+
+LONG_PATH = "author-paper-venue-paper-author-paper-term"
+K = 10
+SOURCES = range(0, 800, 50)
+
+
+def _make_network():
+    dblp = make_dblp_four_area(
+        authors_per_area=200,
+        papers_per_area=1800,
+        terms_per_area=150,
+        shared_terms=100,
+        seed=7,
+    )
+    return dblp.hin
+
+
+def _experiment():
+    hin = _make_network()
+
+    left = MetaPathEngine(hin, plan="left")
+    start = time.perf_counter()
+    m_left = left.commuting_matrix(LONG_PATH)
+    left_s = time.perf_counter() - start
+
+    auto = MetaPathEngine(hin, plan="auto")
+    report = auto.explain(LONG_PATH)
+    start = time.perf_counter()
+    m_auto = auto.commuting_matrix(LONG_PATH)
+    auto_s = time.perf_counter() - start
+
+    identical = m_left.shape == m_auto.shape and (m_left != m_auto).nnz == 0
+
+    # Single-source serving parity: the top-k cut through the planner's
+    # row chain must return exactly what the full left product slices to.
+    topk_identical = all(
+        list(auto.top_k_connectivity(LONG_PATH, s, K))
+        == list(left.top_k_connectivity(LONG_PATH, s, K))
+        for s in SOURCES
+    )
+
+    return {
+        "total_links": hin.total_links,
+        "left_s": left_s,
+        "auto_s": auto_s,
+        "speedup": left_s / auto_s,
+        "identical": identical,
+        "topk_identical": topk_identical,
+        "association": report.association,
+        "est_speedup": report.estimated_speedup,
+        "planner_info": auto.planner_info(),
+        "result_nnz": int(m_auto.nnz),
+    }
+
+
+@pytest.mark.benchmark(group="e19-planner")
+def test_e19_planned_association_speedup(benchmark):
+    # One untimed warm-up round so the timed pass compares association
+    # orders, not the allocator's first touch of large sparse arenas.
+    r = benchmark.pedantic(_experiment, rounds=1, iterations=1, warmup_rounds=1)
+    record_table(
+        "e19_query_planner",
+        format_table(
+            ["evaluation order", "total s"],
+            [
+                ["left-to-right folding", r["left_s"]],
+                [f"planned: {r['association']}", r["auto_s"]],
+                [
+                    f"speedup: {r['speedup']:.1f}x measured "
+                    f"({r['est_speedup']:.1f}x estimated) on "
+                    f"{r['total_links']} links, bit-identical="
+                    f"{r['identical']}",
+                    "",
+                ],
+            ],
+            title=f"E19: cold materialization of {LONG_PATH}",
+        ),
+    )
+    benchmark.extra_info["speedup"] = r["speedup"]
+    (Path(__file__).resolve().parent.parent / "BENCH_e19.json").write_text(
+        json.dumps(
+            {
+                "speedup": r["speedup"],
+                # planner-on wall-clock as a fraction of planner-off:
+                # the number the CI job tracks release over release.
+                "planner_on_ratio": r["auto_s"] / r["left_s"],
+                "identical": bool(r["identical"] and r["topk_identical"]),
+                "association": r["association"],
+                "estimated_speedup": r["est_speedup"],
+                "left_s": r["left_s"],
+                "auto_s": r["auto_s"],
+                "result_nnz": r["result_nnz"],
+                "total_links": r["total_links"],
+                "planner_info": r["planner_info"],
+            },
+            indent=2,
+        )
+    )
+
+    assert r["identical"], "planned product diverged from left-to-right"
+    assert r["topk_identical"], "planned top-k diverged from left-to-right"
+    assert r["speedup"] >= 2.0, (
+        f"planner speedup {r['speedup']:.2f}x < 2x on {LONG_PATH}"
+    )

@@ -8,6 +8,13 @@ See :mod:`repro.engine.engine` for the design and
 """
 
 from repro.engine.engine import MetaPathEngine
+from repro.engine.planner import ChainPlan, ChainPlanner, PlanReport
 from repro.engine.topk import top_k_indices
 
-__all__ = ["MetaPathEngine", "top_k_indices"]
+__all__ = [
+    "MetaPathEngine",
+    "ChainPlanner",
+    "ChainPlan",
+    "PlanReport",
+    "top_k_indices",
+]

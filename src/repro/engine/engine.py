@@ -26,7 +26,14 @@ The engine fixes this with four ideas:
    through the step matrices for asymmetric paths), normalized, and the
    top-k selected with a partition (:func:`repro.engine.topk.top_k_indices`)
    instead of a full sort.  Batched queries slice a block of rows at once.
-4. **Incremental maintenance.**  When the network mutates
+4. **Cost-based association planning.**  Chain products are evaluated
+   in the association order a matrix-chain DP picks from per-relation
+   statistics (:mod:`repro.engine.planner`), seeded from cached
+   prefixes, suffixes, infixes and reversed-path (transpose) entries —
+   association never changes the answer, only the cost.  The ``plan=``
+   knob (engine-wide or per call) selects ``"auto"`` (default) or
+   ``"left"`` (the historical strict left-to-right order).
+5. **Incremental maintenance.**  When the network mutates
    (``hin.apply()``/``hin.mutate()``), the update receipt reaches
    :meth:`MetaPathEngine.apply_update`, which patches every cached
    product with a *delta product* (cost scales with the update, not the
@@ -48,6 +55,7 @@ from collections.abc import Sequence
 import numpy as np
 import scipy.sparse as sp
 
+from repro.engine.planner import ChainPlanner, PlanReport
 from repro.exceptions import MetaPathError, NodeNotFoundError
 from repro.networks.schema import MetaPath
 from repro.networks.updates import AppliedUpdate, pad_csr
@@ -120,6 +128,15 @@ class MetaPathEngine:
         ``delta.nnz / new.nnz`` exceeds this fraction for a relation, the
         engine evicts the cached products that traverse it (they rebuild
         lazily) instead of computing a delta denser than a rebuild.
+    plan:
+        Default association-order policy for chain products: ``"auto"``
+        routes materializations through the cost-based planner
+        (:mod:`repro.engine.planner`); ``"left"`` preserves the
+        historical strict left-to-right order.  Either can be
+        overridden per call via the ``plan=`` keyword on
+        :meth:`commuting_matrix`, :meth:`pathsim_top_k` (and batch),
+        and the connectivity entry points.  Answers are identical
+        either way; only the evaluation cost differs.
 
     Example
     -------
@@ -135,11 +152,16 @@ class MetaPathEngine:
         *,
         max_cached_matrices: int = 64,
         delta_rebuild_threshold: float = 0.25,
+        plan: str = "auto",
     ):
         self.hin = hin
         self._cache = LRUCache(max_cached_matrices)
         self._rwlock = RWLock()
         self.delta_rebuild_threshold = float(delta_rebuild_threshold)
+        if plan not in ("auto", "left"):
+            raise ValueError(f"plan must be 'auto' or 'left', got {plan!r}")
+        self.plan_mode = plan
+        self._planner = ChainPlanner(self)
         # The network version this engine's cache describes.  Kept in
         # lock-step by apply_update(); _sync() handles engines that missed
         # an epoch (detached engines, or matrices replaced behind our back).
@@ -261,14 +283,30 @@ class MetaPathEngine:
             self._cache.put(key, cached)
         return cached
 
+    def _plan_mode(self, plan) -> str:
+        """Resolve a per-call ``plan=`` override against the engine default."""
+        mode = self.plan_mode if plan is None else plan
+        if mode not in ("auto", "left"):
+            raise ValueError(f"plan must be 'auto' or 'left', got {mode!r}")
+        return mode
+
+    def _product_for(self, steps: tuple, mode: str) -> sp.csr_matrix:
+        """Cached chain product over *steps* under association *mode*."""
+        if mode == "left":
+            return self._product(steps)
+        return self._planner.materialize(steps)
+
     @_reader
-    def commuting_matrix(self, path) -> sp.csr_matrix:
+    def commuting_matrix(self, path, *, plan: str | None = None) -> sp.csr_matrix:
         """The commuting matrix ``M_P``, materialized once and cached.
 
         Symmetric paths are built as ``W W^T`` from the cached half
-        product; asymmetric paths as the cached left-to-right product.
+        product; asymmetric paths as the cached chain product in the
+        association order *plan* selects (``"auto"``/``"left"``,
+        default the engine's :attr:`plan_mode`).
         """
         self._sync()
+        mode = self._plan_mode(plan)
         mp = self.path(path)
         steps = tuple(mp.steps())
         key = ("product", mp.canonical_key())
@@ -276,10 +314,10 @@ class MetaPathEngine:
         if cached is not None:
             return cached
         if mp.is_symmetric():
-            w = self._product(steps[: len(steps) // 2])
+            w = self._product_for(steps[: len(steps) // 2], mode)
             m = _canonical(w.dot(w.T).tocsr())
         else:
-            m = self._product(steps)
+            m = self._product_for(steps, mode)
         self._cache.put(key, m)
         return m
 
@@ -294,18 +332,24 @@ class MetaPathEngine:
         """
         return self.hin.matrix_between(source, target)
 
-    def _pathsim_parts(self, path):
+    def _pathsim_parts(self, path, plan: str | None = None):
         """``(W, diag)`` for a symmetric path: the half product and the
         commuting matrix's diagonal (row-wise squared norms of ``W``) —
-        all a PathSim query needs."""
+        all a PathSim query needs.
+
+        Under ``plan="auto"`` the half product goes through the chain
+        planner, which also fixes the historical silent miss for
+        *reversed* spellings: a cached ``A-P-V`` product answers the
+        ``V-P-A`` half as its transpose instead of recomputing."""
         self._sync()
+        mode = self._plan_mode(plan)
         mp = self.symmetric_path(path)
         key = ("pathsim", mp.canonical_key())
 
         def compute():
             """Materialize the half product and its row-norm diagonal."""
             steps = tuple(mp.steps())
-            w = self._product(steps[: len(steps) // 2]).tocsr()
+            w = self._product_for(steps[: len(steps) // 2], mode).tocsr()
             diag = np.asarray(w.multiply(w).sum(axis=1)).ravel()
             return w, diag
 
@@ -321,14 +365,14 @@ class MetaPathEngine:
         return out
 
     @_reader
-    def prewarm(self, paths: Sequence) -> "MetaPathEngine":
+    def prewarm(self, paths: Sequence, *, plan: str | None = None) -> "MetaPathEngine":
         """Materialize *paths* up front (symmetric ones as PathSim parts)."""
         for spec in paths:
             mp = self.path(spec)
             if mp.is_symmetric():
-                self._pathsim_parts(mp)
+                self._pathsim_parts(mp, plan)
             else:
-                self.commuting_matrix(mp)
+                self.commuting_matrix(mp, plan=plan)
         return self
 
     # ------------------------------------------------------------------
@@ -348,14 +392,14 @@ class MetaPathEngine:
         return float(2.0 * m_ij / denom)
 
     @_reader
-    def pathsim_row(self, path, query) -> np.ndarray:
+    def pathsim_row(self, path, query, *, plan: str | None = None) -> np.ndarray:
         """Dense PathSim scores from *query* to every peer.
 
         Exploits symmetry: ``M[i, :] = W (W[i, :])^T``, one CSR
         matrix-vector product — the full n x n matrix is never formed.
         """
         mp = self.symmetric_path(path)
-        w, diag = self._pathsim_parts(mp)
+        w, diag = self._pathsim_parts(mp, plan)
         i = self._resolve(mp.source_type, query)
         row = w.dot(self._dense_row(w, i))
         denom = diag[i] + diag
@@ -367,11 +411,11 @@ class MetaPathEngine:
         )
 
     @_reader
-    def pathsim_rows(self, path, queries) -> np.ndarray:
+    def pathsim_rows(self, path, queries, *, plan: str | None = None) -> np.ndarray:
         """Batched :meth:`pathsim_row`: one ``(len(queries), n)`` score
         block from a single sparse-times-dense block product."""
         mp = self.symmetric_path(path)
-        w, diag = self._pathsim_parts(mp)
+        w, diag = self._pathsim_parts(mp, plan)
         idx = np.array([self._resolve(mp.source_type, q) for q in queries])
         if idx.size == 0:
             return np.zeros((0, w.shape[0]))
@@ -399,7 +443,8 @@ class MetaPathEngine:
 
     @_reader
     def pathsim_top_k(
-        self, path, query, k: int, *, exclude_query: bool = True
+        self, path, query, k: int, *, exclude_query: bool = True,
+        plan: str | None = None,
     ) -> TopKResult:
         """Top-*k* peers of *query* under *path*: a
         :class:`~repro.query.results.TopKResult` of ``(name, score)``
@@ -407,26 +452,36 @@ class MetaPathEngine:
 
         Results (including tie-breaking) are identical to ranking the full
         dense PathSim row with a stable sort; only the work differs.
+        ``plan`` picks the association order for the materialization
+        (the answer is the same either way; see :attr:`plan_mode`).
         """
         if k < 0:
             raise ValueError(f"k must be >= 0, got {k}")
+        mode = self._plan_mode(plan)
         mp = self.symmetric_path(path)
         i = self._resolve(mp.source_type, query)
-        scores = self.pathsim_row(mp, i)
-        return self._select(scores, mp, mp.source_type, i, k, exclude_query, "pathsim")
+        scores = self.pathsim_row(mp, i, plan=mode)
+        return self._select(
+            scores, mp, mp.source_type, i, k, exclude_query, "pathsim", plan=mode
+        )
 
     @_reader
     def pathsim_top_k_batch(
-        self, path, queries, k: int, *, exclude_query: bool = True
+        self, path, queries, k: int, *, exclude_query: bool = True,
+        plan: str | None = None,
     ) -> list[TopKResult]:
         """:meth:`pathsim_top_k` for many queries with one block product."""
         if k < 0:
             raise ValueError(f"k must be >= 0, got {k}")
+        mode = self._plan_mode(plan)
         mp = self.symmetric_path(path)
         idx = [self._resolve(mp.source_type, q) for q in queries]
-        block = self.pathsim_rows(mp, idx)
+        block = self.pathsim_rows(mp, idx, plan=mode)
         return [
-            self._select(block[row], mp, mp.source_type, i, k, exclude_query, "pathsim")
+            self._select(
+                block[row], mp, mp.source_type, i, k, exclude_query, "pathsim",
+                plan=mode,
+            )
             for row, i in enumerate(idx)
         ]
 
@@ -439,6 +494,7 @@ class MetaPathEngine:
         k: int,
         exclude: bool,
         measure: str,
+        plan: str | None = None,
     ) -> TopKResult:
         need = k + 1 if exclude else k
         order = top_k_indices(scores, min(need, scores.size))
@@ -454,20 +510,25 @@ class MetaPathEngine:
             path=str(mp),
             measure=measure,
             network_version=getattr(self.hin, "version", None),
+            plan=plan,
         )
 
     # ------------------------------------------------------------------
     # Connectivity (path count) serving — works for asymmetric paths too
     # ------------------------------------------------------------------
     @_reader
-    def connectivity_row(self, path, query) -> np.ndarray:
+    def connectivity_row(self, path, query, *, plan: str | None = None) -> np.ndarray:
         """Path-instance counts from *query* to every target-type object.
 
         Slices the cached commuting matrix when available; otherwise
-        threads one sparse row through the step matrices, which costs a
-        vector-matrix product per step instead of materializing ``M_P``.
+        threads one sparse row through the step matrices — the top-k
+        cut pushed into the product: only the query's candidate row is
+        ever computed, never the full ``M_P``.  Under ``plan="auto"``
+        the threading chain reuses the longest cached subchain (forward
+        or reversed spelling) at each position instead of raw steps.
         """
         self._sync()
+        mode = self._plan_mode(plan)
         mp = self.path(path)
         i = self._resolve(mp.source_type, query)
         key = mp.canonical_key()
@@ -481,14 +542,19 @@ class MetaPathEngine:
             # A PathSim-warmed symmetric path: M[i, :] = W (W[i, :])^T.
             w, _ = pathsim
             return w.dot(self._dense_row(w, i))
+        if mode == "auto":
+            mats = self._planner.row_chain(tuple(mp.steps()))
+        else:
+            mats = self.hin.step_matrices(mp)
         row = None
-        for m in self.hin.step_matrices(mp):
+        for m in mats:
             row = m.getrow(i) if row is None else row.dot(m)
         return np.asarray(row.todense()).ravel()
 
     @_reader
     def top_k_connectivity(
-        self, path, query, k: int, *, exclude_query: bool = False
+        self, path, query, k: int, *, exclude_query: bool = False,
+        plan: str | None = None,
     ) -> TopKResult:
         """Top-*k* target objects by path-instance count from *query*.
 
@@ -497,6 +563,7 @@ class MetaPathEngine:
         """
         if k < 0:
             raise ValueError(f"k must be >= 0, got {k}")
+        mode = self._plan_mode(plan)
         mp = self.path(path)
         i = self._resolve(mp.source_type, query)
         if exclude_query and mp.source_type != mp.target_type:
@@ -504,9 +571,10 @@ class MetaPathEngine:
                 f"exclude_query needs a round-trip path, got "
                 f"{mp.source_type!r} -> {mp.target_type!r}"
             )
-        scores = self.connectivity_row(mp, i)
+        scores = self.connectivity_row(mp, i, plan=mode)
         return self._select(
-            scores, mp, mp.target_type, i, k, exclude_query, "connectivity"
+            scores, mp, mp.target_type, i, k, exclude_query, "connectivity",
+            plan=mode,
         )
 
     # ------------------------------------------------------------------
@@ -933,6 +1001,40 @@ class MetaPathEngine:
     def cache_info(self) -> CacheInfo:
         """Hit/miss/eviction counters and occupancy of the matrix cache."""
         return self._cache.info()
+
+    @_reader
+    def explain(self, path, *, plan: str | None = None) -> PlanReport:
+        """The association plan a materialization of *path* would use.
+
+        Returns a :class:`~repro.engine.planner.PlanReport` — the chosen
+        association string (cached seeds bracketed, ``~`` marking a
+        transpose of a reversed-path entry), the cost model's flop
+        estimates for the plan vs strict left-to-right evaluation, and
+        the seeds it would consume.  Nothing is materialized or cached;
+        only counter-free peeks touch the cache.
+
+        Symmetric paths report the plan for the half product ``W`` (the
+        engine builds ``M = W W^T`` from it); asymmetric paths report
+        the full chain.
+        """
+        self._sync()
+        mode = self._plan_mode(plan)
+        mp = self.path(path)
+        steps = tuple(mp.steps())
+        symmetric = mp.is_symmetric()
+        if symmetric:
+            steps = steps[: len(steps) // 2]
+        return self._planner.report(
+            steps, mode=mode, path=str(mp), symmetric=symmetric
+        )
+
+    def planner_info(self) -> dict:
+        """Planner counters: plans built, products planned, and seed
+        reuse broken down by kind (prefix/suffix/infix/full, inverse),
+        plus the engine's default :attr:`plan_mode`."""
+        info = dict(self._planner.counters)
+        info["mode"] = self.plan_mode
+        return info
 
     @_writer
     def clear_cache(self) -> None:

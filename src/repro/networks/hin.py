@@ -159,6 +159,7 @@ class HIN:
         self._transposes: dict[str, sp.csr_matrix] = {}
         self._engine = None
         self._query_session = None
+        self._stats = None
         self._version = 0
         # Guards lazy creation of the shared engine/session only; the
         # engine's own read-write lock covers queries vs. updates.
@@ -320,6 +321,24 @@ class HIN:
             cached = m.T.tocsr()
             self._transposes[name] = cached
         return cached
+
+    def relation_stats(self):
+        """Per-relation :class:`~repro.networks.stats.NetworkStats`.
+
+        Built lazily on first use and then maintained incrementally:
+        every committed update batch refreshes exactly the relations it
+        touched (see :meth:`repro.networks.stats.NetworkStats.apply_update`).
+        The engine's chain planner reads these to cost association
+        orders; an epoch mismatch (stats created before a snapshot
+        restore replaced matrices wholesale) falls back to a full scan.
+        """
+        from repro.networks.stats import NetworkStats
+
+        stats = self._stats
+        if stats is None or stats.epoch != self._version:
+            stats = NetworkStats.from_hin(self)
+            self._stats = stats
+        return stats
 
     def matrix_between(self, source: str, target: str) -> sp.csr_matrix:
         """Matrix of the unique relation joining *source* and *target*,
@@ -608,6 +627,8 @@ class HIN:
             node_growth=growth,
             resized=resized,
         )
+        if self._stats is not None:
+            self._stats.apply_update(applied, self)
         if self._engine is not None:
             self._engine.apply_update(applied)
         return applied

@@ -81,6 +81,12 @@ class TopKResult(QueryResult, list):
         The network's update epoch (``hin.version``) this answer was
         computed against — how a serving layer tells a pre-update answer
         from a post-update one (``None`` when unknown).
+    plan:
+        Association-order policy the engine used to materialize the
+        answer (``"auto"``/``"left"``; ``None`` when the producing
+        measure has no planned materialization).  Purely informational:
+        plans never change scores, only evaluation cost — see
+        ``engine.explain()`` for the full plan.
     """
 
     def __init__(
@@ -92,6 +98,7 @@ class TopKResult(QueryResult, list):
         path: str | None = None,
         measure: str | None = None,
         network_version: int | None = None,
+        plan: str | None = None,
     ):
         list.__init__(self, pairs)
         self.node_type = node_type
@@ -99,6 +106,7 @@ class TopKResult(QueryResult, list):
         self.path = path
         self.measure = measure
         self.network_version = network_version
+        self.plan = plan
 
     def top(self, n: int) -> list[tuple]:
         """The first *n* ``(label, score)`` pairs."""
@@ -115,7 +123,7 @@ class TopKResult(QueryResult, list):
         return np.array([score for _, score in self], dtype=np.float64)
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "kind": "topk",
             "measure": self.measure,
             "path": self.path,
@@ -127,6 +135,9 @@ class TopKResult(QueryResult, list):
                 for label, score in self
             ],
         }
+        if self.plan is not None:
+            out["plan"] = self.plan
+        return out
 
     def __repr__(self) -> str:
         head = ", ".join(f"({label!r}, {score:.4g})" for label, score in self[:3])

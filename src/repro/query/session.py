@@ -92,6 +92,17 @@ class QuerySession:
         """Hit/miss/eviction counters of the shared materialization cache."""
         return self._engine.cache_info()
 
+    def explain(self, path, *, plan: str | None = None):
+        """Association plan a materialization of *path* would use.
+
+        A :class:`~repro.engine.planner.PlanReport`: the chosen
+        association order, flop estimates vs strict left-to-right
+        evaluation, and the cached seeds the plan would reuse.  Nothing
+        is materialized.  See ``docs/ARCHITECTURE.md`` → "Query
+        planning".
+        """
+        return self._engine.explain(self.path(path), plan=plan)
+
     # ------------------------------------------------------------------
     # Similarity queries
     # ------------------------------------------------------------------
@@ -103,6 +114,7 @@ class QuerySession:
         *,
         measure: str = "pathsim",
         exclude_self: bool = True,
+        plan: str | None = None,
     ) -> TopKResult:
         """Top-*k* peers of *obj* under *path*.
 
@@ -110,11 +122,13 @@ class QuerySession:
         symmetric decomposition; ``measure="simrank"`` projects the
         round-trip path to a homogeneous graph, fits one SimRank index
         per path (default parameters, memoized in a small session LRU),
-        and answers from its matrix.
+        and answers from its matrix.  ``plan`` overrides the engine's
+        association-order policy for this call (``"auto"``/``"left"``;
+        pathsim only — scores are identical either way).
         """
         if measure == "pathsim":
             return self._engine.pathsim_top_k(
-                self.path(path), obj, k, exclude_query=exclude_self
+                self.path(path), obj, k, exclude_query=exclude_self, plan=plan
             )
         if measure == "simrank":
             return self._simrank_top_k(obj, path, k, exclude_self=exclude_self)
@@ -123,11 +137,12 @@ class QuerySession:
         )
 
     def similar_batch(
-        self, objs, path, k: int = 10, *, exclude_self: bool = True
+        self, objs, path, k: int = 10, *, exclude_self: bool = True,
+        plan: str | None = None,
     ) -> list[TopKResult]:
         """:meth:`similar` for many queries via one block product."""
         return self._engine.pathsim_top_k_batch(
-            self.path(path), objs, k, exclude_query=exclude_self
+            self.path(path), objs, k, exclude_query=exclude_self, plan=plan
         )
 
     def similarity(self, x, y, path) -> float:
@@ -139,12 +154,13 @@ class QuerySession:
         return self._engine.pathsim_matrix(self.path(path))
 
     def connected(
-        self, obj, path, k: int = 10, *, exclude_self: bool = False
+        self, obj, path, k: int = 10, *, exclude_self: bool = False,
+        plan: str | None = None,
     ) -> TopKResult:
         """Top-*k* target objects by path-instance count from *obj*
         (works for asymmetric paths; the raw-connectivity query)."""
         return self._engine.top_k_connectivity(
-            self.path(path), obj, k, exclude_query=exclude_self
+            self.path(path), obj, k, exclude_query=exclude_self, plan=plan
         )
 
     def _simrank_top_k(

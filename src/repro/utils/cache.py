@@ -105,6 +105,25 @@ class LRUCache:
             self.hits += 1
             return value
 
+    def get_first(self, keys, default=None):
+        """First present entry among *keys* as a ``(key, value)`` pair.
+
+        One *compound* lookup for callers with several acceptable
+        spellings of an entry — the engine's planner probes a product
+        key and its inverse (reversed-path) key as one logical access.
+        Exactly one hit is counted when any key is present (and only
+        that entry's recency refreshes); one miss when none is.
+        Returns ``(None, default)`` on a miss.
+        """
+        with self._mutex:
+            for key in keys:
+                if key in self._data:
+                    self._data.move_to_end(key)
+                    self.hits += 1
+                    return key, self._data[key]
+            self.misses += 1
+            return None, default
+
     def put(self, key: Hashable, value) -> None:
         """Insert or refresh *key*, evicting the LRU entry when full."""
         removed = []

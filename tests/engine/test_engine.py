@@ -58,6 +58,30 @@ class TestLRUCache:
         assert c.get_or_compute("k", lambda: calls.append(1) or 42) == 42
         assert len(calls) == 1
 
+    def test_get_first_returns_first_present_key(self):
+        c = LRUCache(maxsize=4)
+        c.put("b", 2)
+        c.put("c", 3)
+        assert c.get_first(("a", "b", "c")) == ("b", 2)
+
+    def test_get_first_counts_one_probe(self):
+        # A multi-key probe is one lookup: one hit on success, one miss
+        # on total failure — never a miss per absent candidate.
+        c = LRUCache(maxsize=4)
+        c.put("b", 2)
+        c.get_first(("a", "b"))
+        assert (c.hits, c.misses) == (1, 0)
+        assert c.get_first(("x", "y"), "dflt") == (None, "dflt")
+        assert (c.hits, c.misses) == (1, 1)
+
+    def test_get_first_refreshes_recency(self):
+        c = LRUCache(maxsize=2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.get_first(("missing", "a"))  # refresh a; b becomes LRU
+        c.put("c", 3)
+        assert "a" in c and "b" not in c
+
     def test_keys_snapshot_in_lru_order(self):
         c = LRUCache(maxsize=4)
         c.put("a", 1)

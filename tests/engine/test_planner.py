@@ -1,0 +1,321 @@
+"""Cost-based chain planner: parity, seeds, eviction safety, explain.
+
+Association order never changes an answer — every test here pins the
+planner's output bit-for-bit against strict left-to-right evaluation —
+so what's actually under test is the reuse machinery: prefix/suffix/
+infix seeds, reversed-path (transpose) seeds, eviction robustness, and
+the observability surface (``explain()``, ``planner_info()``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_dblp_four_area
+from repro.engine import MetaPathEngine, PlanReport
+from repro.engine.planner import _combine, _flops, _inverse_steps
+from repro.networks.stats import NetworkStats, RelationStats
+
+APV = "author-paper-venue"
+VPA = "venue-paper-author"
+APVPA = "author-paper-venue-paper-author"
+VPAPV = "venue-paper-author-paper-venue"
+LONG = "author-paper-venue-paper-author-paper-term"
+
+
+@pytest.fixture(scope="module")
+def dblp():
+    return make_dblp_four_area(
+        authors_per_area=30, papers_per_area=60, terms_per_area=20,
+        shared_terms=10, seed=3,
+    )
+
+
+def _same(a, b):
+    assert a.shape == b.shape
+    assert (a != b).nnz == 0
+
+
+class TestCostModel:
+    def test_flops_is_nnz_times_avg_row(self):
+        # 10 nnz in A, B has 100 nnz over 20 rows -> 5 per row.
+        assert _flops((4, 20, 10), (20, 7, 100)) == 50.0
+
+    def test_flops_zero_for_empty_operand(self):
+        assert _flops((4, 20, 0), (20, 7, 100)) == 0.0
+        assert _flops((4, 20, 10), (20, 7, 0)) == 0.0
+
+    def test_combine_bounded_by_dense_and_flops(self):
+        rows, cols, nnz = _combine((4, 20, 10), (20, 7, 100))
+        assert (rows, cols) == (4, 7)
+        assert 0 < nnz <= min(50.0, 4 * 7)
+
+    def test_inverse_steps_round_trips(self):
+        names = (("writes", True), ("published_in", True), ("writes", False))
+        assert _inverse_steps(_inverse_steps(names)) == names
+
+
+class TestRelationStats:
+    def test_from_matrix_counts(self, small_bib):
+        m = small_bib.relation_matrix("writes")
+        s = RelationStats.from_matrix(m)
+        assert (s.rows, s.cols) == m.shape
+        assert s.nnz == m.nnz
+        assert s.used_rows == int(np.count_nonzero(np.diff(m.indptr)))
+        assert s.used_cols == len(np.unique(m.indices))
+        assert s.max_row_degree == int(np.diff(m.indptr).max())
+
+    def test_oriented_swaps_everything(self, small_bib):
+        s = RelationStats.from_matrix(small_bib.relation_matrix("writes"))
+        t = s.oriented(False)
+        assert (t.rows, t.cols) == (s.cols, s.rows)
+        assert (t.used_rows, t.used_cols) == (s.used_cols, s.used_rows)
+        assert t.oriented(False) == s.oriented(True) == s
+
+    def test_network_stats_lazy_and_memoized(self, small_bib):
+        stats = small_bib.relation_stats()
+        assert stats is small_bib.relation_stats()
+        assert stats.epoch == small_bib.version
+
+    def test_stats_refresh_incrementally_on_apply(self, small_bib):
+        from repro.networks import UpdateBatch
+
+        stats = small_bib.relation_stats()
+        before = stats.relation("writes")
+        small_bib.apply(UpdateBatch().add_edges("writes", [(0, 4), (3, 0)]))
+        # same container, refreshed in place by the commit hook
+        assert small_bib.relation_stats() is stats
+        assert stats.epoch == small_bib.version
+        fresh = NetworkStats.from_hin(small_bib)
+        for rel in small_bib.schema.relations:
+            assert stats.relation(rel.name) == fresh.relation(rel.name)
+        assert stats.relation("writes") != before
+
+    def test_node_growth_pads_without_rescan(self, small_bib):
+        from repro.networks import UpdateBatch
+
+        stats = small_bib.relation_stats()
+        nnz = stats.relation("published_in").nnz
+        small_bib.apply(UpdateBatch().add_nodes("venue", ["vldb"]))
+        s = stats.relation("published_in")
+        assert s.cols == small_bib.node_count("venue")
+        assert s.nnz == nnz
+
+
+class TestParity:
+    PATHS = [APV, VPA, APVPA, LONG, "term-paper-venue", "venue-paper-term"]
+
+    def test_commuting_matrix_bit_identical(self, dblp):
+        auto = dblp.hin.engine(plan="auto")
+        left = dblp.hin.engine(plan="left")
+        for path in self.PATHS:
+            _same(auto.commuting_matrix(path), left.commuting_matrix(path))
+
+    def test_pathsim_top_k_identical(self, dblp):
+        auto = dblp.hin.engine(plan="auto")
+        left = dblp.hin.engine(plan="left")
+        for a in range(0, 120, 17):
+            assert list(auto.pathsim_top_k(APVPA, a, 5)) == list(
+                left.pathsim_top_k(APVPA, a, 5)
+            )
+
+    def test_connectivity_identical(self, dblp):
+        auto = dblp.hin.engine(plan="auto")
+        left = dblp.hin.engine(plan="left")
+        for a in range(0, 120, 29):
+            assert list(auto.top_k_connectivity(LONG, a, 5)) == list(
+                left.top_k_connectivity(LONG, a, 5)
+            )
+
+    def test_per_call_override_matches_engine_mode(self, small_bib):
+        auto = MetaPathEngine(small_bib, plan="auto")
+        left = MetaPathEngine(small_bib, plan="left")
+        _same(
+            auto.commuting_matrix(APV, plan="left"),
+            left.commuting_matrix(APV),
+        )
+        _same(
+            left.commuting_matrix(VPA, plan="auto"),
+            auto.commuting_matrix(VPA),
+        )
+
+    def test_invalid_plan_rejected(self, small_bib):
+        with pytest.raises(ValueError, match="plan"):
+            MetaPathEngine(small_bib, plan="right")
+        with pytest.raises(ValueError, match="plan"):
+            small_bib.engine().commuting_matrix(APV, plan="dp")
+
+
+class TestSeeds:
+    def test_cached_prefix_answers_reversed_spelling(self, small_bib):
+        # The satellite case: a cached A-P-V product must serve V-P-A as
+        # its transpose instead of recomputing.
+        engine = MetaPathEngine(small_bib)
+        apv = engine.commuting_matrix(APV)
+        before = engine.cache_info()
+        vpa = engine.commuting_matrix(VPA)
+        after = engine.cache_info()
+        _same(vpa, apv.T.tocsr())
+        assert after.hits > before.hits
+        assert engine.planner_info()["inverse_seeds"] == 1
+
+    def test_suffix_seed_reused(self, dblp):
+        # Warm venue-paper-author; the plan for T-P-V-P-A should consume
+        # it as a suffix without recomputing the span.
+        engine = dblp.hin.engine(plan="auto")
+        engine.commuting_matrix(VPA)
+        report = engine.explain("term-paper-venue-paper-author")
+        assert any("suffix" in s and VPA in s for s in report.seeds)
+        left = dblp.hin.engine(plan="left")
+        path = "term-paper-venue-paper-author"
+        _same(engine.commuting_matrix(path), left.commuting_matrix(path))
+        assert engine.planner_info()["suffix_seeds"] >= 1
+
+    def test_connectivity_row_reuses_inverse_span(self, small_bib):
+        engine = MetaPathEngine(small_bib)
+        engine.commuting_matrix(APV)
+        row_auto = engine.connectivity_row(VPA, 0)
+        assert engine.planner_info()["inverse_seeds"] >= 1
+        fresh = MetaPathEngine(small_bib, plan="left")
+        np.testing.assert_array_equal(row_auto, fresh.connectivity_row(VPA, 0))
+
+    def test_eviction_of_seed_does_not_corrupt_plan(self, small_bib):
+        # Build a plan that believes in a cached seed, evict the seed,
+        # then execute: the recorded split recomputes the span exactly.
+        engine = MetaPathEngine(small_bib)
+        engine.commuting_matrix(APV)
+        planner = engine._planner
+        mp = engine.path(LONG)
+        plan = planner.plan(tuple(mp.steps()))
+        assert plan.used_seeds  # the warmed A-P-V span is in the plan
+        for key in list(engine._cache.keys()):
+            engine._cache.pop(key)
+        got = planner.execute(plan)
+        assert planner.counters["evicted_seed_fallbacks"] >= 1
+        _same(got, MetaPathEngine(small_bib, plan="left").commuting_matrix(LONG))
+
+    def test_planner_entries_are_lru_bounded(self, small_bib):
+        engine = MetaPathEngine(small_bib, max_cached_matrices=2)
+        engine.commuting_matrix(LONG)
+        info = engine.cache_info()
+        assert info.currsize <= 2
+        assert info.evictions > 0
+        # and the bounded cache still answers correctly
+        _same(
+            engine.commuting_matrix(APVPA),
+            MetaPathEngine(small_bib, plan="left").commuting_matrix(APVPA),
+        )
+
+
+class TestPathsimReversedSpellingRegression:
+    def test_reversed_half_hits_cache(self, small_bib):
+        # Regression: _pathsim_parts used to recompute W for V-P-A-P-V
+        # even when A-P-V (the reversed half) was already cached.
+        engine = MetaPathEngine(small_bib)
+        engine.prewarm([APVPA])
+        before = engine.cache_info()
+        got = engine.pathsim_top_k(VPAPV, 0, 2)
+        after = engine.cache_info()
+        assert after.hits == before.hits + 1  # the transpose seed
+        assert engine.planner_info()["inverse_seeds"] == 1
+        fresh = MetaPathEngine(small_bib, plan="left")
+        assert list(got) == list(fresh.pathsim_top_k(VPAPV, 0, 2))
+
+    def test_left_mode_preserves_historical_behavior(self, small_bib):
+        engine = MetaPathEngine(small_bib, plan="left")
+        engine.prewarm([APVPA])
+        engine.pathsim_top_k(VPAPV, 0, 2)
+        assert engine.planner_info()["inverse_seeds"] == 0
+
+
+class TestExplain:
+    def test_report_fields_and_str(self, dblp):
+        engine = dblp.hin.engine(plan="auto")
+        report = engine.explain(LONG)
+        assert isinstance(report, PlanReport)
+        assert report.mode == "auto"
+        assert not report.symmetric
+        assert report.est_flops <= report.left_flops
+        assert report.estimated_speedup >= 1.0
+        text = str(report)
+        assert text.startswith(f"plan[auto] {LONG}")
+        assert "association:" in text and "est flops:" in text
+        json.dumps(report.to_dict())
+
+    def test_long_asymmetric_plan_beats_left_on_estimates(self, dblp):
+        report = dblp.hin.engine(plan="auto").explain(LONG)
+        assert report.estimated_speedup > 2.0
+
+    def test_symmetric_path_reports_half_plan(self, small_bib):
+        report = small_bib.engine().explain(APVPA)
+        assert report.symmetric
+        assert "W * W^T" in str(report)
+
+    def test_left_mode_association_is_left_nested(self, dblp):
+        report = dblp.hin.engine().explain(LONG, plan="left")
+        assert report.mode == "left"
+        assert report.association.startswith("((((")
+        assert report.est_flops == report.left_flops
+        assert report.seeds == ()
+
+    def test_explain_does_not_materialize(self, small_bib):
+        engine = MetaPathEngine(small_bib)
+        engine.explain(LONG)
+        assert engine.cache_info().currsize == 0
+
+    def test_session_explain_delegates(self, small_bib):
+        report = small_bib.query().explain(APV)
+        assert isinstance(report, PlanReport)
+        assert report.path == APV
+
+    def test_planner_info_shape(self, small_bib):
+        info = MetaPathEngine(small_bib).planner_info()
+        for key in (
+            "plans", "planned_products", "seeded_spans", "prefix_seeds",
+            "suffix_seeds", "infix_seeds", "full_seeds", "inverse_seeds",
+            "evicted_seed_fallbacks", "mode",
+        ):
+            assert key in info
+
+
+class TestResultPlanSurfacing:
+    def test_topk_results_carry_plan(self, small_bib):
+        engine = MetaPathEngine(small_bib)
+        r = engine.pathsim_top_k(APVPA, 0, 2)
+        assert r.plan == "auto"
+        assert r.to_dict()["plan"] == "auto"
+        r = engine.top_k_connectivity(APV, 0, 2, plan="left")
+        assert r.plan == "left"
+
+    def test_planless_results_omit_the_key(self):
+        from repro.query.results import TopKResult
+
+        r = TopKResult([("x", 1.0)])
+        assert r.plan is None
+        assert "plan" not in r.to_dict()
+
+
+class TestMaintenanceWithPlannerEntries:
+    def test_planner_materialized_entries_survive_updates(self, dblp):
+        from repro.networks import UpdateBatch
+
+        hin = make_dblp_four_area(
+            authors_per_area=20, papers_per_area=40, terms_per_area=10,
+            shared_terms=5, seed=11,
+        ).hin
+        engine = hin.engine()  # attached, plan="auto" default
+        engine.commuting_matrix(LONG)
+        engine.prewarm([APVPA])
+        hin.apply(
+            UpdateBatch()
+            .add_edges("writes", [(0, 3), (5, 7, 2.0)])
+            .remove_edges("published_in", [(0, 0)])
+        )
+        fresh = MetaPathEngine(hin, plan="left")
+        _same(engine.commuting_matrix(LONG), fresh.commuting_matrix(LONG))
+        assert list(engine.pathsim_top_k(APVPA, 2, 4)) == list(
+            fresh.pathsim_top_k(APVPA, 2, 4)
+        )

@@ -102,6 +102,35 @@ class TestRoundTrip:
             hin.engine().pathsim_top_k(APA, 0, 1)
         )
 
+    def test_planner_subchain_entries_round_trip(self, small_bib, tmp_path):
+        # The planner caches every interval of its plan tree under the
+        # same ("product", steps) keys as the classic prefix cache, so
+        # plan-created entries must survive a snapshot like any other.
+        engine = small_bib.engine()
+        long_path = "author-paper-venue-paper-author-paper-term"
+        expected = engine.commuting_matrix(long_path)
+        entries = engine.snapshot_entries()
+        assert len(entries) >= 2  # root product + at least one subchain
+        engine.save_snapshot(tmp_path / "snap")
+        loaded = load_snapshot(tmp_path / "snap")
+        warm = loaded.engine()
+        assert warm.cache_info().currsize == len(entries)
+        misses = warm.cache_info().misses
+        got = warm.commuting_matrix(long_path)
+        assert warm.cache_info().misses == misses  # answered fully warm
+        assert (got != expected).nnz == 0
+
+    def test_loaded_entries_seed_reversed_paths(self, small_bib, tmp_path):
+        # Inverse-key reuse must work on entries that came from disk: a
+        # snapshot warmed with A-P-V serves V-P-A by transpose.
+        engine = small_bib.engine()
+        apv = engine.commuting_matrix("author-paper-venue")
+        engine.save_snapshot(tmp_path / "snap")
+        warm = load_snapshot(tmp_path / "snap").engine()
+        vpa = warm.commuting_matrix("venue-paper-author")
+        assert (vpa != apv.T.tocsr()).nnz == 0
+        assert warm.planner_info()["inverse_seeds"] == 1
+
     def test_save_accepts_engine_or_hin_only(self, tmp_path):
         with pytest.raises(TypeError):
             save_snapshot(object(), tmp_path / "snap")
