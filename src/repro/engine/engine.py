@@ -411,6 +411,82 @@ class MetaPathEngine:
         )
 
     @_reader
+    def pathsim_partial(
+        self, path, query, candidates, *, plan: str | None = None
+    ) -> np.ndarray:
+        """PathSim scores from *query* to just the *candidates* rows.
+
+        Bit-identical to ``pathsim_row(path, query)[candidates]``: CSR
+        row slicing preserves each row's entries and their order, so the
+        sliced mat-vec runs the same per-row summation as the full one.
+        The standing-query maintainer (:mod:`repro.watch`) uses this to
+        re-score only the candidates an update's delta can touch —
+        cost proportional to the touched rows' nnz, not the network.
+
+        Parameters
+        ----------
+        path:
+            A symmetric meta-path (any spelling).
+        query:
+            Query object — name or index of the path's source type.
+        candidates:
+            Row indices to score (need not be sorted or unique).
+        plan:
+            Association-order override for the materialization.
+        """
+        mp = self.symmetric_path(path)
+        w, diag = self._pathsim_parts(mp, plan)
+        i = self._resolve(mp.source_type, query)
+        idx = np.asarray(candidates, dtype=np.int64)
+        if idx.size == 0:
+            return np.zeros(0)
+        dots = w[idx].dot(self._dense_row(w, i))
+        denom = diag[i] + diag[idx]
+        return np.divide(
+            2.0 * dots,
+            denom,
+            out=np.zeros_like(dots, dtype=np.float64),
+            where=denom != 0,
+        )
+
+    @_reader
+    def pathsim_partial_block(
+        self, path, queries, candidates, *, plan: str | None = None
+    ) -> np.ndarray:
+        """Batched :meth:`pathsim_partial`: one ``(len(queries),
+        len(candidates))`` score block.
+
+        Each row is bit-identical to the corresponding
+        ``pathsim_partial(path, query, candidates)`` call: the CSR
+        matrix-times-dense-block kernel accumulates every output column
+        in the same stored-entry order as the single-vector product.
+        The standing-query maintainer uses this to re-score one
+        update's touched candidates for every watch on the same path in
+        a single sparse product.
+        """
+        mp = self.symmetric_path(path)
+        w, diag = self._pathsim_parts(mp, plan)
+        rows = np.array(
+            [self._resolve(mp.source_type, q) for q in queries],
+            dtype=np.int64,
+        )
+        idx = np.asarray(candidates, dtype=np.int64)
+        if rows.size == 0 or idx.size == 0:
+            return np.zeros((rows.size, idx.size))
+        # F-ordered (len(rows), dim) densification transposes into a
+        # C-contiguous (dim, len(rows)) operand with no second copy.
+        block = w[rows].toarray(order="F").T
+        dots = w[idx].dot(block)  # (len(idx), len(rows))
+        denom = diag[idx][:, None] + diag[rows][None, :]
+        scores = np.divide(
+            2.0 * dots,
+            denom,
+            out=np.zeros_like(dots, dtype=np.float64),
+            where=denom != 0,
+        )
+        return scores.T
+
+    @_reader
     def pathsim_rows(self, path, queries, *, plan: str | None = None) -> np.ndarray:
         """Batched :meth:`pathsim_row`: one ``(len(queries), n)`` score
         block from a single sparse-times-dense block product."""

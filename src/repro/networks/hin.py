@@ -159,6 +159,7 @@ class HIN:
         self._transposes: dict[str, sp.csr_matrix] = {}
         self._engine = None
         self._query_session = None
+        self._watch_manager = None
         self._stats = None
         self._version = 0
         # Guards lazy creation of the shared engine/session only; the
@@ -427,6 +428,22 @@ class HIN:
                     self._query_session = QuerySession(self)
         return self._query_session
 
+    def watches(self):
+        """The :class:`~repro.watch.WatchManager` attached to this network.
+
+        The standing-query registry plus its incremental result
+        maintainer.  Created on first use and memoized — the first call
+        registers one commit hook, so networks that never watch pay
+        nothing per update.  See ``docs/GUIDE.md`` → "Standing queries".
+        """
+        from repro.watch import WatchManager
+
+        if self._watch_manager is None:
+            with self._attach_lock:
+                if self._watch_manager is None:
+                    self._watch_manager = WatchManager(self)
+        return self._watch_manager
+
     # ------------------------------------------------------------------
     # Dynamic updates
     # ------------------------------------------------------------------
@@ -449,8 +466,11 @@ class HIN:
             no later update can land while the hook observes the network
             — relation matrices are immutable values, making the
             captured state a consistent snapshot of exactly the
-            committed epoch.  A raising hook propagates to the
-            ``hin.apply()`` caller; the update itself stays committed.
+            committed epoch.  Hooks are *isolated* from one another: a
+            raising hook never skips the hooks registered after it.
+            All hooks run; the first exception is then re-raised to the
+            ``hin.apply()`` caller (later ones attached via
+            ``__notes__``), and the update itself stays committed.
 
         Returns
         -------
@@ -530,8 +550,23 @@ class HIN:
             # Publish hooks run AFTER the write lock releases (queries
             # must not stall behind an expensive export) but inside the
             # update mutex (no later epoch can appear underneath them).
+            # Hooks are isolated from one another: every hook runs even
+            # when an earlier one raises — a broken publisher must not
+            # starve the watch maintainer (or vice versa) of an epoch,
+            # or their incremental state would silently go stale.
+            errors: list[BaseException] = []
             for hook in list(self._commit_hooks):
-                hook(applied)
+                try:
+                    hook(applied)
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    errors.append(exc)
+            if errors:
+                first = errors[0]
+                for extra in errors[1:]:
+                    note = f"additional commit hook failure: {extra!r}"
+                    if hasattr(first, "add_note"):
+                        first.add_note(note)
+                raise first
             return applied
 
     def _prepare(self, batch: UpdateBatch):
@@ -591,7 +626,9 @@ class HIN:
             new = (old + delta).tocsr()
             new.eliminate_zeros()
             new.sort_indices()
-            deltas[rel_name] = RelationDelta(rel_name, old, new, delta)
+            deltas[rel_name] = RelationDelta(
+                rel_name, old, new, delta, source=rel.source, target=rel.target
+            )
         return new_counts, appended_names, growth, resized, deltas
 
     def _commit(

@@ -20,7 +20,71 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-__all__ = ["RelationStats", "NetworkStats"]
+__all__ = ["RelationStats", "NetworkStats", "row_support", "reach_sources"]
+
+
+def row_support(matrix, rows: np.ndarray) -> np.ndarray:
+    """Sorted unique column indices of CSR *matrix* restricted to *rows*.
+
+    The one-hop expansion primitive of :func:`reach_sources` — cost is
+    proportional to the nnz of the selected rows, never the whole
+    matrix.
+
+    Parameters
+    ----------
+    matrix:
+        A CSR matrix.
+    rows:
+        Row indices to expand (need not be unique or sorted).
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.size == 0:
+        return rows
+    indptr, indices = matrix.indptr, matrix.indices
+    parts = [indices[indptr[r] : indptr[r + 1]] for r in np.unique(rows)]
+    if not parts:
+        return np.array([], dtype=np.int64)
+    return np.unique(np.concatenate(parts)).astype(np.int64)
+
+
+def reach_sources(hin, steps, step_index: int, seed: np.ndarray) -> np.ndarray:
+    """Source rows of a relation chain that can reach *seed* at *step_index*.
+
+    Given a meta-path's oriented relation ``steps`` (``(relation,
+    forward)`` pairs) whose step *step_index* changed on oriented rows
+    *seed*, walk the chain *backwards* — each hop expands through the
+    reverse-oriented matrix of the preceding step — and return the
+    sorted unique row indices of the chain's source type whose product
+    row can possibly differ.  This is an exact superset of the touched
+    rows: a source row outside it multiplies only unchanged entries, so
+    its product row (and any score derived from it) is bit-unchanged.
+
+    Cost is proportional to the nnz of the visited rows, so a localized
+    delta stays cheap even on a large network.
+
+    Parameters
+    ----------
+    hin:
+        The network whose oriented matrices to traverse (post-update
+        state — reachability can only shrink through deleted edges that
+        the delta itself still covers via its own support).
+    steps:
+        ``(relation, forward)`` pairs as produced by
+        :meth:`repro.networks.schema.MetaPath.steps`.
+    step_index:
+        Index into *steps* of the changed relation occurrence.
+    seed:
+        Changed oriented-row indices of step *step_index*'s matrix.
+    """
+    frontier = np.asarray(seed, dtype=np.int64)
+    for rel, forward in reversed(list(steps)[:step_index]):
+        if frontier.size == 0:
+            break
+        # Reverse orientation maps this step's *outputs* back to its
+        # input rows; expanding the frontier through it yields every
+        # input row with at least one link into the frontier.
+        frontier = row_support(hin.oriented_matrix(rel, not forward), frontier)
+    return frontier
 
 
 @dataclass(frozen=True)

@@ -114,12 +114,31 @@ class RelationDelta:
     delta:
         ``new - old`` as a sparse matrix; its support is exactly the set
         of cells the batch touched with a net effect.
+    source:
+        Node type of the matrix rows (empty for receipts built outside
+        :meth:`HIN.apply`, e.g. in old pickles).
+    target:
+        Node type of the matrix columns.
     """
 
     relation: str
     old: sp.csr_matrix
     new: sp.csr_matrix
     delta: sp.csr_matrix
+    source: str = ""
+    target: str = ""
+
+    @property
+    def touched_sources(self) -> np.ndarray:
+        """Sorted unique row indices the delta touches (source-type side)."""
+        coo = self.delta.tocoo()
+        return np.unique(coo.row.astype(np.int64))
+
+    @property
+    def touched_targets(self) -> np.ndarray:
+        """Sorted unique column indices the delta touches (target-type side)."""
+        coo = self.delta.tocoo()
+        return np.unique(coo.col.astype(np.int64))
 
     @property
     def density_vs_rebuild(self) -> float:
@@ -158,6 +177,32 @@ class AppliedUpdate:
     def n_changed_links(self) -> int:
         """Total touched cells across all relation deltas."""
         return int(sum(d.delta.nnz for d in self.deltas.values()))
+
+    def touched_rows(self, node_type: str) -> np.ndarray:
+        """Sorted unique indices of *node_type* rows any delta touches.
+
+        The union over every relation delta of the row indices on the
+        side typed *node_type*: delta rows where the relation's source is
+        *node_type*, delta columns where its target is.  Node additions
+        do not count as touches (a grown-but-unlinked node has no delta
+        support).
+
+        Parameters
+        ----------
+        node_type:
+            The node type whose touched indices to collect.  Unknown
+            types (or receipts whose deltas predate type stamping)
+            yield an empty array rather than raising.
+        """
+        parts = []
+        for d in self.deltas.values():
+            if d.source == node_type:
+                parts.append(d.touched_sources)
+            if d.target == node_type:
+                parts.append(d.touched_targets)
+        if not parts:
+            return np.array([], dtype=np.int64)
+        return np.unique(np.concatenate(parts))
 
     def __repr__(self) -> str:
         return (

@@ -163,6 +163,37 @@ class QuerySession:
             self.path(path), obj, k, exclude_query=exclude_self, plan=plan
         )
 
+    def watch(
+        self,
+        obj,
+        path,
+        k: int = 10,
+        *,
+        measure: str = "pathsim",
+        exclude_self: bool | None = None,
+        plan: str | None = None,
+    ):
+        """Register a standing query: :meth:`similar` (or
+        :meth:`connected`) kept perpetually answered under updates.
+
+        Returns a :class:`~repro.watch.Subscription` whose consumers
+        receive an ``(epoch, result)`` push whenever a committed
+        ``hin.apply()`` batch changes the answer; see
+        :mod:`repro.watch` and ``docs/GUIDE.md`` → "Standing queries".
+
+        ``measure`` is ``"pathsim"`` or ``"connectivity"``;
+        ``exclude_self`` defaults to the measure's convention (``True``
+        for pathsim, ``False`` for connectivity).
+        """
+        return self.hin.watches().watch(
+            path,
+            obj,
+            k=k,
+            measure=measure,
+            exclude_self=exclude_self,
+            plan=plan,
+        )
+
     def _simrank_top_k(
         self, obj, path, k: int, *, exclude_self: bool
     ) -> TopKResult:

@@ -100,16 +100,20 @@ def _execute_spec(state, spec):  # pragma: no cover
     """Run one declarative request spec against an attached generation."""
     op = spec[0]
     if op == "pathsim":
-        _, path, obj, k, exclude = spec
-        return state.engine.pathsim_top_k(path, obj, k, exclude_query=exclude)
+        _, path, obj, k, exclude, plan = spec
+        return state.engine.pathsim_top_k(
+            path, obj, k, exclude_query=exclude, plan=plan
+        )
     if op == "similar":
-        _, obj, path, k, measure, exclude = spec
+        _, obj, path, k, measure, exclude, plan = spec
         return state.hin.query().similar(
-            obj, path, k, measure=measure, exclude_self=exclude
+            obj, path, k, measure=measure, exclude_self=exclude, plan=plan
         )
     if op == "connected":
-        _, obj, path, k, exclude = spec
-        return state.engine.top_k_connectivity(path, obj, k, exclude_query=exclude)
+        _, obj, path, k, exclude, plan = spec
+        return state.engine.top_k_connectivity(
+            path, obj, k, exclude_query=exclude, plan=plan
+        )
     if op == "rank":
         _, target, kwargs = spec
         return state.hin.query().rank(target, **dict(kwargs))
@@ -126,15 +130,17 @@ def _execute_job(state, kind, payload):  # pragma: no cover
     co-batched neighbours.
     """
     if kind == "batch":
-        path, k, exclude, objs = payload
+        path, k, exclude, plan, objs = payload
         try:
             results = state.engine.pathsim_top_k_batch(
-                path, objs, k, exclude_query=exclude
+                path, objs, k, exclude_query=exclude, plan=plan
             )
             return [("ok", result) for result in results]
         except BaseException:
             return [
-                _execute_job(state, "solo", [("pathsim", path, obj, k, exclude)])[0]
+                _execute_job(
+                    state, "solo", [("pathsim", path, obj, k, exclude, plan)]
+                )[0]
                 for obj in objs
             ]
     out = []
@@ -216,7 +222,7 @@ def _worker_main(  # pragma: no cover — runs in child processes
             state = ensure_generation(min_epoch)
             statuses = _execute_job(state, kind, payload)
         except BaseException as exc:  # noqa: BLE001 — deliver, don't die
-            size = len(payload[3]) if kind == "batch" else len(payload)
+            size = len(payload[4]) if kind == "batch" else len(payload)
             statuses = [("err", _picklable(exc))] * size
         try:
             pickle.dumps(statuses)
@@ -368,7 +374,8 @@ class ClusterService:
 
     Use as a context manager, or call :meth:`close` explicitly.  The
     futures API (:meth:`similar`, :meth:`top_k`, :meth:`connected`,
-    :meth:`rank`) matches :class:`~repro.serving.QueryService` exactly
+    :meth:`rank`, :meth:`watch`) matches
+    :class:`~repro.serving.QueryService` exactly
     — one client's code does not change when serving moves from
     threads to processes.
     """
@@ -499,6 +506,19 @@ class ClusterService:
     def rank(self, target, **kwargs):
         """Enqueue a ranking query; returns a future."""
         return self._service.rank(target, **kwargs)
+
+    def watch(self, obj, path, k: int = 10, **kwargs):
+        """Register a standing query; the future resolves with a
+        :class:`~repro.watch.Subscription`.
+
+        Registration and maintenance run in the *parent* — the
+        single-writer process where ``hin.apply()`` commits — never on
+        a worker: the maintainer's commit hook runs alongside the
+        generation publish, and the resulting pushes fan out to every
+        subscription from here.  Workers keep answering the one-shot
+        query surface from their attached generations, untouched.
+        """
+        return self._service.watch(obj, path, k, **kwargs)
 
     def prewarm(self, *paths) -> "ClusterService":
         """Materialize *paths* in the parent cache and republish, so

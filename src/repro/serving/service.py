@@ -180,13 +180,14 @@ class QueryService:
         *,
         measure: str = "pathsim",
         exclude_self: bool = True,
+        plan: str | None = None,
     ) -> Future:
         """Enqueue a top-*k* similarity query; returns a future.
 
         ``measure="pathsim"`` requests are batchable: queued requests
-        over the same ``(path, k, exclude_self)`` shape are answered by
-        one block product.  Other measures execute singly through the
-        session.
+        over the same ``(path, k, exclude_self, plan)`` shape are
+        answered by one block product.  Other measures execute singly
+        through the session.
 
         Parameters
         ----------
@@ -203,6 +204,11 @@ class QueryService:
             ``QuerySession.similar`` accepts.
         exclude_self:
             Drop the query object from its own answer.
+        plan:
+            Association-order override (``"auto"``/``"left"``, default
+            the engine's policy).  Part of the coalescing and batching
+            identity — answers are plan-independent, but work sharing
+            never silently overrides an explicit request.
 
         Raises
         ------
@@ -217,47 +223,60 @@ class QueryService:
                 mp = self._session.path(path)
             except Exception as exc:  # uniform error contract: via the future
                 return self._failed(exc)
-            shape = ("similar", mp.canonical_key(), int(k), bool(exclude_self))
+            shape = (
+                "similar", mp.canonical_key(), int(k), bool(exclude_self), plan
+            )
             return self._submit(
                 self._safe_key("similar", shape[1:] + (obj,)),
                 lambda key: _Request(
                     op="similar",
                     call=lambda: self._engine.pathsim_top_k(
-                        mp, obj, k, exclude_query=exclude_self
+                        mp, obj, k, exclude_query=exclude_self, plan=plan
                     ),
                     futures=[Future()],
                     key=key,
                     batch_key=shape,
                     batch_call=lambda queries: self._engine.pathsim_top_k_batch(
-                        mp, queries, k, exclude_query=exclude_self
+                        mp, queries, k, exclude_query=exclude_self, plan=plan
                     ),
                     query=obj,
-                    spec=("pathsim", str(mp), obj, int(k), bool(exclude_self)),
-                    batch_spec=(str(mp), int(k), bool(exclude_self)),
+                    spec=(
+                        "pathsim", str(mp), obj, int(k), bool(exclude_self), plan
+                    ),
+                    batch_spec=(str(mp), int(k), bool(exclude_self), plan),
                 ),
             )
         return self._submit(
             self._safe_key(
-                "similar", (str(path), obj, int(k), measure, bool(exclude_self))
+                "similar",
+                (str(path), obj, int(k), measure, bool(exclude_self), plan),
             ),
             lambda key: _Request(
                 op="similar",
                 call=lambda: self._session.similar(
-                    obj, path, k, measure=measure, exclude_self=exclude_self
+                    obj, path, k,
+                    measure=measure, exclude_self=exclude_self, plan=plan,
                 ),
                 futures=[Future()],
                 key=key,
                 spec=(
-                    "similar", obj, str(path), int(k), measure, bool(exclude_self)
+                    "similar", obj, str(path), int(k), measure,
+                    bool(exclude_self), plan,
                 ),
             ),
         )
 
-    def top_k(self, path, obj, k: int = 10, *, exclude_self: bool = True) -> Future:
+    def top_k(
+        self, path, obj, k: int = 10, *, exclude_self: bool = True,
+        plan: str | None = None,
+    ) -> Future:
         """Engine-parity spelling of :meth:`similar` (path first)."""
-        return self.similar(obj, path, k, exclude_self=exclude_self)
+        return self.similar(obj, path, k, exclude_self=exclude_self, plan=plan)
 
-    def connected(self, obj, path, k: int = 10, *, exclude_self: bool = False) -> Future:
+    def connected(
+        self, obj, path, k: int = 10, *, exclude_self: bool = False,
+        plan: str | None = None,
+    ) -> Future:
         """Enqueue a top-*k* connectivity (path-count) query; returns a future.
 
         Parameters
@@ -272,6 +291,9 @@ class QueryService:
         exclude_self:
             Drop the query object (round-trip paths only; enforced when
             the request executes, with the error on the future).
+        plan:
+            Association-order override (``"auto"``/``"left"``, default
+            the engine's policy).
 
         Raises
         ------
@@ -285,16 +307,19 @@ class QueryService:
             return self._failed(exc)
         return self._submit(
             self._safe_key(
-                "connected", (mp.canonical_key(), int(k), bool(exclude_self), obj)
+                "connected",
+                (mp.canonical_key(), int(k), bool(exclude_self), plan, obj),
             ),
             lambda key: _Request(
                 op="connected",
                 call=lambda: self._engine.top_k_connectivity(
-                    mp, obj, k, exclude_query=exclude_self
+                    mp, obj, k, exclude_query=exclude_self, plan=plan
                 ),
                 futures=[Future()],
                 key=key,
-                spec=("connected", obj, str(mp), int(k), bool(exclude_self)),
+                spec=(
+                    "connected", obj, str(mp), int(k), bool(exclude_self), plan
+                ),
             ),
         )
 
@@ -324,6 +349,61 @@ class QueryService:
                 futures=[Future()],
                 key=key,
                 spec=("rank", target, tuple(sorted(kwargs.items()))),
+            ),
+        )
+
+    def watch(
+        self,
+        obj,
+        path,
+        k: int = 10,
+        *,
+        measure: str = "pathsim",
+        exclude_self: bool | None = None,
+        plan: str | None = None,
+    ) -> Future:
+        """Enqueue a standing-query registration; the future resolves
+        with a :class:`~repro.watch.Subscription`.
+
+        The subscription's ``(epoch, result)`` pushes then flow through
+        its own ``next()`` futures and ``drain()`` queue — the same
+        futures machinery the query surface uses, but long-lived.
+        Registrations never coalesce (each caller gets its own
+        subscription) and always execute in this process, executor or
+        not: result maintenance lives with the writer
+        (:class:`~repro.serving.cluster.ClusterService` keeps it in the
+        parent and fans results out from there).
+
+        Parameters
+        ----------
+        obj:
+            Query object of the path's source type.
+        path:
+            Any meta-path spelling (symmetric for ``pathsim``).
+        k:
+            Result size to maintain.
+        measure:
+            ``"pathsim"`` or ``"connectivity"``.
+        exclude_self:
+            Defaults to the measure's convention (``True`` for pathsim,
+            ``False`` for connectivity).
+        plan:
+            Association-order override for the watch's recomputations.
+        """
+        return self._submit(
+            None,
+            lambda key: _Request(
+                op="watch",
+                call=lambda: self.hin.watches().watch(
+                    path,
+                    obj,
+                    k=k,
+                    measure=measure,
+                    exclude_self=exclude_self,
+                    plan=plan,
+                ),
+                futures=[Future()],
+                key=key,
             ),
         )
 
@@ -459,7 +539,17 @@ class QueryService:
         # write lock (hin.apply, clear_cache) would otherwise hit the
         # read-to-write upgrade guard.
         deliveries: list[tuple[Future, object, object]] = []
-        if self._executor is not None:
+        if group[0].op == "watch":
+            # Watch registration manages its own locking (registry
+            # mutex, then the engine read lock inside the initial
+            # computation — the canonical order).  Taking the read lock
+            # here first would invert that order against the maintainer
+            # running in a commit hook, and a queued writer between the
+            # two would close the cycle into deadlock.  Executor or
+            # not, registration is local: maintenance lives with the
+            # writer.
+            self._compute(group, deliveries)
+        elif self._executor is not None:
             self._dispatch(group, deliveries)
         else:
             with self._engine.lock.read():
@@ -482,9 +572,9 @@ class QueryService:
         """
         try:
             if len(group) > 1:
-                path, k, exclude = group[0].batch_spec
+                path, k, exclude, plan = group[0].batch_spec
                 statuses = self._executor.run_group(
-                    "batch", (path, k, exclude, [r.query for r in group])
+                    "batch", (path, k, exclude, plan, [r.query for r in group])
                 )
             else:
                 statuses = self._executor.run_group("solo", [group[0].spec])
@@ -564,10 +654,24 @@ class QueryService:
     # Observability / lifecycle
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """Counters: submitted/coalesced/completed/cancelled requests and
-        batch shapes (``batches``, ``batched_requests``, ``largest_batch``)."""
+        """Counters: submitted/coalesced/completed/cancelled requests,
+        batch shapes (``batches``, ``batched_requests``,
+        ``largest_batch``), plus two nested sections — ``planner`` (the
+        engine's association-order counters and default mode) and
+        ``watches`` (the standing-query registry's maintenance
+        counters; zeros when nothing was ever watched)."""
         with self._cond:
-            return dict(self._stats)
+            out = dict(self._stats)
+        out["planner"] = self._engine.planner_info()
+        # Peek, never create: stats() on a watch-free service must not
+        # install the registry's commit hook.
+        manager = getattr(self.hin, "_watch_manager", None)
+        out["watches"] = (
+            manager.stats()
+            if manager is not None
+            else {"watches": 0, "subscriptions": 0}
+        )
+        return out
 
     def cache_info(self):
         """The shared engine's cache counters (hits/misses/evictions)."""

@@ -25,9 +25,15 @@ the hashes describe, re-verifying the content hash on the way in, so a
 truncated or hand-edited snapshot fails loudly instead of serving
 garbage.
 
+The manifest also carries the network's standing-query registry
+(:mod:`repro.watch`) as declarative specs: :func:`load_snapshot` and
+:func:`warm_from_snapshot` re-register every persisted watch at the
+restored epoch, so subscriptions resume maintenance across a restart.
+
 On-disk layout (``path`` is a directory)::
 
-    manifest.json             format, epoch, hashes, schema, entry index
+    manifest.json             format, epoch, hashes, schema, entry index,
+                              watch specs
     network-<epoch>-<h>.npz   relation matrices (CSR arrays)
     cache-<epoch>-<h>.npz     cached products / PathSim parts
 
@@ -325,6 +331,16 @@ def save_snapshot(target, path) -> dict:
         cache_arrays: dict[str, np.ndarray] = {}
         entry_index = _build_entry_index(entries, cache_arrays, _csr_arrays)
 
+    # The standing-query registry is captured OUTSIDE the read-lock
+    # window: spec_dicts() takes the registry mutex, and the canonical
+    # lock order is registry mutex -> engine lock (the maintainer's
+    # commit hook holds the mutex while computing).  Taking them in the
+    # other order here could deadlock against a queued writer.  Specs
+    # are declarative — a registration racing the save lands in this
+    # snapshot or the next, both valid.
+    manager = getattr(hin, "_watch_manager", None) if isinstance(hin, HIN) else None
+    watch_specs = manager.spec_dicts() if manager is not None else []
+
     # Hashing happens AFTER the locks release: the captured matrix and
     # array references stay valid (updates replace matrices, never
     # mutate them), and the O(total-bytes) SHA-256 work must not extend
@@ -348,6 +364,7 @@ def save_snapshot(target, path) -> dict:
         "relations": relations,
         "names": names,
         "entries": entry_index,
+        "watches": watch_specs,
     }
 
     try:
@@ -489,6 +506,13 @@ def load_snapshot(path, *, mmap: bool = False) -> HIN:
     hin._version = int(manifest["epoch"])
     engine = hin.engine()
     engine.warm_entries(_load_entries(manifest, path, mmap=mmap))
+    # Resume persisted standing queries at the restored epoch: each
+    # spec re-registers (initial result from the warmed cache) and its
+    # subscription stays reachable via hin.watches().subscriptions().
+    # `.get`: pre-watch snapshots simply carry no registry.
+    watch_specs = manifest.get("watches") or []
+    if watch_specs:
+        hin.watches().restore(watch_specs)
     return hin
 
 
@@ -556,4 +580,13 @@ def warm_from_snapshot(hin: HIN, path) -> int:
                 f"stale snapshot: relation content differs from the network "
                 f"(content hash mismatch at shared epoch {epoch})"
             )
-        return engine.warm_entries(entries)
+        installed = engine.warm_entries(entries)
+    # Watches resume AFTER the write lock releases — registration
+    # computes initial results under the engine read lock, which must
+    # not nest inside the write hold.  restore() skips specs already
+    # registered, so warming a network that kept its live registry
+    # never duplicates maintenance.
+    watch_specs = manifest.get("watches") or []
+    if watch_specs:
+        hin.watches().restore(watch_specs)
+    return installed

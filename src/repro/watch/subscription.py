@@ -1,0 +1,160 @@
+"""Subscription — the consumer handle of one standing query.
+
+A :class:`Subscription` is what :meth:`repro.watch.WatchManager.watch`
+(and the facade/serving spellings) returns: a thread-safe mailbox that
+receives ``(epoch, result)`` pushes whenever the watched query's answer
+changes under a committed update batch.  Several subscriptions can share
+one underlying watch (the registry deduplicates by query identity) —
+each gets every push delivered to its own queue, and cancelling one
+never affects another.
+
+Consumption styles:
+
+* :meth:`current` — the latest maintained ``(epoch, result)``, always
+  available (standing queries answer in O(1), the whole point).
+* :meth:`drain` — pop every queued push at once (polling consumers).
+* :meth:`next` — a :class:`concurrent.futures.Future` resolving with
+  the next undelivered push (the serving layer's futures machinery).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import Future, InvalidStateError
+
+__all__ = ["Subscription"]
+
+
+class Subscription:
+    """One consumer's handle on a standing query.
+
+    Constructed by the :class:`~repro.watch.WatchManager` — user code
+    obtains subscriptions through ``hin.query().watch(...)``,
+    ``QueryService.watch(...)``, or ``hin.watches().watch(...)``, never
+    directly.
+
+    Pushes are delivered exactly once per subscription, in commit
+    order, through :meth:`drain`/:meth:`next`; :meth:`current` is a
+    level-triggered view that never consumes anything.
+
+    Notes
+    -----
+    Pushes are delivered synchronously on the writer's thread, inside
+    the ``hin.apply()`` commit hook.  Code reacting to a push (a
+    ``next()`` future's done-callback) therefore must not call
+    ``hin.apply()`` itself — the update mutex is still held and the
+    nested apply would deadlock.  Hand the follow-up update to another
+    thread instead.
+    """
+
+    def __init__(self, manager, watch):
+        self._manager = manager
+        self._watch = watch
+        self._lock = threading.Lock()
+        self._pending: deque = deque()
+        self._waiters: deque = deque()
+        self._cancelled = False
+
+    # ------------------------------------------------------------------
+    # Consumption surface
+    # ------------------------------------------------------------------
+    @property
+    def spec(self):
+        """The :class:`~repro.watch.WatchSpec` this subscription watches."""
+        return self._watch.spec
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was called."""
+        return self._cancelled
+
+    def current(self) -> tuple:
+        """The latest maintained ``(epoch, result)`` — never blocks.
+
+        The epoch is the update epoch the result is known valid *at*
+        (the maintainer stamps untouched watches forward without
+        recomputing, so it can exceed ``result.network_version``).
+        """
+        return self._manager.current_of(self._watch)
+
+    def drain(self) -> list:
+        """Pop and return every queued ``(epoch, result)`` push."""
+        with self._lock:
+            out = list(self._pending)
+            self._pending.clear()
+        return out
+
+    def next(self) -> Future:
+        """A future resolving with the next undelivered push.
+
+        Resolves immediately when a push is already queued; otherwise
+        resolves on the next delivery.  Cancelling the future simply
+        forfeits that push slot.
+        """
+        future: Future = Future()
+        with self._lock:
+            if self._pending:
+                push = self._pending.popleft()
+            elif self._cancelled:
+                future.set_exception(
+                    RuntimeError("subscription is cancelled")
+                )
+                return future
+            else:
+                self._waiters.append(future)
+                return future
+        future.set_result(push)
+        return future
+
+    def cancel(self) -> None:
+        """Stop receiving pushes and release the watch slot.
+
+        The last subscription of a watch to cancel removes the watch
+        from the registry (its maintenance cost stops).  Pending pushes
+        stay drainable; pending :meth:`next` futures fail with
+        ``RuntimeError``.  Idempotent.
+        """
+        with self._lock:
+            if self._cancelled:
+                return
+            self._cancelled = True
+            waiters = list(self._waiters)
+            self._waiters.clear()
+        for future in waiters:
+            try:
+                future.set_exception(RuntimeError("subscription is cancelled"))
+            except InvalidStateError:
+                pass
+        self._manager._unsubscribe(self._watch, self)
+
+    # ------------------------------------------------------------------
+    # Delivery (called by the maintainer, on the writer's thread)
+    # ------------------------------------------------------------------
+    def _push(self, epoch: int, result) -> None:
+        """Deliver one push: the oldest live waiter if any, else the queue."""
+        while True:
+            with self._lock:
+                if self._cancelled:
+                    return
+                waiter = None
+                while self._waiters:
+                    candidate = self._waiters.popleft()
+                    if not candidate.cancelled():
+                        waiter = candidate
+                        break
+                if waiter is None:
+                    self._pending.append((epoch, result))
+                    return
+            try:
+                waiter.set_result((epoch, result))
+                return
+            except InvalidStateError:
+                continue  # waiter cancelled in the window; try the next one
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self._cancelled else "active"
+        return (
+            f"Subscription({self._watch.spec!r}, {state}, "
+            f"pending={len(self._pending)})"
+        )

@@ -262,6 +262,34 @@ class TestCommitHooks:
             bib.apply(UpdateBatch().add_edges("writes", [(1, 0)]))
         assert bib.version == 1 and bib.total_links == 7
 
+    def test_raising_hook_does_not_skip_later_hooks(self, bib):
+        # Hook isolation: one raising hook must not starve the others —
+        # every hook runs, the first failure re-raises afterwards.
+        calls = []
+
+        def bad(applied):
+            raise RuntimeError("publish failed")
+
+        bib.add_commit_hook(bad)
+        bib.add_commit_hook(lambda applied: calls.append(applied.epoch))
+        with pytest.raises(RuntimeError, match="publish failed"):
+            bib.apply(UpdateBatch().add_edges("writes", [(1, 0)]))
+        assert calls == [1]
+
+    def test_first_exception_wins_and_carries_notes(self, bib):
+        def first(applied):
+            raise RuntimeError("first failure")
+
+        def second(applied):
+            raise ValueError("second failure")
+
+        bib.add_commit_hook(first)
+        bib.add_commit_hook(second)
+        with pytest.raises(RuntimeError, match="first failure") as excinfo:
+            bib.apply(UpdateBatch().add_edges("writes", [(1, 0)]))
+        notes = getattr(excinfo.value, "__notes__", [])
+        assert any("second failure" in note for note in notes)
+
     def test_hook_can_query_without_deadlock(self, bib):
         # The hook runs outside the engine write lock, so read-locked
         # queries from inside it must not deadlock.
@@ -275,6 +303,38 @@ class TestCommitHooks:
         bib.apply(UpdateBatch().add_edges("writes", [(1, 0)]))
         assert len(answers) == 1
         assert answers[0].network_version == 1
+
+
+class TestTouchedRows:
+    def test_delta_records_endpoint_types(self, bib):
+        applied = bib.apply(UpdateBatch().add_edges("writes", [(1, 0)]))
+        delta = applied.deltas["writes"]
+        assert delta.source == "author" and delta.target == "paper"
+
+    def test_touched_sources_and_targets_are_sorted_unique(self, bib):
+        applied = bib.apply(
+            UpdateBatch().add_edges("writes", [(1, 0), (1, 1), (0, 1)])
+        )
+        delta = applied.deltas["writes"]
+        assert np.array_equal(delta.touched_sources, [0, 1])
+        assert np.array_equal(delta.touched_targets, [0, 1])
+
+    def test_touched_rows_unions_source_and_target_sides(self, bib):
+        applied = bib.apply(
+            UpdateBatch()
+            .add_edges("writes", [(1, 0)])
+            .add_edges("published_in", [(2, 0)])
+        )
+        # paper appears as target of writes (index 0) and source of
+        # published_in (index 2): the union covers both sides.
+        assert np.array_equal(applied.touched_rows("paper"), [0, 2])
+        assert np.array_equal(applied.touched_rows("author"), [1])
+        assert applied.touched_rows("venue").size == 1  # target of published_in
+
+    def test_untouched_type_yields_empty_int_array(self, bib):
+        applied = bib.apply(UpdateBatch().add_edges("writes", [(1, 0)]))
+        rows = applied.touched_rows("venue")
+        assert rows.size == 0 and rows.dtype == np.int64
 
 
 class TestTrustedConstruction:

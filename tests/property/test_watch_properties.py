@@ -1,0 +1,160 @@
+"""Property-based invariants of the standing-query subsystem.
+
+The maintenance contract: for *any* stream of random update batches and
+*any* set of watched meta-paths, every result a watch holds (and every
+push it delivers) is bit-identical to a cold engine recomputing the
+query on the network state at that epoch.  Hypothesis hunts for the
+delta/path interleaving that breaks a merge bound or a reachability
+superset (deletions inside the top-k, growth of the source type,
+same-cell delete-then-insert, ...).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import MetaPathEngine
+from repro.networks import HIN, NetworkSchema, UpdateBatch
+
+PATHSIM_PATHS = ["a-b-a", "a-b-c-b-a"]
+CONNECTIVITY_PATHS = ["a-b", "a-b-c"]
+
+
+def _schema():
+    return NetworkSchema(
+        ["a", "b", "c"], [("r_ab", "a", "b"), ("r_bc", "b", "c")]
+    )
+
+
+def _base_hin():
+    return HIN.from_edges(
+        _schema(),
+        nodes={"a": 3, "b": 3, "c": 2},
+        edges={
+            "r_ab": [(0, 0), (1, 1), (2, 2), (0, 2)],
+            "r_bc": [(0, 0), (1, 1), (2, 0)],
+        },
+    )
+
+
+@st.composite
+def watch_specs(draw):
+    """2-4 watch registrations over the base network's source nodes."""
+    specs = []
+    for _ in range(draw(st.integers(2, 4))):
+        if draw(st.booleans()):
+            measure = "pathsim"
+            path = draw(st.sampled_from(PATHSIM_PATHS))
+        else:
+            measure = "connectivity"
+            path = draw(st.sampled_from(CONNECTIVITY_PATHS))
+        specs.append(
+            {
+                "measure": measure,
+                "path": path,
+                "query": draw(st.integers(0, 2)),
+                "k": draw(st.integers(0, 4)),
+            }
+        )
+    return specs
+
+
+@st.composite
+def update_batches(draw):
+    """Batches whose edge ops stay in range given earlier node growth."""
+    counts = {"a": 3, "b": 3, "c": 2}
+    relations = {"r_ab": ("a", "b"), "r_bc": ("b", "c")}
+    batches = []
+    for _ in range(draw(st.integers(1, 4))):
+        batch = UpdateBatch()
+        for t in ("a", "b", "c"):
+            if draw(st.booleans()) and draw(st.integers(0, 2)):
+                added = draw(st.integers(1, 2))
+                batch.add_nodes(t, added)
+                counts[t] += added
+        for rel, (src, dst) in relations.items():
+            for _ in range(draw(st.integers(0, 4))):
+                kind = draw(st.sampled_from(["insert", "delete", "upsert"]))
+                u = draw(st.integers(0, counts[src] - 1))
+                v = draw(st.integers(0, counts[dst] - 1))
+                if kind == "insert":
+                    batch.add_edges(rel, [(u, v, draw(st.integers(1, 3)))])
+                elif kind == "delete":
+                    batch.remove_edges(rel, [(u, v)])
+                else:
+                    batch.set_weights(rel, [(u, v, draw(st.integers(0, 3)))])
+        batches.append(batch)
+    return batches
+
+
+def _rebuilt_copy(hin):
+    """A fresh HIN with the same matrices, built from the edge list."""
+    edges = {}
+    for rel in hin.schema.relations:
+        m = hin.relation_matrix(rel.name).tocoo()
+        edges[rel.name] = [
+            (int(u), int(v), float(w))
+            for u, v, w in zip(m.row, m.col, m.data)
+        ]
+    counts = {t: hin.node_count(t) for t in hin.node_types}
+    return HIN.from_edges(_schema(), nodes=counts, edges=edges)
+
+
+def _cold_answer(hin, spec):
+    """The watch's query answered by a cache-free engine on a rebuild."""
+    engine = MetaPathEngine(_rebuilt_copy(hin))
+    if spec.measure == "pathsim":
+        return engine.pathsim_top_k(
+            spec.path, spec.query, spec.k, exclude_query=spec.exclude_self
+        )
+    return engine.top_k_connectivity(
+        spec.path, spec.query, spec.k, exclude_query=spec.exclude_self
+    )
+
+
+class TestMaintainedEqualsCold:
+    @given(watch_specs(), update_batches())
+    @settings(max_examples=25, deadline=None)
+    def test_every_push_matches_cold_recompute_at_its_epoch(
+        self, specs, batches
+    ):
+        hin = _base_hin()
+        subs = [
+            hin.watches().watch(
+                s["path"], s["query"], k=s["k"], measure=s["measure"]
+            )
+            for s in specs
+        ]
+        for expected_epoch, batch in enumerate(batches, start=1):
+            hin.apply(batch)
+            for sub in subs:
+                epoch, result = sub.current()
+                assert epoch == expected_epoch
+                assert result == _cold_answer(hin, sub.spec)
+                for push_epoch, pushed in sub.drain():
+                    # One batch since the last drain: any push is ours.
+                    assert push_epoch == expected_epoch
+                    assert pushed.network_version == expected_epoch
+                    assert pushed == result
+
+    @given(watch_specs(), update_batches())
+    @settings(max_examples=15, deadline=None)
+    def test_every_watch_gets_exactly_one_disposition_per_commit(
+        self, specs, batches
+    ):
+        hin = _base_hin()
+        manager = hin.watches()
+        for s in specs:
+            manager.watch(s["path"], s["query"], k=s["k"], measure=s["measure"])
+        for batch in batches:
+            hin.apply(batch)
+        stats = manager.stats()
+        assert stats["commits"] == len(batches)
+        dispositions = (
+            stats["untouched"]
+            + stats["incremental"]
+            + stats["fallback"]
+            + stats["recomputed"]
+        )
+        assert dispositions == stats["commits"] * len(manager)

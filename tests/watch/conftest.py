@@ -1,0 +1,33 @@
+"""Shared fixtures for the standing-query tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.networks import HIN, NetworkSchema
+
+
+@pytest.fixture
+def watch_hin() -> HIN:
+    """A small bibliographic HIN with room for interesting deltas.
+
+    Authors ada/bob share papers (PathSim 0.5-ish territory); cam/dee
+    live on the other side of the venue split, so localized updates can
+    touch one community without reaching the other.
+    """
+    schema = NetworkSchema(
+        ["author", "paper", "venue"],
+        [("writes", "author", "paper"), ("published_in", "paper", "venue")],
+    )
+    return HIN.from_edges(
+        schema,
+        nodes={
+            "author": ["ada", "bob", "cam", "dee"],
+            "paper": [f"p{i}" for i in range(6)],
+            "venue": ["SIGMOD", "KDD"],
+        },
+        edges={
+            "writes": [(0, 0), (0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (3, 5)],
+            "published_in": [(0, 0), (1, 0), (2, 1), (3, 1), (4, 0), (5, 1)],
+        },
+    )

@@ -1,0 +1,111 @@
+"""Subscription mailbox semantics: drain, next, cancel, delivery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.networks import UpdateBatch
+
+
+@pytest.fixture
+def sub(watch_hin):
+    return watch_hin.watches().watch("A-P-A", "ada", k=3)
+
+
+def _touch_ada(hin):
+    """An update that changes ada's top-k (new co-authorship on p0)."""
+    hin.apply(UpdateBatch().add_edges("writes", [(2, 0)]))
+
+
+class TestDrain:
+    def test_drain_empties_the_queue(self, watch_hin, sub):
+        _touch_ada(watch_hin)
+        pushes = sub.drain()
+        assert len(pushes) == 1
+        epoch, result = pushes[0]
+        assert epoch == 1 and result.network_version == 1
+        assert sub.drain() == []
+
+    def test_pushes_arrive_in_commit_order(self, watch_hin, sub):
+        _touch_ada(watch_hin)
+        watch_hin.apply(UpdateBatch().add_edges("writes", [(3, 0)]))
+        epochs = [epoch for epoch, _ in sub.drain()]
+        assert epochs == [1, 2]
+
+    def test_no_push_when_result_unchanged(self, watch_hin, sub):
+        # dee->p3 re-ranks cam/dee but leaves ada's answer identical.
+        watch_hin.apply(UpdateBatch().add_edges("writes", [(3, 3)]))
+        assert sub.drain() == []
+        assert sub.current()[0] == 1  # still stamped to the new epoch
+
+
+class TestNext:
+    def test_next_resolves_immediately_from_pending(self, watch_hin, sub):
+        _touch_ada(watch_hin)
+        future = sub.next()
+        assert future.done()
+        epoch, result = future.result(timeout=0)
+        assert epoch == 1
+
+    def test_next_resolves_on_delivery(self, watch_hin, sub):
+        future = sub.next()
+        assert not future.done()
+        _touch_ada(watch_hin)
+        epoch, result = future.result(timeout=1)
+        assert epoch == 1
+        assert result == watch_hin.engine().pathsim_top_k("A-P-A", "ada", 3)
+
+    def test_cancelled_waiter_forfeits_to_queue(self, watch_hin, sub):
+        future = sub.next()
+        assert future.cancel()
+        _touch_ada(watch_hin)
+        assert len(sub.drain()) == 1  # push fell through to the queue
+
+    def test_waiters_resolve_fifo(self, watch_hin, sub):
+        first, second = sub.next(), sub.next()
+        _touch_ada(watch_hin)
+        assert first.done() and not second.done()
+        watch_hin.apply(UpdateBatch().add_edges("writes", [(3, 0)]))
+        assert second.done()
+        assert first.result(0)[0] == 1 and second.result(0)[0] == 2
+
+
+class TestCancel:
+    def test_cancel_is_idempotent_and_fails_waiters(self, watch_hin, sub):
+        waiter = sub.next()
+        sub.cancel()
+        sub.cancel()
+        assert sub.cancelled
+        with pytest.raises(RuntimeError, match="cancelled"):
+            waiter.result(timeout=0)
+        with pytest.raises(RuntimeError, match="cancelled"):
+            sub.next().result(timeout=0)
+
+    def test_pending_pushes_stay_drainable_after_cancel(self, watch_hin, sub):
+        _touch_ada(watch_hin)
+        sub.cancel()
+        assert len(sub.drain()) == 1
+
+    def test_cancelled_subscription_receives_nothing(self, watch_hin, sub):
+        keep = watch_hin.watches().watch("A-P-A", "bob", k=3)
+        sub.cancel()
+        _touch_ada(watch_hin)
+        assert sub.drain() == []
+        assert len(keep.drain()) == 1
+
+    def test_current_still_works_after_cancel(self, watch_hin, sub):
+        sub.cancel()
+        epoch, result = sub.current()
+        assert epoch == 0 and result is not None
+
+
+class TestSharedWatchFanout:
+    def test_every_subscription_gets_every_push(self, watch_hin):
+        manager = watch_hin.watches()
+        a = manager.watch("A-P-A", "ada", k=3)
+        b = manager.watch("A-P-A", "ada", k=3)
+        _touch_ada(watch_hin)
+        pa, pb = a.drain(), b.drain()
+        assert len(pa) == len(pb) == 1
+        assert pa[0][1] == pb[0][1]
+        assert manager.stats()["pushes"] == 2
