@@ -124,6 +124,12 @@ def _experiment():
             cluster_s = min(cluster_s, elapsed)
         cluster_identical = _identical(shards, cluster_answers, reference)
 
+        # Per-worker memory after serving the full stream: every
+        # replicated worker attaches the WHOLE network's generation, so
+        # payload bytes are ~constant per worker — the baseline E21's
+        # sharded memory-ratio claim divides against.
+        worker_memory = cluster.worker_memory()
+
         # -- phase 2: live update stream across process boundaries -------
         batches = _update_batches(hin, rng)
         collected: list = []
@@ -218,6 +224,12 @@ def _experiment():
         "update_answers": len(collected),
         "epochs_served": epochs_served,
         "consistent_under_updates": consistent,
+        "memory": {
+            "per_worker_rss_bytes": [m["rss_bytes"] for m in worker_memory],
+            "per_worker_payload_bytes": [
+                m["payload_bytes"] for m in worker_memory
+            ],
+        },
         "warm_start_identical": warm_identical,
         "warm_start_s": warm_start_s,
         "identical": bool(
@@ -283,6 +295,7 @@ def test_e18_cluster_serving(benchmark):
                         "consistent_under_updates",
                         "warm_start_identical",
                         "warm_start_s",
+                        "memory",
                     )
                 },
                 "speedup": r["speedup_vs_single"],

@@ -505,6 +505,38 @@ class MetaPathEngine:
         )
 
     @_reader
+    def pathsim_query_rows(self, path, queries, *, plan: str | None = None):
+        """Scatter payload for shard-distributed PathSim top-k.
+
+        Returns ``(indices, rows, diag)``: the resolved query indices,
+        their rows of the half product ``W`` as one CSR block, and their
+        PathSim diagonal entries.  This is everything a row-sharded
+        worker (:mod:`repro.serving.shards`) cannot compute from its own
+        slice — the query side of every dot product and denominator —
+        extracted from the *parent-held* half product and diagonal, so
+        per-shard partial scores merge bit-identically to
+        :meth:`pathsim_top_k`.  The half product itself goes through the
+        same planner-aware materialization (:meth:`_pathsim_parts`) as
+        every single-process entry point.
+
+        Parameters
+        ----------
+        path:
+            A symmetric meta-path (any spelling).
+        queries:
+            Query objects — names or indices of the path's source type.
+        plan:
+            Association-order override for the materialization.
+        """
+        mp = self.symmetric_path(path)
+        w, diag = self._pathsim_parts(mp, plan)
+        idx = np.array(
+            [self._resolve(mp.source_type, q) for q in queries],
+            dtype=np.int64,
+        )
+        return idx, w[idx].tocsr(), diag[idx]
+
+    @_reader
     def pathsim_matrix(self, path) -> np.ndarray:
         """Dense all-pairs PathSim matrix (full materialization — prefer
         the row/top-k entry points for serving)."""

@@ -10,13 +10,21 @@ The selection is *exactly* equivalent to
 ``np.argsort(-scores, kind="stable")[:k]`` — ties are broken by ascending
 index — so engine answers are bit-identical to the naive dense baseline,
 which the engine tests and benchmark E5 assert.
+
+The same order is what makes *distributed* selection exact: when a score
+vector is partitioned row-wise across shards (:mod:`repro.serving.shards`),
+each shard's :func:`shard_top_k` over its slice and a :func:`merge_top_k`
+of the partial lists reproduce the single-process selection bit for bit —
+any global top-k element ranks at least as high within its own shard, so
+it survives the per-shard cut, and the merge re-sorts the union under the
+identical ``(-score, index)`` key.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["top_k_indices"]
+__all__ = ["top_k_indices", "shard_top_k", "merge_top_k"]
 
 
 def top_k_indices(scores, k: int) -> np.ndarray:
@@ -50,3 +58,67 @@ def top_k_indices(scores, k: int) -> np.ndarray:
     candidates = np.flatnonzero(scores >= kth)
     candidates = candidates[np.argsort(-scores[candidates], kind="stable")]
     return candidates[:k].astype(np.int64)
+
+
+def shard_top_k(scores, k: int, offset: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """One shard's partial top-k: ``(global_indices, scores)``, best first.
+
+    *scores* is the shard's contiguous slice ``[offset, offset + len)`` of
+    a global score vector; the returned indices are global (local index
+    plus *offset*), ordered by the same ``(-score, global index)`` key as
+    :func:`top_k_indices` — offsetting preserves it because the slice is
+    contiguous.  A shard holding fewer than *k* rows returns everything
+    it has; an empty shard returns two empty arrays.
+
+    Parameters
+    ----------
+    scores:
+        The shard's 1-D score slice.
+    k:
+        How many candidates this shard must surface.  For an exact merge
+        the caller passes the *global* ``k`` (plus one when the query row
+        itself may be excluded later): every global top-k element ranks
+        at least as high inside its own shard, so the per-shard cut can
+        never drop one.
+    offset:
+        Global index of the shard's first row.
+    """
+    local = top_k_indices(scores, k)
+    return local + int(offset), np.asarray(scores)[local]
+
+
+def merge_top_k(parts, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Exact, tie-stable k-way merge of per-shard partial top-k lists.
+
+    Parameters
+    ----------
+    parts:
+        Iterable of ``(global_indices, scores)`` pairs as produced by
+        :func:`shard_top_k` over disjoint row ranges.  Empty parts (and
+        an empty iterable) are fine.
+    k:
+        How many global winners to keep.
+
+    Returns
+    -------
+    ``(indices, scores)`` ordered exactly like
+    ``top_k_indices(full_scores, k)`` over the concatenated global score
+    vector — descending score, ties broken by ascending global index —
+    provided every part surfaced its own top *k* (the union then contains
+    every global winner, and ``np.lexsort`` re-establishes the full
+    stable order over it).
+    """
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    parts = [
+        (np.asarray(idx, dtype=np.int64), np.asarray(sc, dtype=np.float64))
+        for idx, sc in parts
+    ]
+    if not parts:
+        return np.empty(0, dtype=np.int64), np.empty(0)
+    indices = np.concatenate([idx for idx, _ in parts])
+    scores = np.concatenate([sc for _, sc in parts])
+    # lexsort sorts by the LAST key first: primary -score, then index —
+    # the engine's stable tie-break order.
+    order = np.lexsort((indices, -scores))[:k]
+    return indices[order], scores[order]

@@ -20,7 +20,14 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-__all__ = ["RelationStats", "NetworkStats", "row_support", "reach_sources"]
+__all__ = [
+    "RelationStats",
+    "NetworkStats",
+    "row_support",
+    "reach_sources",
+    "type_row_weights",
+    "balanced_ranges",
+]
 
 
 def row_support(matrix, rows: np.ndarray) -> np.ndarray:
@@ -85,6 +92,69 @@ def reach_sources(hin, steps, step_index: int, seed: np.ndarray) -> np.ndarray:
         # input row with at least one link into the frontier.
         frontier = row_support(hin.oriented_matrix(rel, not forward), frontier)
     return frontier
+
+
+def type_row_weights(hin, node_type: str) -> np.ndarray:
+    """Per-node link weight of one node type: incident nnz per row.
+
+    For every node of *node_type*, the total number of stored links it
+    carries across all relations — row degrees where the type is a
+    relation's source, column degrees where it is the target — plus one
+    (so isolated nodes still carry weight and a partition of them stays
+    balanced).  This is the balance measure shard assignment uses
+    (:class:`repro.serving.shards.ShardPlan`): a row's serving cost is
+    proportional to its nnz, not its mere existence.
+
+    Cost is O(total nnz of the incident relations); the result is a
+    dense ``int64`` vector of length ``hin.node_count(node_type)``.
+    """
+    n = hin.node_count(node_type)
+    weights = np.ones(n, dtype=np.int64)
+    for rel in hin.schema.relations:
+        m = hin.relation_matrix(rel.name)
+        if rel.source == node_type:
+            weights += np.diff(m.indptr).astype(np.int64)
+        if rel.target == node_type:
+            weights += np.bincount(m.indices, minlength=m.shape[1]).astype(
+                np.int64
+            )[:n]
+    return weights
+
+
+def balanced_ranges(weights, parts: int) -> list[tuple[int, int]]:
+    """Contiguous row ranges of near-equal total weight.
+
+    Splits ``range(len(weights))`` into *parts* contiguous ``[lo, hi)``
+    ranges whose cumulative weights sit as close as possible to the
+    ideal equal split — boundary ``s`` lands where the prefix sum first
+    reaches ``total * s / parts``.  Deterministic, order-preserving, and
+    well-defined when there are fewer rows than parts: the surplus
+    ranges come out empty (``lo == hi``), which downstream consumers
+    (shard packing, scatter, merge) all tolerate.
+
+    Parameters
+    ----------
+    weights:
+        Non-negative per-row weights (see :func:`type_row_weights`).
+    parts:
+        How many ranges to produce (>= 1).
+    """
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    weights = np.asarray(weights, dtype=np.float64)
+    n = weights.size
+    if n == 0:
+        return [(0, 0)] * parts
+    cumulative = np.cumsum(weights)
+    total = float(cumulative[-1])
+    targets = [total * s / parts for s in range(1, parts)]
+    cuts = np.searchsorted(cumulative, targets, side="left") + 1
+    bounds = [0] + [int(min(c, n)) for c in cuts] + [n]
+    # Enforce monotonicity (zero-weight prefixes can make searchsorted
+    # produce equal cuts — legal: those ranges are simply empty).
+    for i in range(1, len(bounds)):
+        bounds[i] = max(bounds[i], bounds[i - 1])
+    return [(bounds[i], bounds[i + 1]) for i in range(parts)]
 
 
 @dataclass(frozen=True)

@@ -1,34 +1,47 @@
 """Concurrent query serving: worker pools, process clusters, snapshots.
 
-The production-facing layer above the query facade.  Four pieces:
+The production-facing layer above the query facade.  Every deployment
+shape exposes the **same client surface** — the
+:class:`~repro.serving.api.ServingAPI` verbs ``similar`` / ``connected``
+/ ``rank`` / ``watch`` (plus the deprecated ``top_k`` spelling) — so
+code written against one service class runs unchanged against the
+others; only construction differs.  Five pieces:
 
 * thread-safe engine serving — the engine's read–write lock
   (:attr:`repro.engine.MetaPathEngine.lock`) lets any number of query
   threads share one cache while ``hin.apply()`` commits update batches
   atomically between them;
-* :class:`QueryService` — a worker pool that accepts
-  ``similar``/``top_k``/``connected``/``rank`` requests as futures,
-  coalesces duplicate in-flight requests, and batches same-meta-path
-  top-k queries into single block products;
-* :class:`ClusterService` — the same futures surface over N worker
-  *processes*, each attaching the network's canonical-CSR matrices and
+* :class:`QueryService` — a worker pool that accepts the ServingAPI
+  verbs as futures, coalesces duplicate in-flight requests, and batches
+  same-meta-path top-k queries into single block products;
+* :class:`ClusterService` — the same surface over N worker *processes*,
+  each attaching the **whole** network's canonical-CSR matrices and
   warm cache zero-copy through shared memory
   (:mod:`repro.serving.shm`); updates commit centrally in the parent
   and publish immutable epoch-stamped generations that workers swap
   atomically — real multi-core throughput past the GIL;
+* :class:`ShardedClusterService` — the same surface over N workers that
+  each hold ~1/N of the served paths' state
+  (:mod:`repro.serving.shards`): top-k runs as scatter → per-shard
+  partial top-k → exact tie-stable merge, bit-identical to the
+  single-process answer, and updates republish only the shards they
+  touch;
 * snapshots — :func:`save_snapshot` / :func:`load_snapshot` /
   :func:`warm_from_snapshot` persist the network plus its materialized
   commuting matrices so a new process starts warm (optionally
   memory-mapped, zero-copy), with epoch and schema/content hashes
   guarding against stale caches.
 
-See ``docs/GUIDE.md`` for the task-oriented walkthrough,
-``docs/ARCHITECTURE.md`` → "Serving & concurrency" for the design, and
-benchmarks E17/E18 for the measured throughput.
+See ``docs/GUIDE.md`` for the task-oriented walkthrough (§8 covers
+replicated → sharded migration), ``docs/ARCHITECTURE.md`` → "Serving &
+concurrency" and "Sharded serving" for the design, and benchmarks
+E17/E18/E21 for the measured throughput and memory.
 """
 
+from repro.serving.api import ServingAPI
 from repro.serving.cluster import ClusterService
 from repro.serving.service import QueryService
+from repro.serving.shards import ShardedClusterService, ShardPlan
 from repro.serving.snapshot import (
     load_snapshot,
     network_fingerprint,
@@ -38,8 +51,11 @@ from repro.serving.snapshot import (
 )
 
 __all__ = [
+    "ServingAPI",
     "QueryService",
     "ClusterService",
+    "ShardedClusterService",
+    "ShardPlan",
     "save_snapshot",
     "load_snapshot",
     "warm_from_snapshot",

@@ -57,6 +57,7 @@ import threading
 import time
 from pathlib import Path
 
+from repro.serving.api import ServingAPI
 from repro.serving.service import QueryService
 from repro.serving.shm import (
     attach_generation,
@@ -120,6 +121,25 @@ def _execute_spec(state, spec):  # pragma: no cover
     raise ValueError(f"unknown request spec {op!r}")
 
 
+def _process_rss() -> int:  # pragma: no cover
+    """This process's resident set size in bytes.
+
+    Reads ``/proc/self/status`` (current RSS) where it exists, falling
+    back to ``getrusage`` peak RSS — no third-party dependency either
+    way.
+    """
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    import resource
+
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
 def _execute_job(state, kind, payload):  # pragma: no cover
     """One job -> aligned ``("ok", value) | ("err", error)`` statuses.
 
@@ -127,8 +147,23 @@ def _execute_job(state, kind, payload):  # pragma: no cover
     ``pathsim_top_k_batch`` call the in-process service makes, so
     answers stay bit-identical — and fall back to per-query execution
     when the batch raises, so one bad request cannot poison its
-    co-batched neighbours.
+    co-batched neighbours.  ``info`` jobs report the worker's memory
+    footprint (process RSS plus the attached generation's shared
+    payload bytes) for deployment sizing and the E18/E21 memory-ratio
+    benchmarks.
     """
+    if kind == "info":
+        return [
+            (
+                "ok",
+                {
+                    "rss_bytes": _process_rss(),
+                    "payload_bytes": getattr(state, "payload_bytes", 0),
+                    "generation": state.generation,
+                    "epoch": state.epoch,
+                },
+            )
+        ]
     if kind == "batch":
         path, k, exclude, plan, objs = payload
         try:
@@ -248,7 +283,7 @@ class _WorkerChannel:
     synchronous put-then-get protocol needs no response routing.
     """
 
-    def __init__(self, ctx, worker_id, gen_value, gen_dir):
+    def __init__(self, ctx, worker_id, gen_value, gen_dir, target=None):
         self.task_queue = ctx.Queue()
         self.result_queue = ctx.Queue()
         self.jobs = 0
@@ -260,7 +295,10 @@ class _WorkerChannel:
         # for foreign processes attaching outside multiprocessing.
         untrack = False
         self.process = ctx.Process(
-            target=_worker_main,
+            # The loop is pluggable so shard workers
+            # (repro.serving.shards) reuse the channel protocol — same
+            # queues, same job framing, different attach/execute body.
+            target=target if target is not None else _worker_main,
             name=f"repro-cluster-{worker_id}",
             args=(
                 worker_id,
@@ -274,13 +312,18 @@ class _WorkerChannel:
         )
         self.process.start()
 
-    def call(self, kind, payload, min_epoch: int, timeout: float):
-        """Synchronous job round trip; raises when the worker died.
+    def post(self, kind, payload, min_epoch: int) -> int:
+        """Enqueue one job without waiting for its answer.
 
         The payload is pickle-validated *here*, on the calling thread:
         ``Queue.put`` pickles in a background feeder thread whose
         failure would otherwise surface only as a silent
-        ``timeout``-long hang.
+        ``timeout``-long hang.  Pair every ``post`` with a
+        :meth:`collect` before the next one — the channel routes by a
+        single outstanding job id.  Splitting the round trip is what
+        lets a scatter (:mod:`repro.serving.shards`) put one job on
+        *every* shard's queue before collecting any answer, so shards
+        compute concurrently instead of in sequence.
         """
         try:
             pickle.dumps(payload)
@@ -291,6 +334,10 @@ class _WorkerChannel:
             ) from exc
         self.jobs += 1
         self.task_queue.put((self.jobs, kind, payload, min_epoch))
+        return self.jobs
+
+    def collect(self, timeout: float):
+        """Wait for the posted job's statuses; raises when the worker died."""
         while True:
             try:
                 job_id, statuses = self.result_queue.get(timeout=min(timeout, 1.0))
@@ -310,6 +357,11 @@ class _WorkerChannel:
                 return statuses
             # A stale answer from a job whose waiter gave up; drop it.
 
+    def call(self, kind, payload, min_epoch: int, timeout: float):
+        """Synchronous job round trip (:meth:`post` + :meth:`collect`)."""
+        self.post(kind, payload, min_epoch)
+        return self.collect(timeout)
+
     def shutdown(self, join_timeout: float = 5.0) -> None:
         """Stop the worker: sentinel, join, terminate stragglers."""
         try:
@@ -325,7 +377,7 @@ class _WorkerChannel:
         self.result_queue.close()
 
 
-class ClusterService:
+class ClusterService(ServingAPI):
     """Multi-process query serving with shared-memory state.
 
     Parameters
@@ -373,11 +425,14 @@ class ClusterService:
         epoch than the live *hin*.
 
     Use as a context manager, or call :meth:`close` explicitly.  The
-    futures API (:meth:`similar`, :meth:`top_k`, :meth:`connected`,
-    :meth:`rank`, :meth:`watch`) matches
-    :class:`~repro.serving.QueryService` exactly
-    — one client's code does not change when serving moves from
-    threads to processes.
+    futures surface is the shared :class:`~repro.serving.api.ServingAPI`
+    (``similar``, ``connected``, ``rank``, ``watch``) — one client's
+    code does not change when serving moves from threads to processes.
+    Watch registration and maintenance always run in the *parent* — the
+    single-writer process where ``hin.apply()`` commits — never on a
+    worker: the maintainer's commit hook runs alongside the generation
+    publish and pushes fan out from here, while workers keep answering
+    the one-shot query surface from their attached generations.
     """
 
     def __init__(
@@ -487,38 +542,12 @@ class ClusterService:
             raise
 
     # ------------------------------------------------------------------
-    # Futures API (delegates to the embedded QueryService)
+    # Futures API (ServingAPI verbs submit through the embedded core)
     # ------------------------------------------------------------------
-    def similar(self, obj, path, k: int = 10, **kwargs):
-        """Enqueue a top-*k* similarity query; returns a future
-        (:meth:`QueryService.similar` semantics, executed on a worker
-        process)."""
-        return self._service.similar(obj, path, k, **kwargs)
-
-    def top_k(self, path, obj, k: int = 10, **kwargs):
-        """Engine-parity spelling of :meth:`similar` (path first)."""
-        return self._service.top_k(path, obj, k, **kwargs)
-
-    def connected(self, obj, path, k: int = 10, **kwargs):
-        """Enqueue a top-*k* connectivity query; returns a future."""
-        return self._service.connected(obj, path, k, **kwargs)
-
-    def rank(self, target, **kwargs):
-        """Enqueue a ranking query; returns a future."""
-        return self._service.rank(target, **kwargs)
-
-    def watch(self, obj, path, k: int = 10, **kwargs):
-        """Register a standing query; the future resolves with a
-        :class:`~repro.watch.Subscription`.
-
-        Registration and maintenance run in the *parent* — the
-        single-writer process where ``hin.apply()`` commits — never on
-        a worker: the maintainer's commit hook runs alongside the
-        generation publish, and the resulting pushes fan out to every
-        subscription from here.  Workers keep answering the one-shot
-        query surface from their attached generations, untouched.
-        """
-        return self._service.watch(obj, path, k, **kwargs)
+    def _serving_core(self) -> QueryService:
+        """The embedded :class:`QueryService` — it owns the request
+        queue; this cluster is its execution backend."""
+        return self._service
 
     def prewarm(self, *paths) -> "ClusterService":
         """Materialize *paths* in the parent cache and republish, so
@@ -591,6 +620,34 @@ class ClusterService:
     # ------------------------------------------------------------------
     # Observability / lifecycle
     # ------------------------------------------------------------------
+    def worker_memory(self) -> list[dict]:
+        """One memory report per worker process.
+
+        Each report carries ``rss_bytes`` (the worker's resident set —
+        includes its share of the interpreter and of faulted shared
+        pages), ``payload_bytes`` (the attached generation's
+        shared-memory/file payload — the part that is *shared*, not
+        replicated, across workers), and the ``generation``/``epoch``
+        the worker is serving.  Every channel is checked out first so
+        each worker answers exactly once, then all are returned; calls
+        interleave safely with serving (they just wait their turn for
+        the channels).
+        """
+        channels = [self._free.get() for _ in self._channels]
+        try:
+            reports = []
+            for channel in channels:
+                status, value = channel.call(
+                    "info", [None], self.epoch, self._job_timeout
+                )[0]
+                if status != "ok":
+                    raise value
+                reports.append(value)
+            return reports
+        finally:
+            for channel in channels:
+                self._free.put(channel)
+
     def stats(self) -> dict:
         """The embedded service's counters plus cluster-level ones
         (``processes``, ``jobs_dispatched``, ``generations_published``,

@@ -11,10 +11,10 @@ same-shape queries into single matrix operations — and this module
 implements exactly those two moves on top of the engine's thread-safe
 serving layer:
 
-* **Worker pool.**  ``submit``-style entry points (:meth:`similar`,
-  :meth:`top_k`, :meth:`connected`, :meth:`rank`) enqueue a request and
-  return a :class:`concurrent.futures.Future`; a small pool of worker
-  threads drains the queue.  Queries execute under the engine's read
+* **Worker pool.**  The :class:`~repro.serving.api.ServingAPI` verbs
+  (``similar``, ``connected``, ``rank``, ``watch``) enqueue a request
+  and return a :class:`concurrent.futures.Future`; a small pool of
+  worker threads drains the queue.  Queries execute under the engine's read
   lock, so they interleave freely with each other and serialize only
   against update commits (``hin.apply()``), each answer computed
   entirely at one update epoch.
@@ -50,6 +50,8 @@ from collections import deque
 from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass
 
+from .api import ServingAPI
+
 __all__ = ["QueryService"]
 
 
@@ -79,8 +81,13 @@ class _Request:
     batch_spec: tuple | None = None  # (path, k, exclude) for remote batching
 
 
-class QueryService:
+class QueryService(ServingAPI):
     """Thread-safe query serving over one HIN's shared engine.
+
+    The client verbs (``similar``, ``connected``, ``rank``, ``watch``)
+    come from :class:`~repro.serving.api.ServingAPI` — this class is
+    the *core* behind them: the ``_submit_*`` bodies below build each
+    request's closure and picklable spec forms and feed the queue.
 
     Parameters
     ----------
@@ -170,9 +177,13 @@ class QueryService:
             t.start()
 
     # ------------------------------------------------------------------
-    # Submission surface
+    # Submission core (behind the ServingAPI verbs)
     # ------------------------------------------------------------------
-    def similar(
+    def _serving_core(self) -> "QueryService":
+        """This service *is* the core — the verbs submit to it directly."""
+        return self
+
+    def _submit_similar(
         self,
         obj,
         path,
@@ -182,42 +193,8 @@ class QueryService:
         exclude_self: bool = True,
         plan: str | None = None,
     ) -> Future:
-        """Enqueue a top-*k* similarity query; returns a future.
-
-        ``measure="pathsim"`` requests are batchable: queued requests
-        over the same ``(path, k, exclude_self, plan)`` shape are
-        answered by one block product.  Other measures execute singly
-        through the session.
-
-        Parameters
-        ----------
-        obj:
-            Query object — a name, or an index into the path's source
-            type.
-        path:
-            Any meta-path spelling (DSL string, type list,
-            ``MetaPath``); must be symmetric for ``pathsim``.
-        k:
-            How many peers to return.
-        measure:
-            ``"pathsim"`` (engine-served, batchable) or any measure
-            ``QuerySession.similar`` accepts.
-        exclude_self:
-            Drop the query object from its own answer.
-        plan:
-            Association-order override (``"auto"``/``"left"``, default
-            the engine's policy).  Part of the coalescing and batching
-            identity — answers are plan-independent, but work sharing
-            never silently overrides an explicit request.
-
-        Raises
-        ------
-        RuntimeError
-            When the service is already closed (the only submit-time
-            raise).  Every other failure — bad path, unknown object,
-            engine error — is delivered through the returned future,
-            never raised on the submitting thread.
-        """
+        """Build and enqueue a similarity request (see
+        :meth:`ServingAPI.similar` for the client contract)."""
         if measure == "pathsim":
             try:
                 mp = self._session.path(path)
@@ -266,41 +243,12 @@ class QueryService:
             ),
         )
 
-    def top_k(
-        self, path, obj, k: int = 10, *, exclude_self: bool = True,
-        plan: str | None = None,
-    ) -> Future:
-        """Engine-parity spelling of :meth:`similar` (path first)."""
-        return self.similar(obj, path, k, exclude_self=exclude_self, plan=plan)
-
-    def connected(
+    def _submit_connected(
         self, obj, path, k: int = 10, *, exclude_self: bool = False,
         plan: str | None = None,
     ) -> Future:
-        """Enqueue a top-*k* connectivity (path-count) query; returns a future.
-
-        Parameters
-        ----------
-        obj:
-            Query object of the path's source type.
-        path:
-            Any meta-path spelling; asymmetric paths are fine
-            (connectivity counts path instances, it does not normalize).
-        k:
-            How many targets to return.
-        exclude_self:
-            Drop the query object (round-trip paths only; enforced when
-            the request executes, with the error on the future).
-        plan:
-            Association-order override (``"auto"``/``"left"``, default
-            the engine's policy).
-
-        Raises
-        ------
-        RuntimeError
-            When the service is already closed; execution failures
-            arrive through the future.
-        """
+        """Build and enqueue a connectivity request (see
+        :meth:`ServingAPI.connected` for the client contract)."""
         try:
             mp = self._session.path(path)
         except Exception as exc:  # uniform error contract: via the future
@@ -323,24 +271,9 @@ class QueryService:
             ),
         )
 
-    def rank(self, target, **kwargs) -> Future:
-        """Enqueue a ranking query; returns a future.
-
-        Parameters
-        ----------
-        target:
-            A node type or meta-path, exactly as
-            :meth:`repro.query.QuerySession.rank` takes it.
-        **kwargs:
-            Passed through to ``QuerySession.rank`` (``by=``, ``path=``,
-            ``method=``, ...).
-
-        Raises
-        ------
-        RuntimeError
-            When the service is already closed; execution failures
-            arrive through the future.
-        """
+    def _submit_rank(self, target, **kwargs) -> Future:
+        """Build and enqueue a ranking request (see
+        :meth:`ServingAPI.rank` for the client contract)."""
         return self._submit(
             self._safe_key("rank", (target, tuple(sorted(kwargs.items())))),
             lambda key: _Request(
@@ -352,7 +285,7 @@ class QueryService:
             ),
         )
 
-    def watch(
+    def _submit_watch(
         self,
         obj,
         path,
@@ -362,33 +295,13 @@ class QueryService:
         exclude_self: bool | None = None,
         plan: str | None = None,
     ) -> Future:
-        """Enqueue a standing-query registration; the future resolves
-        with a :class:`~repro.watch.Subscription`.
+        """Build and enqueue a watch registration (see
+        :meth:`ServingAPI.watch` for the client contract).
 
-        The subscription's ``(epoch, result)`` pushes then flow through
-        its own ``next()`` futures and ``drain()`` queue — the same
-        futures machinery the query surface uses, but long-lived.
-        Registrations never coalesce (each caller gets its own
-        subscription) and always execute in this process, executor or
-        not: result maintenance lives with the writer
-        (:class:`~repro.serving.cluster.ClusterService` keeps it in the
-        parent and fans results out from there).
-
-        Parameters
-        ----------
-        obj:
-            Query object of the path's source type.
-        path:
-            Any meta-path spelling (symmetric for ``pathsim``).
-        k:
-            Result size to maintain.
-        measure:
-            ``"pathsim"`` or ``"connectivity"``.
-        exclude_self:
-            Defaults to the measure's convention (``True`` for pathsim,
-            ``False`` for connectivity).
-        plan:
-            Association-order override for the watch's recomputations.
+        Registrations never coalesce and always execute in this
+        process, executor or not: result maintenance lives with the
+        writer (:class:`~repro.serving.cluster.ClusterService` keeps it
+        in the parent and fans results out from there).
         """
         return self._submit(
             None,

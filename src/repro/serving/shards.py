@@ -1,0 +1,1083 @@
+"""Sharded cluster serving: row-partitioned scatter/merge top-k.
+
+:class:`~repro.serving.ClusterService` replicates the *entire* network
+into every worker — per-worker memory and publish time scale with
+N x network, which is exactly backwards for the "millions of users"
+regime the ROADMAP targets.  This module is the partitioned
+alternative: each served meta-path's half product ``W`` is split
+**row-wise** into contiguous node ranges (one per shard, balanced by
+incident nnz), each shard's slice is packed into its own shared-memory
+generation, and a top-k query executes as
+
+::
+
+    parent                          shard workers (one process each)
+    ------                          --------------------------------
+    extract W[q] rows + diag[q]  →  scatter (same payload to all)
+                                    score own rows:  2·(W_s · w_q)
+                                                     ─────────────
+                                                     diag_q + diag_s
+                                    partial top-k over [lo, hi)
+    exact k-way merge            ←  (global indices, scores)
+    tie-stable TopKResult
+
+**Bit-identity.**  The distributed answer equals the single-process
+engine's, bit for bit, by construction rather than by tolerance:
+
+* CSR row slicing preserves each row's stored entries and their order,
+  so ``W_s.dot(w_q)`` runs the identical per-row summation as rows
+  ``[lo, hi)`` of the full ``W.dot(w_q)``.
+* The query-side operands a shard cannot derive from its slice — the
+  query's ``W`` rows and its PathSim diagonal entry — are extracted
+  from the *parent-held* half product
+  (:meth:`~repro.engine.MetaPathEngine.pathsim_query_rows`, the same
+  planner-aware materialization every entry point uses) and shipped
+  with the job, so each denominator ``diag[q] + diag[j]`` is the same
+  two floats added in the same order.
+* Each shard surfaces its top ``k`` (``k+1`` under self-exclusion) in
+  the engine's ``(-score, index)`` order; a global winner ranks at
+  least as high within its own shard, so the per-shard cut never drops
+  one, and :func:`~repro.engine.topk.merge_top_k` re-sorts the union
+  under the identical stable key.
+
+**Updates.**  The single-writer ``hin.apply()`` path is unchanged.  The
+commit hook classifies each :class:`~repro.networks.updates.AppliedUpdate`
+per shard — backward reachability over each served path's half steps
+(:func:`~repro.watch.analysis.touched_chain_rows`, an exact superset)
+intersected with the shard's row range — and republishes **only the
+touched shards**: a localized batch moves one shard's generation while
+the others keep serving their still-bit-valid slices.  Node growth
+recomputes the :class:`ShardPlan` and republishes everything.
+
+Standing queries route the same way: the service installs a partial
+scorer on the network's :class:`~repro.watch.WatchManager`, so
+incremental watch maintenance scores each touched candidate on the
+shard owning its rows and stitches the columns back — or falls back to
+the in-process engine whenever the distributed path declines.
+
+Benchmark E21 asserts the bit-identity and epoch consistency under a
+live writer, the ≤1/2 per-worker memory ratio against the replicated
+cluster, and the touched-shards-only republication.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import shutil
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from types import SimpleNamespace
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.engine.topk import merge_top_k, shard_top_k
+from repro.exceptions import SnapshotError
+from repro.networks.stats import balanced_ranges, type_row_weights
+from repro.query.results import TopKResult
+from repro.serving.api import ServingAPI
+from repro.serving.cluster import (
+    _SHUTDOWN,
+    _WorkerChannel,
+    _default_start_method,
+    _execute_job,
+    _pickles,
+    _picklable,
+    _process_rss,
+)
+from repro.serving.service import QueryService
+from repro.serving.shm import (
+    PublishedGeneration,
+    _csr_from_arrays,
+    _csr_to_arrays,
+    attach_arrays,
+    export_arrays,
+)
+from repro.utils.cache import LRUCache
+from repro.watch.analysis import touched_chain_rows
+
+__all__ = [
+    "ShardPlan",
+    "ShardState",
+    "ShardedClusterService",
+    "publish_shard_generation",
+    "attach_shard_generation",
+]
+
+_FORMAT = "repro-shard-generation"
+_FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Shard assignment
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardPlan:
+    """Row-range assignment of each partitioned node type to shards.
+
+    Every node type that sources a served meta-path is split into
+    ``shards`` contiguous ``[lo, hi)`` ranges, balanced by each row's
+    incident link count (:func:`~repro.networks.stats.type_row_weights`
+    through :func:`~repro.networks.stats.balanced_ranges`) — a row's
+    serving cost is proportional to its nnz, not its existence.  Ranges
+    are contiguous and ascending by construction, which is what makes
+    the scatter/merge order and the watch-block stitching exact.  A
+    type with fewer rows than shards simply yields empty trailing
+    ranges, which every consumer (packing, scoring, merging) tolerates.
+    """
+
+    shards: int
+    ranges: dict  # node_type -> tuple of (lo, hi) per shard
+
+    @classmethod
+    def compute(cls, hin, node_types, shards: int) -> "ShardPlan":
+        """Balance *node_types* of *hin* across *shards* by incident nnz."""
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        ranges = {
+            t: tuple(balanced_ranges(type_row_weights(hin, t), shards))
+            for t in node_types
+        }
+        return cls(int(shards), ranges)
+
+    def range_of(self, node_type: str, shard: int) -> tuple[int, int]:
+        """The ``[lo, hi)`` row range of *node_type* owned by *shard*."""
+        return self.ranges[node_type][shard]
+
+    def shards_touching(self, node_type: str, rows) -> set[int]:
+        """Which shards own at least one of *rows* (sorted indices)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        out: set[int] = set()
+        if rows.size == 0 or node_type not in self.ranges:
+            return out
+        for shard, (lo, hi) in enumerate(self.ranges[node_type]):
+            if lo == hi:
+                continue
+            a = int(np.searchsorted(rows, lo, side="left"))
+            b = int(np.searchsorted(rows, hi, side="left"))
+            if b > a:
+                out.add(shard)
+        return out
+
+    def __repr__(self) -> str:
+        return f"ShardPlan(shards={self.shards}, types={sorted(self.ranges)})"
+
+
+class _ServedPath:
+    """Per-served-path state staged once at registration time."""
+
+    __slots__ = ("mp", "token", "half_steps", "relations")
+
+    def __init__(self, mp):
+        self.mp = mp
+        # The canonical key is the path's identity across every
+        # spelling; its repr travels in picklable job payloads.
+        self.token = repr(mp.canonical_key())
+        steps = tuple(mp.steps())
+        self.half_steps = steps[: len(steps) // 2]
+        self.relations = frozenset(rel.name for rel, _ in self.half_steps)
+
+    @property
+    def source_type(self) -> str:
+        """Node type of the meta-path's source (and, symmetric, target)."""
+        return self.mp.source_type
+
+
+# ----------------------------------------------------------------------
+# Per-shard generations (pack / attach)
+# ----------------------------------------------------------------------
+def _write_shard_descriptor(directory, shard: int, generation: int, descriptor) -> Path:
+    """Atomically write ``shard<s>-gen-<n>.json`` (the rename is the
+    publication point, exactly like full generations)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"shard{int(shard)}-gen-{int(generation)}.json"
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(descriptor, indent=2), encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+def publish_shard_generation(
+    hin, engine, served, plan: ShardPlan, shard: int, *, directory, generation: int
+) -> PublishedGeneration:
+    """Pack one shard's slice of every served path into a generation.
+
+    For each served path, the shard's rows ``[lo, hi)`` of the half
+    product ``W`` plus the matching diagonal slice are captured under
+    one engine read-lock hold — the same planner-aware
+    ``_pathsim_parts`` materialization the single-process entry points
+    use, so the packed values are bitwise the ones a replicated worker
+    would compute — then copied once into a shared-memory segment
+    (:func:`repro.serving.shm.export_arrays`).  Nothing else ships:
+    a shard worker holds ~1/N of each served path's index, not the
+    network.
+
+    Parameters
+    ----------
+    hin / engine:
+        The live network and its shared engine.
+    served:
+        Iterable of :class:`_ServedPath` (stable iteration order).
+    plan / shard:
+        The row assignment and which shard to pack.
+    directory / generation:
+        Where the descriptor lives and the shard-local monotonic
+        counter naming it (``shard<s>-gen-<n>.json``).
+    """
+    arrays: dict[str, np.ndarray] = {}
+    entries = []
+    with engine.lock.read():
+        epoch = getattr(hin, "version", 0)
+        for i, spath in enumerate(served):
+            w, diag = engine._pathsim_parts(spath.mp)
+            lo, hi = plan.range_of(spath.source_type, shard)
+            prefix = f"path/{i}"
+            entry = {"token": spath.token, "prefix": prefix, "lo": int(lo), "hi": int(hi)}
+            entry.update(_csr_to_arrays(f"{prefix}/w", w[lo:hi].tocsr(), arrays))
+            arrays[f"{prefix}/diag"] = np.ascontiguousarray(diag[lo:hi])
+            entries.append(entry)
+    segment, source = export_arrays(arrays)
+    descriptor = {
+        "format": _FORMAT,
+        "format_version": _FORMAT_VERSION,
+        "shard": int(shard),
+        "generation": int(generation),
+        "epoch": int(epoch),
+        "entries": entries,
+        "sources": [source],
+    }
+    path = _write_shard_descriptor(directory, shard, generation, descriptor)
+    return PublishedGeneration(generation, epoch, path, segment)
+
+
+class ShardState:
+    """A shard worker's live view of one published shard generation.
+
+    ``entries`` maps each served path token to ``(w_s, diag_s, lo)`` —
+    the shard's CSR row slice of the half product, the matching
+    diagonal slice, and the global index of the slice's first row.
+    All views over the shared segment; nothing copied.
+    """
+
+    def __init__(self, shard, generation, epoch, entries, resources, payload_bytes):
+        self.shard = int(shard)
+        self.generation = int(generation)
+        self.epoch = int(epoch)
+        self.entries = entries
+        self.payload_bytes = int(payload_bytes)
+        self._resources = resources
+
+    def close(self) -> None:
+        """Release the attachment (idempotent, tolerant of live views)."""
+        self.entries = {}
+        resources, self._resources = self._resources, []
+        for resource in resources:
+            if resource is None:
+                continue
+            try:
+                resource.close()
+            except BufferError:
+                pass  # views still alive; the mapping dies with them
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardState(shard={self.shard}, generation={self.generation}, "
+            f"epoch={self.epoch}, paths={len(self.entries)})"
+        )
+
+
+def attach_shard_generation(path_or_descriptor, *, untrack: bool = False) -> ShardState:
+    """Attach one published shard generation zero-copy.
+
+    Mirrors :func:`repro.serving.shm.attach_generation` for the
+    shard-slice descriptor format; raises ``FileNotFoundError`` when
+    the descriptor or its segment is already retired.
+    """
+    if isinstance(path_or_descriptor, dict):
+        descriptor = path_or_descriptor
+    else:
+        descriptor = json.loads(Path(path_or_descriptor).read_text(encoding="utf-8"))
+    if descriptor.get("format") != _FORMAT:
+        raise SnapshotError(
+            f"not a {_FORMAT} descriptor: format={descriptor.get('format')!r}"
+        )
+    if descriptor.get("format_version") != _FORMAT_VERSION:
+        raise SnapshotError(
+            f"shard generation format version "
+            f"{descriptor.get('format_version')!r} not supported"
+        )
+    resources = []
+    arrays: dict[str, np.ndarray] = {}
+    payload_bytes = 0
+    try:
+        for source in descriptor["sources"]:
+            resource, chunk = attach_arrays(source, untrack=untrack)
+            resources.append(resource)
+            arrays.update(chunk)
+            if resource is not None:
+                payload_bytes += int(resource.size)
+        entries = {}
+        for entry in descriptor["entries"]:
+            w_s = _csr_from_arrays(f"{entry['prefix']}/w", arrays, entry["shape"])
+            diag_s = arrays[f"{entry['prefix']}/diag"]
+            entries[entry["token"]] = (w_s, diag_s, int(entry["lo"]))
+    except BaseException:
+        for resource in resources:
+            if resource is not None:
+                try:
+                    resource.close()
+                except BufferError:
+                    pass
+        raise
+    return ShardState(
+        descriptor["shard"],
+        descriptor["generation"],
+        descriptor["epoch"],
+        entries,
+        resources,
+        payload_bytes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Shard worker process
+# ----------------------------------------------------------------------
+def _unpack_queries(packed) -> tuple[sp.csr_matrix, np.ndarray]:
+    """Rebuild the scattered query payload: ``(W[q] rows, diag[q])``."""
+    data, indices, indptr, shape, q_diag = packed
+    rows = sp.csr_matrix((data, indices, indptr), shape=tuple(shape), copy=False)
+    rows.has_canonical_format = True
+    return rows, np.asarray(q_diag, dtype=np.float64)
+
+
+def _shard_scores(w_s, diag_s, q_rows, q_diag) -> np.ndarray:
+    """The shard's slice of each query's dense PathSim score row.
+
+    Bit-identical to columns ``[lo, hi)`` of the engine's answer: one
+    query runs the 1-D mat-vec kernel exactly as
+    ``MetaPathEngine.pathsim_row`` does (zero-filled dense query row,
+    ``W_s.dot``, scalar-plus-vector denominator), several queries run
+    the 2-D block kernel exactly as ``pathsim_rows`` does — mirroring
+    the engine's own solo/batch split, so either dispatch path on the
+    parent meets the identical summation here.
+    """
+    if q_rows.shape[0] == 1:
+        dense = np.zeros(q_rows.shape[1])
+        dense[q_rows.indices] = q_rows.data
+        row = w_s.dot(dense)
+        denom = q_diag[0] + diag_s
+        return np.divide(
+            2.0 * row,
+            denom,
+            out=np.zeros_like(row, dtype=np.float64),
+            where=denom != 0,
+        )[None, :]
+    block = w_s.dot(np.asarray(q_rows.todense()).T).T  # (m, n_s)
+    denom = q_diag[:, None] + diag_s[None, :]
+    return np.divide(
+        2.0 * block,
+        denom,
+        out=np.zeros_like(block, dtype=np.float64),
+        where=denom != 0,
+    )
+
+
+def _execute_shard_job(state: ShardState, kind, payload):  # pragma: no cover
+    """One shard job -> aligned ``("ok", value) | ("err", error)`` statuses.
+
+    ``block`` answers a scattered top-k: one status per query, each
+    carrying the shard's partial ``(global indices, scores)`` list.
+    ``partial`` answers a watch-maintenance re-score: the shard's
+    columns of the partial PathSim block, mirroring
+    ``pathsim_partial_block``'s kernel on the slice.  ``info`` reports
+    the worker's memory footprint.
+    """
+    if kind == "info":
+        return [
+            (
+                "ok",
+                {
+                    "rss_bytes": _process_rss(),
+                    "payload_bytes": state.payload_bytes,
+                    "generation": state.generation,
+                    "epoch": state.epoch,
+                    "shard": state.shard,
+                },
+            )
+        ]
+    if kind == "block":
+        token, need, packed = payload
+        w_s, diag_s, lo = state.entries[token]
+        q_rows, q_diag = _unpack_queries(packed)
+        scores = _shard_scores(w_s, diag_s, q_rows, q_diag)
+        return [("ok", shard_top_k(row, need, offset=lo)) for row in scores]
+    if kind == "partial":
+        token, local_idx, packed = payload
+        w_s, diag_s, lo = state.entries[token]
+        q_rows, q_diag = _unpack_queries(packed)
+        local = np.asarray(local_idx, dtype=np.int64)
+        # Mirror pathsim_partial_block's kernel on the slice: F-ordered
+        # densify-then-transpose operand, CSR x dense block, candidate
+        # diagonal plus query diagonal, transposed back.
+        block = q_rows.toarray(order="F").T
+        dots = w_s[local].dot(block)
+        denom = diag_s[local][:, None] + q_diag[None, :]
+        scores = np.divide(
+            2.0 * dots,
+            denom,
+            out=np.zeros_like(dots, dtype=np.float64),
+            where=denom != 0,
+        )
+        return [("ok", scores.T)]
+    raise ValueError(f"unknown shard job kind {kind!r}")
+
+
+def _job_size(kind, payload) -> int:  # pragma: no cover
+    """How many statuses a failed job must still deliver."""
+    if kind == "block":
+        return max(1, len(payload[2][2]) - 1)  # queries = len(indptr) - 1
+    return 1
+
+
+def _shard_worker_main(  # pragma: no cover — runs in child processes
+    shard_id, task_queue, result_queue, gen_value, gen_dir, untrack
+):
+    """Shard worker loop: attach the pinned shard generation, serve jobs.
+
+    Unlike the replicated cluster's epoch *floor*, every shard job pins
+    an **exact generation**: a scattered query's per-shard partials
+    must all come from the same epoch as the parent-extracted query
+    rows, and the parent guarantees (by dispatching under the engine
+    read lock, which excludes commits, hence republications) that the
+    pinned generation is current and stays attachable for the job's
+    duration.  The retry loop below only absorbs descriptor-visibility
+    races on attach, with the same LRU(2) retirement as the replicated
+    worker.
+    """
+    import pickle
+
+    current = None
+    attached = LRUCache(2, on_evict=lambda _key, state: state.close())
+
+    def ensure_generation(target):
+        """Attach exactly generation ``target``, retrying until published."""
+        nonlocal current
+        if current is not None and current.generation == target:
+            return current
+        deadline = time.monotonic() + 60.0
+        while True:
+            try:
+                state = attach_shard_generation(
+                    Path(gen_dir) / f"shard{shard_id}-gen-{target}.json",
+                    untrack=untrack,
+                )
+                break
+            except FileNotFoundError:
+                if time.monotonic() > deadline:
+                    raise RuntimeError(
+                        f"shard worker {shard_id} could not attach "
+                        f"generation {target}"
+                    ) from None
+                time.sleep(0.002)
+        current = state
+        attached.bump_generation()
+        attached.put(target, state)
+        attached.evict_written_before(attached.generation)
+        return current
+
+    while True:
+        job = task_queue.get()
+        if job is _SHUTDOWN:
+            break
+        job_id, kind, payload, target_gen = job
+        try:
+            state = ensure_generation(target_gen)
+            statuses = _execute_shard_job(state, kind, payload)
+        except BaseException as exc:  # noqa: BLE001 — deliver, don't die
+            statuses = [("err", _picklable(exc))] * _job_size(kind, payload)
+        try:
+            pickle.dumps(statuses)
+        except Exception:
+            statuses = [
+                (status, value)
+                if _pickles(value)
+                else ("err", RuntimeError(f"result not picklable: {value!r:.200}"))
+                for status, value in statuses
+            ]
+        result_queue.put((job_id, statuses))
+    attached.clear()
+
+
+# ----------------------------------------------------------------------
+# The service
+# ----------------------------------------------------------------------
+class ShardedClusterService(ServingAPI):
+    """Multi-process serving with row-sharded state and scatter/merge top-k.
+
+    Parameters
+    ----------
+    hin:
+        The network to serve.  The parent keeps the only mutable copy
+        (and the full half products); updates flow through
+        ``hin.apply()`` and republish only the touched shards.
+    paths:
+        The symmetric meta-paths to shard-serve.  Top-k PathSim over
+        these scatters across the workers; everything else — other
+        paths, other measures, connectivity, rankings — executes
+        parent-side, at the same epoch guarantees.  More paths can be
+        added later with :meth:`prewarm`.
+    shards:
+        Worker-process count = partition count.  Defaults to the
+        usable CPU count capped at 4.
+    max_batch:
+        Per-job bound on same-shape top-k batching, as in
+        :class:`~repro.serving.QueryService`.
+    directory:
+        Where shard generation descriptors live (a private temp
+        directory by default).
+    mp_context:
+        ``multiprocessing`` start method (``"fork"`` where available).
+    keep_generations:
+        How many published generations per shard stay attachable at
+        once (>= 2).
+    job_timeout:
+        Seconds a dispatched shard job may take before the parent
+        gives up.
+    workers:
+        Service thread count (defaults to the shard count) — threads
+        that coalesce/batch requests and drive scatters.
+
+    The client surface is the shared
+    :class:`~repro.serving.api.ServingAPI`; swapping a replicated
+    ``ClusterService`` for this class changes construction only (see
+    GUIDE §8).  Use as a context manager, or call :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        hin,
+        paths,
+        *,
+        shards: int | None = None,
+        max_batch: int = 64,
+        directory=None,
+        mp_context: str | None = None,
+        keep_generations: int = 2,
+        job_timeout: float = 120.0,
+        workers: int | None = None,
+    ):
+        if hin is None:
+            raise ValueError("ShardedClusterService needs a live hin")
+        paths = list(paths)
+        if not paths:
+            raise ValueError(
+                "ShardedClusterService needs at least one served meta-path"
+            )
+        engine = hin.engine()
+        served: dict[str, _ServedPath] = {}
+        for p in paths:
+            spath = _ServedPath(engine.symmetric_path(p))
+            served.setdefault(spath.token, spath)
+        if shards is None:
+            try:
+                usable = len(os.sched_getaffinity(0))
+            except AttributeError:
+                usable = os.cpu_count() or 1
+            shards = max(1, min(usable, 4))
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self._ctx = multiprocessing.get_context(
+            mp_context or _default_start_method()
+        )
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:
+            pass
+        self._directory = (
+            Path(directory)
+            if directory
+            else Path(tempfile.mkdtemp(prefix="repro-shards-"))
+        )
+        self._own_directory = directory is None
+        self.hin = hin
+        self._served = served
+        self._plan = ShardPlan.compute(
+            hin, sorted({s.source_type for s in served.values()}), shards
+        )
+        self._job_timeout = float(job_timeout)
+        # One mutex for anything that uses the shard channels (scatter,
+        # watch partial scoring, worker_memory) — channels carry one
+        # outstanding job each; one for republication bookkeeping.
+        self._scatter_mutex = threading.Lock()
+        self._publish_mutex = threading.Lock()
+        self._stats_mutex = threading.Lock()
+        self._shard_gens = [0] * shards
+        self._shard_epochs = [0] * shards
+        self._republications = [0] * shards
+        self._gen_values = [self._ctx.Value("L", 0) for _ in range(shards)]
+        self._published = [
+            LRUCache(
+                max(2, int(keep_generations)),
+                on_evict=lambda _key, generation: generation.dispose(),
+            )
+            for _ in range(shards)
+        ]
+        self._scatters = 0
+        self._fallbacks = 0
+        self._partial_jobs = 0
+        self._closed = False
+        self._channels: list[_WorkerChannel] = []
+        self._service = None
+        self._hook = None
+        self._scorer = None
+        self._parent_state = SimpleNamespace(hin=hin, engine=engine)
+
+        try:
+            epoch0 = getattr(hin, "version", 0)
+            for s in range(shards):
+                generation = publish_shard_generation(
+                    hin, engine, list(self._served.values()), self._plan, s,
+                    directory=self._directory, generation=0,
+                )
+                self._published[s].put(0, generation)
+                self._shard_epochs[s] = generation.epoch
+            self._published_epoch = epoch0
+            # Workers fork/spawn BEFORE any service thread exists.
+            for s in range(shards):
+                self._channels.append(
+                    _WorkerChannel(
+                        self._ctx,
+                        s,
+                        self._gen_values[s],
+                        str(self._directory),
+                        target=_shard_worker_main,
+                    )
+                )
+            self._hook = hin.add_commit_hook(self._on_commit)
+            self._scorer = self._partial_scorer
+            hin.watches().set_partial_scorer(self._scorer)
+            self._service = QueryService(
+                hin,
+                workers=int(workers) if workers else len(self._channels),
+                max_batch=max_batch,
+                executor=self,
+            )
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # ServingAPI plumbing
+    # ------------------------------------------------------------------
+    def _serving_core(self) -> QueryService:
+        """The embedded :class:`QueryService`; this cluster is its
+        execution backend."""
+        return self._service
+
+    def prewarm(self, *paths) -> "ShardedClusterService":
+        """Add *paths* to the shard-served set and republish every shard.
+
+        New source types extend the :class:`ShardPlan`; already-served
+        paths are no-ops.  Runs under both mutexes, so it excludes
+        in-flight scatters and concurrent republication.
+        """
+        engine = self.hin.engine()
+        new = [_ServedPath(engine.symmetric_path(p)) for p in paths]
+        with self._scatter_mutex, self._publish_mutex:
+            for spath in new:
+                self._served.setdefault(spath.token, spath)
+            types = sorted({s.source_type for s in self._served.values()})
+            if set(types) - set(self._plan.ranges):
+                self._plan = ShardPlan.compute(self.hin, types, self._plan.shards)
+            for s in range(len(self._channels)):
+                self._republish_shard(s)
+        return self
+
+    # ------------------------------------------------------------------
+    # Generation lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """The served network's current update epoch."""
+        return getattr(self.hin, "version", 0)
+
+    @property
+    def republications(self) -> list[int]:
+        """Per-shard republication counters (initial publish excluded) —
+        the observable E21 asserts touched-shards-only maintenance on."""
+        return list(self._republications)
+
+    def _republish_shard(self, shard: int) -> None:
+        """Export *shard*'s current slice as its next generation."""
+        self._shard_gens[shard] += 1
+        generation = publish_shard_generation(
+            self.hin,
+            self.hin.engine(),
+            list(self._served.values()),
+            self._plan,
+            shard,
+            directory=self._directory,
+            generation=self._shard_gens[shard],
+        )
+        self._published[shard].bump_generation()
+        self._published[shard].put(self._shard_gens[shard], generation)
+        self._shard_epochs[shard] = generation.epoch
+        self._republications[shard] += 1
+        # Publication point for this shard's workers.
+        self._gen_values[shard].value = self._shard_gens[shard]
+
+    def _classify(self, update) -> set[int] | None:
+        """Which shards *update* can touch; ``None`` means replan + all.
+
+        Per served path whose relations carry a delta, the changed
+        source rows are the backward reachability of the delta over the
+        half steps (:func:`touched_chain_rows` — an exact superset:
+        rows outside it multiply only unchanged entries, so their
+        ``W``/diagonal slices are bit-unchanged and the shards holding
+        them keep serving their old generation *validly at the new
+        epoch*).  Node growth changes row universes and matrix shapes,
+        so the plan itself is recomputed.
+        """
+        if update.node_growth:
+            return None
+        touched: set[int] = set()
+        reach_cache: dict = {}
+        for spath in self._served.values():
+            if not (spath.relations & set(update.deltas)):
+                continue
+            key = tuple((rel.name, fwd) for rel, fwd in spath.half_steps)
+            if key not in reach_cache:
+                reach_cache[key] = touched_chain_rows(
+                    self.hin, spath.half_steps, update
+                )
+            touched |= self._plan.shards_touching(
+                spath.source_type, reach_cache[key]
+            )
+        return touched
+
+    def _on_commit(self, update) -> None:
+        """Commit hook: republish exactly the shards the batch touched."""
+        with self._publish_mutex:
+            touched = self._classify(update)
+            if touched is None:
+                self._plan = ShardPlan.compute(
+                    self.hin,
+                    sorted({s.source_type for s in self._served.values()}),
+                    self._plan.shards,
+                )
+                touched = set(range(len(self._channels)))
+            for shard in sorted(touched):
+                self._republish_shard(shard)
+            # Scatters await this stamp: untouched shards' generations
+            # are bit-valid at the new epoch (see _classify), so the
+            # epoch is fully served the moment the touched ones land.
+            self._published_epoch = update.epoch
+
+    def _await_publish(self) -> None:
+        """Block until shard generations cover the current epoch.
+
+        Called under the engine read lock: a commit's hooks run *after*
+        the write lock releases, so a scatter that slipped in between
+        commit and republication would otherwise pair new query rows
+        with old shard slices.  The spin is bounded by the hook
+        actually running (on the writer's thread, lock-free), so this
+        resolves in publication time, not job time.
+        """
+        deadline = time.monotonic() + self._job_timeout
+        while self._published_epoch != getattr(self.hin, "version", 0):
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    "shard republication did not catch up to the committed "
+                    "epoch (commit hook stalled?)"
+                )
+            time.sleep(0.001)
+
+    # ------------------------------------------------------------------
+    # QueryService executor protocol
+    # ------------------------------------------------------------------
+    def _served_for(self, path):
+        """The :class:`_ServedPath` answering *path*, or ``None``."""
+        try:
+            mp = self.hin.engine().symmetric_path(path)
+        except Exception:
+            return None
+        return self._served.get(repr(mp.canonical_key()))
+
+    def run_group(self, kind: str, payload) -> list[tuple]:
+        """Dispatch one request group: scatter when shard-served, else
+        execute parent-side.
+
+        Shard-served top-k PathSim ("batch" groups and solo "pathsim"
+        specs over a served path) scatters across every worker.  All
+        other requests run on the parent's live engine under its own
+        read lock — same epoch guarantees, no worker round trip — so
+        the full verb surface works before any path was shard-served.
+        """
+        if kind == "batch":
+            path, k, exclude, plan, objs = payload
+            spath = self._served_for(path)
+            if spath is not None:
+                with self._stats_mutex:
+                    self._scatters += 1
+                return self._scatter_top_k(spath, objs, k, exclude, plan)
+        elif kind == "solo" and payload and payload[0][0] == "pathsim":
+            _, path, obj, k, exclude, plan = payload[0]
+            spath = self._served_for(path)
+            if spath is not None:
+                with self._stats_mutex:
+                    self._scatters += 1
+                return self._scatter_top_k(spath, [obj], k, exclude, plan)
+        with self._stats_mutex:
+            self._fallbacks += 1
+        return _execute_job(self._parent_state, kind, payload)
+
+    def _scatter_top_k(self, spath, objs, k, exclude, plan) -> list[tuple]:
+        """Scatter one top-k group; merge exact per-query results.
+
+        Runs under the scatter mutex (exclusive use of the shard
+        channels) and the engine read lock.  The read lock is the epoch
+        pin: commits queue behind it, so between `_await_publish` and
+        the last collected partial, neither ``hin.version`` nor any
+        shard generation can move — every worker provably answers from
+        the same epoch the query rows were extracted at.
+        """
+        engine = self.hin.engine()
+        mode = engine._plan_mode(plan)
+        need = (int(k) + 1) if exclude else int(k)
+        with self._scatter_mutex:
+            with engine.lock.read():
+                self._await_publish()
+                epoch = getattr(self.hin, "version", 0)
+                try:
+                    idx, q_rows, q_diag = engine.pathsim_query_rows(
+                        spath.mp, objs, plan=mode
+                    )
+                except BaseException:
+                    # Unknown object / bad k shape: retry per query on
+                    # the parent engine so each request gets its own
+                    # error (or answer), like a worker's batch fallback.
+                    return [
+                        _execute_job(
+                            self._parent_state,
+                            "solo",
+                            [("pathsim", str(spath.mp), obj, int(k),
+                              bool(exclude), plan)],
+                        )[0]
+                        for obj in objs
+                    ]
+                packed = (
+                    q_rows.data, q_rows.indices, q_rows.indptr,
+                    q_rows.shape, q_diag,
+                )
+                for s, channel in enumerate(self._channels):
+                    channel.post(
+                        "block", (spath.token, need, packed), self._shard_gens[s]
+                    )
+                per_shard = []
+                for channel in self._channels:
+                    try:
+                        per_shard.append(channel.collect(self._job_timeout))
+                    except BaseException as exc:  # noqa: BLE001
+                        per_shard.append([("err", exc)] * len(objs))
+                return self._merge_results(
+                    spath, idx, per_shard, int(k), need, bool(exclude),
+                    mode, epoch,
+                )
+
+    def _merge_results(
+        self, spath, idx, per_shard, k, need, exclude, mode, epoch
+    ) -> list[tuple]:
+        """Exact k-way merge of per-shard partials into TopKResults.
+
+        Mirrors the engine's ``_select`` exactly: the merged order is
+        ``(-score, global index)`` (:func:`merge_top_k` over partials
+        that each surfaced their own top ``need``), the query row is
+        filtered under self-exclusion, names resolve through the same
+        ``hin.name_of``, and the result carries the scatter's epoch.
+        """
+        node_type = spath.source_type
+        statuses = []
+        for q_pos, q_index in enumerate(idx):
+            error = None
+            parts = []
+            for shard_statuses in per_shard:
+                status, value = shard_statuses[q_pos]
+                if status != "ok":
+                    error = value
+                    break
+                parts.append(value)
+            if error is not None:
+                statuses.append(("err", error))
+                continue
+            merged_idx, merged_scores = merge_top_k(parts, need)
+            q_index = int(q_index)
+            out = [
+                (self.hin.name_of(node_type, int(j)), float(score))
+                for j, score in zip(merged_idx, merged_scores)
+                if not (exclude and int(j) == q_index)
+            ]
+            statuses.append(
+                (
+                    "ok",
+                    TopKResult(
+                        out[:k],
+                        node_type=node_type,
+                        query=self.hin.name_of(node_type, q_index),
+                        path=str(spath.mp),
+                        measure="pathsim",
+                        network_version=epoch,
+                        plan=mode,
+                    ),
+                )
+            )
+        return statuses
+
+    # ------------------------------------------------------------------
+    # Watch routing (partial re-scores on the owning shard)
+    # ------------------------------------------------------------------
+    def _partial_scorer(self, mp, queries, touched, plan):
+        """Score a watch group's touched candidates on the owning shards.
+
+        Installed on the network's :class:`~repro.watch.WatchManager`;
+        the maintainer calls it from inside the commit hook.  Returns
+        the ``(len(queries), len(touched))`` block — columns stitched
+        from per-shard ``partial`` jobs in shard order, which *is*
+        candidate order because *touched* is sorted and shard ranges
+        are contiguous ascending — or ``None`` to decline (path not
+        shard-served, or this epoch's republication hasn't run yet:
+        commit hooks run in registration order, and a manager hook
+        registered before this service would call in with the shards
+        still one epoch behind).  Declines and errors both land on the
+        maintainer's in-process fallback, so watch exactness never
+        depends on the shard workers.
+        """
+        spath = self._served.get(repr(mp.canonical_key()))
+        if spath is None or not queries:
+            return None
+        epoch = getattr(self.hin, "version", 0)
+        if self._published_epoch != epoch:
+            return None
+        touched = np.asarray(touched, dtype=np.int64)
+        if touched.size == 0:
+            return None
+        engine = self.hin.engine()
+        mode = engine._plan_mode(plan)
+        with self._scatter_mutex:
+            if self._published_epoch != getattr(self.hin, "version", 0):
+                return None
+            _, q_rows, q_diag = engine.pathsim_query_rows(
+                spath.mp, list(queries), plan=mode
+            )
+            packed = (
+                q_rows.data, q_rows.indices, q_rows.indptr,
+                q_rows.shape, q_diag,
+            )
+            posted = []
+            for s, (lo, hi) in enumerate(self._plan.ranges[spath.source_type]):
+                a = int(np.searchsorted(touched, lo, side="left"))
+                b = int(np.searchsorted(touched, hi, side="left"))
+                if b > a:
+                    self._channels[s].post(
+                        "partial",
+                        (spath.token, touched[a:b] - lo, packed),
+                        self._shard_gens[s],
+                    )
+                    posted.append(s)
+            blocks = []
+            for s in posted:
+                status, value = self._channels[s].collect(self._job_timeout)[0]
+                if status != "ok":
+                    raise value  # the maintainer treats a raise as a decline
+                blocks.append(value)
+            with self._stats_mutex:
+                self._partial_jobs += len(posted)
+        if not blocks:
+            return None
+        return np.concatenate(blocks, axis=1)
+
+    # ------------------------------------------------------------------
+    # Observability / lifecycle
+    # ------------------------------------------------------------------
+    def worker_memory(self) -> list[dict]:
+        """One memory report per shard worker (see
+        :meth:`ClusterService.worker_memory`; adds ``shard``).  The
+        ``payload_bytes`` side is ~1/N of each served path's index —
+        the sharded memory claim E21 measures."""
+        with self._scatter_mutex:
+            reports = []
+            for s, channel in enumerate(self._channels):
+                status, value = channel.call(
+                    "info", [None], self._shard_gens[s], self._job_timeout
+                )[0]
+                if status != "ok":
+                    raise value
+                reports.append(value)
+            return reports
+
+    def stats(self) -> dict:
+        """The embedded service's counters plus sharding ones:
+        ``shards``, ``scatters``, ``fallbacks``, ``partial_jobs``,
+        per-shard ``republications``/``shard_epochs``, and the
+        current ``plan`` ranges."""
+        out = self._service.stats()
+        with self._stats_mutex:
+            out.update(
+                shards=len(self._channels),
+                scatters=self._scatters,
+                fallbacks=self._fallbacks,
+                partial_jobs=self._partial_jobs,
+            )
+        with self._publish_mutex:
+            out.update(
+                republications=list(self._republications),
+                shard_epochs=list(self._shard_epochs),
+                plan={t: list(r) for t, r in self._plan.ranges.items()},
+            )
+        return out
+
+    def close(self) -> None:
+        """Drain, stop the workers, retire every shard generation.
+
+        Also the failure-path cleanup for partial construction, so
+        every branch tolerates resources never acquired.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._hook is not None and self.hin is not None:
+            self.hin.remove_commit_hook(self._hook)
+        if self._scorer is not None and self.hin is not None:
+            # Peek, never create: closing must not instantiate a
+            # watch manager on a network that never watched.
+            manager = getattr(self.hin, "_watch_manager", None)
+            if manager is not None:
+                manager.clear_partial_scorer(self._scorer)
+        if self._service is not None:
+            self._service.close()
+        for channel in self._channels:
+            channel.shutdown()
+        for cache in self._published:
+            cache.clear()  # on_evict disposes segments + descriptors
+        if self._own_directory:
+            shutil.rmtree(self._directory, ignore_errors=True)
+
+    def __enter__(self) -> "ShardedClusterService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedClusterService({self.hin!r}, "
+            f"shards={len(self._channels)}, paths={len(self._served)}, "
+            f"epoch={self.epoch})"
+        )

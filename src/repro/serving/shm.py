@@ -407,13 +407,24 @@ class AttachedGeneration:
         ``hin.engine()`` with the published warm cache installed.
     generation / epoch:
         The generation counter and update epoch this state serves.
+    payload_bytes:
+        Total size of the attached buffers (segment sizes plus
+        mmap-backed payload files).  These bytes are *shared* — mapped,
+        not copied, by every attaching process — so they are the term
+        the memory-ratio benchmarks (E18/E21) compare across serving
+        topologies; per-process private memory is the RSS side of the
+        report.
     """
 
-    def __init__(self, generation: int, epoch: int, hin, engine, resources):
+    def __init__(
+        self, generation: int, epoch: int, hin, engine, resources,
+        payload_bytes: int = 0,
+    ):
         self.generation = int(generation)
         self.epoch = int(epoch)
         self.hin = hin
         self.engine = engine
+        self.payload_bytes = int(payload_bytes)
         self._resources = resources
 
     def close(self) -> None:
@@ -644,11 +655,19 @@ def attach_generation(path_or_descriptor, *, untrack: bool = False) -> AttachedG
     )
     resources = []
     arrays: dict[str, np.ndarray] = {}
+    payload_bytes = 0
     try:
         for source in descriptor["sources"]:
             resource, chunk = attach_arrays(source, untrack=untrack)
             resources.append(resource)
             arrays.update(chunk)
+            if source["kind"] == "npz":
+                try:
+                    payload_bytes += os.path.getsize(source["file"])
+                except OSError:
+                    pass
+            elif resource is not None:
+                payload_bytes += int(resource.size)
         schema = NetworkSchema(
             descriptor["node_types"],
             [
@@ -682,5 +701,10 @@ def attach_generation(path_or_descriptor, *, untrack: bool = False) -> AttachedG
                     pass
         raise
     return AttachedGeneration(
-        descriptor["generation"], descriptor["epoch"], hin, engine, resources
+        descriptor["generation"],
+        descriptor["epoch"],
+        hin,
+        engine,
+        resources,
+        payload_bytes,
     )

@@ -188,11 +188,9 @@ class ResultMaintainer:
         on the path."""
         mp = watches[0].mp
         touched, members = self._touched(watches[0], update, touched_cache)
-        block = self.hin.engine().pathsim_partial_block(
-            mp,
-            [watch.index for watch in watches],
-            touched,
-            plan=watches[0].spec.plan,
+        block = self._score_block(
+            mp, [watch.index for watch in watches], touched,
+            watches[0].spec.plan,
         )
         counters = self._manager._counters
         # Group-wide screen: a watch whose re-scored candidates all sit
@@ -217,6 +215,31 @@ class ResultMaintainer:
                     (watch, self._merge_pathsim(watch, update, touched, row))
                 )
         return outcomes
+
+    def _score_block(self, mp, queries, touched, plan):
+        """The group's partial PathSim block, through the registry's
+        installed scorer when one is set.
+
+        A :class:`~repro.serving.shards.ShardedClusterService` installs
+        a scorer that computes each touched candidate's column on the
+        shard owning its rows; it must return a block bit-identical to
+        ``engine.pathsim_partial_block`` (the sharded kernels are — see
+        shards.py), or decline with ``None``/an exception, in which
+        case maintenance proceeds on the in-process engine.  Exactness
+        of the maintained results therefore never depends on the
+        distributed path being healthy.
+        """
+        scorer = self._manager.partial_scorer()
+        if scorer is not None:
+            try:
+                block = scorer(mp, list(queries), touched, plan)
+            except Exception:
+                block = None
+            if block is not None:
+                return np.asarray(block, dtype=np.float64)
+        return self.hin.engine().pathsim_partial_block(
+            mp, list(queries), touched, plan=plan
+        )
 
     def _merge_pathsim(self, watch, update, touched, touched_scores):
         """Merge re-scored candidates into one watch's stored ranking;

@@ -165,6 +165,7 @@ class WatchManager:
         self._watches: dict[tuple, Watch] = {}
         self._maintainer = ResultMaintainer(self)
         self._hook = None
+        self._partial_scorer = None
         self._counters = {
             "commits": 0,
             "untouched": 0,
@@ -325,6 +326,48 @@ class WatchManager:
     def __len__(self) -> int:
         with self._mutex:
             return len(self._watches)
+
+    # ------------------------------------------------------------------
+    # Partial-scorer plug-in (sharded serving)
+    # ------------------------------------------------------------------
+    def set_partial_scorer(self, scorer) -> None:
+        """Route the maintainer's partial re-scoring through *scorer*.
+
+        *scorer* is ``(mp, queries, touched, plan) -> block | None``:
+        given the watch group's meta-path, its query row indices, and
+        the sorted touched candidate rows, return the dense
+        ``(len(queries), len(touched))`` PathSim block — bit-identical
+        to ``engine.pathsim_partial_block`` — or ``None`` to decline,
+        in which case the maintainer computes the block itself.  A
+        scorer that *raises* is also treated as declining: standing
+        results must keep being maintained even when the distributed
+        path hiccups.
+
+        :class:`~repro.serving.shards.ShardedClusterService` installs
+        one so that incremental watch maintenance scores each touched
+        candidate on the shard that owns its rows instead of in the
+        parent.  One scorer at a time; installing replaces, and
+        :meth:`clear_partial_scorer` (called from the service's
+        ``close()``) restores the in-process default.
+        """
+        with self._mutex:
+            self._partial_scorer = scorer
+
+    def clear_partial_scorer(self, scorer=None) -> None:
+        """Remove the installed partial scorer.
+
+        Pass the scorer being retired to make the call safe against
+        replacement races: the registry only clears when it still holds
+        *that* scorer (or when called with ``None``, unconditionally).
+        """
+        with self._mutex:
+            if scorer is None or self._partial_scorer is scorer:
+                self._partial_scorer = None
+
+    def partial_scorer(self):
+        """The installed partial scorer, or ``None``."""
+        with self._mutex:
+            return self._partial_scorer
 
     # ------------------------------------------------------------------
     # Internals

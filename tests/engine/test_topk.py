@@ -7,7 +7,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.engine.topk import top_k_indices
+from repro.engine.topk import merge_top_k, shard_top_k, top_k_indices
 from repro.networks import HIN, NetworkSchema
 
 
@@ -60,6 +60,83 @@ class TestTopKIndices:
             top_k_indices(np.zeros((2, 2)), 1)
         with pytest.raises(ValueError, match="k"):
             top_k_indices(np.zeros(3), -1)
+
+
+def split_scores(scores, cuts):
+    """Shard a global score vector at *cuts* and surface each part's top-k."""
+    bounds = [0, *cuts, len(scores)]
+    return [
+        (lo, np.asarray(scores[lo:hi], dtype=float))
+        for lo, hi in zip(bounds, bounds[1:])
+    ]
+
+
+class TestShardMerge:
+    """The scatter/merge primitives must reproduce the single-vector
+    selection bit for bit — these are the edges ShardedClusterService
+    leans on (ties exactly at the global k-th across shard boundaries,
+    empty shards, k past any shard's candidate count)."""
+
+    def merged(self, scores, cuts, k):
+        parts = [
+            shard_top_k(slice_, k, offset=lo)
+            for lo, slice_ in split_scores(scores, cuts)
+        ]
+        return merge_top_k(parts, k)
+
+    def test_tie_exactly_at_global_kth_across_shards(self):
+        # 0.5 three ways, straddling the cut at index 3: with k=2 the
+        # global answer keeps indices 1 (0.9) then 2 (first 0.5) — the
+        # tied 0.5 living on the *other* shard must lose by index.
+        scores = np.array([0.1, 0.9, 0.5, 0.5, 0.5, 0.2])
+        for k in (1, 2, 3, 4, 6):
+            idx, sc = self.merged(scores, [3], k)
+            expect = reference_order(scores, k)
+            assert idx.tolist() == expect.tolist()
+            assert sc.tolist() == scores[expect].tolist()
+
+    def test_every_cut_position_matches_reference(self):
+        scores = np.array([2.0, 2.0, 1.0, 2.0, 3.0, 1.0, 2.0])
+        for cut in range(len(scores) + 1):
+            for k in (0, 1, 3, 7, 10):
+                idx, _ = self.merged(scores, [cut], k)
+                assert idx.tolist() == reference_order(scores, k).tolist()
+
+    def test_empty_shards(self):
+        scores = np.array([1.0, 3.0, 2.0])
+        # leading, trailing, and back-to-back empty slices
+        idx, sc = self.merged(scores, [0, 3, 3], 2)
+        assert idx.tolist() == [1, 2] and sc.tolist() == [3.0, 2.0]
+        empty_idx, empty_sc = shard_top_k(np.array([]), 5, offset=7)
+        assert empty_idx.size == 0 and empty_sc.size == 0
+        no_parts = merge_top_k([], 3)
+        assert no_parts[0].size == 0 and no_parts[1].size == 0
+
+    def test_k_larger_than_any_shard(self):
+        scores = np.array([0.4, 0.1, 0.8, 0.3, 0.6])
+        # three shards of size <= 2, k beyond all of them and beyond n
+        for k in (3, 5, 9):
+            idx, sc = self.merged(scores, [2, 4], k)
+            expect = reference_order(scores, k)
+            assert idx.tolist() == expect.tolist()
+            assert sc.tolist() == scores[expect].tolist()
+
+    def test_matches_reference_on_random_partitions(self):
+        rng = np.random.default_rng(23)
+        for _ in range(40):
+            n = int(rng.integers(1, 50))
+            scores = rng.integers(0, 4, size=n).astype(float)  # heavy ties
+            shards = int(rng.integers(1, 6))
+            cuts = sorted(int(c) for c in rng.integers(0, n + 1, size=shards - 1))
+            k = int(rng.integers(0, n + 3))
+            idx, sc = self.merged(scores, cuts, k)
+            expect = reference_order(scores, k)
+            assert idx.tolist() == expect.tolist()
+            assert sc.tolist() == scores[expect].tolist()
+
+    def test_merge_rejects_negative_k(self):
+        with pytest.raises(ValueError, match="k"):
+            merge_top_k([(np.array([0]), np.array([1.0]))], -1)
 
 
 class TestEngineEdgeCases:
