@@ -8,8 +8,13 @@ See :mod:`repro.engine.engine` for the design and
 """
 
 from repro.engine.engine import MetaPathEngine
+from repro.engine.fused import (
+    fused_block_scores,
+    fused_partial_block,
+    fused_row_scores,
+)
 from repro.engine.planner import ChainPlan, ChainPlanner, PlanReport
-from repro.engine.topk import top_k_indices
+from repro.engine.topk import finalize_top_k, top_k_indices
 
 __all__ = [
     "MetaPathEngine",
@@ -17,4 +22,8 @@ __all__ = [
     "ChainPlan",
     "PlanReport",
     "top_k_indices",
+    "finalize_top_k",
+    "fused_row_scores",
+    "fused_block_scores",
+    "fused_partial_block",
 ]

@@ -55,6 +55,13 @@ from collections.abc import Sequence
 import numpy as np
 import scipy.sparse as sp
 
+from dataclasses import replace as _dc_replace
+
+from repro.engine.fused import (
+    fused_block_scores,
+    fused_partial_block,
+    fused_row_scores,
+)
 from repro.engine.planner import ChainPlanner, PlanReport
 from repro.exceptions import MetaPathError, NodeNotFoundError
 from repro.networks.schema import MetaPath
@@ -62,7 +69,7 @@ from repro.networks.updates import AppliedUpdate, pad_csr
 from repro.query.results import TopKResult
 from repro.utils.cache import CacheInfo, LRUCache
 from repro.utils.locks import RWLock
-from repro.engine.topk import top_k_indices
+from repro.engine.topk import finalize_top_k, top_k_indices
 
 __all__ = ["MetaPathEngine"]
 
@@ -153,6 +160,7 @@ class MetaPathEngine:
         max_cached_matrices: int = 64,
         delta_rebuild_threshold: float = 0.25,
         plan: str = "auto",
+        mode: str = "auto",
     ):
         self.hin = hin
         self._cache = LRUCache(max_cached_matrices)
@@ -161,6 +169,18 @@ class MetaPathEngine:
         if plan not in ("auto", "left"):
             raise ValueError(f"plan must be 'auto' or 'left', got {plan!r}")
         self.plan_mode = plan
+        if mode not in ("auto", "fused", "materialize"):
+            raise ValueError(
+                f"mode must be 'auto', 'fused' or 'materialize', got {mode!r}"
+            )
+        self.topk_mode = mode
+        # Auto-dispatch warms a path after this many fused answers: the
+        # first few cold single-source queries thread rows (cheap), a
+        # hot path then materializes once and serves from the cache.
+        self.fused_auto_threshold = 4
+        self._fused_uses: dict[tuple, int] = {}
+        # Fused-vs-materialized dispatch counters (see planner_info()).
+        self.kernel_counters = {"fused": 0, "materialize": 0}
         self._planner = ChainPlanner(self)
         # The network version this engine's cache describes.  Kept in
         # lock-step by apply_update(); _sync() handles engines that missed
@@ -295,6 +315,42 @@ class MetaPathEngine:
         if mode == "left":
             return self._product(steps)
         return self._planner.materialize(steps)
+
+    def _auto_choice(self, key: tuple, nq: int) -> tuple[str, bool]:
+        """``(kernel, counted)`` auto-dispatch would pick for *nq* more
+        queries on *key* right now — counter-free peeks only, so
+        :meth:`explain` can call it without skewing the LRU."""
+        if self._cache.peek(("pathsim", key)) is not None:
+            return "materialize", False
+        if self._fused_uses.get(key, 0) + nq > self.fused_auto_threshold:
+            return "materialize", False
+        return "fused", True
+
+    def _topk_kernel(self, mode: str | None, mp: MetaPath, nq: int) -> str:
+        """Resolve a per-call ``mode=`` override to the kernel to run.
+
+        ``"fused"`` and ``"materialize"`` are forced; ``"auto"`` (or
+        ``None`` → the engine's :attr:`topk_mode`) picks materialized
+        when the path's PathSim entry is already cached, fused while the
+        path is cold — until :attr:`fused_auto_threshold` answers have
+        gone through fused, after which the path is deemed hot and auto
+        materializes (one SpGEMM that every later query amortizes).
+        Answers are bit-identical either way; only the cost differs.
+        """
+        self._sync()
+        chosen = self.topk_mode if mode is None else mode
+        if chosen not in ("auto", "fused", "materialize"):
+            raise ValueError(
+                f"mode must be 'auto', 'fused' or 'materialize', "
+                f"got {chosen!r}"
+            )
+        if chosen == "auto":
+            key = mp.canonical_key()
+            chosen, counted = self._auto_choice(key, nq)
+            if counted and nq:
+                self._fused_uses[key] = self._fused_uses.get(key, 0) + nq
+        self.kernel_counters[chosen] += 1
+        return chosen
 
     @_reader
     def commuting_matrix(self, path, *, plan: str | None = None) -> sp.csr_matrix:
@@ -451,7 +507,8 @@ class MetaPathEngine:
 
     @_reader
     def pathsim_partial_block(
-        self, path, queries, candidates, *, plan: str | None = None
+        self, path, queries, candidates, *,
+        plan: str | None = None, mode: str | None = None,
     ) -> np.ndarray:
         """Batched :meth:`pathsim_partial`: one ``(len(queries),
         len(candidates))`` score block.
@@ -463,9 +520,19 @@ class MetaPathEngine:
         The standing-query maintainer uses this to re-score one
         update's touched candidates for every watch on the same path in
         a single sparse product.
+
+        ``mode`` picks the kernel like :meth:`pathsim_top_k` does;
+        ``"auto"`` keeps a cold path cold (threaded rows via
+        :func:`~repro.engine.fused.fused_partial_block`) instead of
+        forcing the half product into the cache for delta-sized work.
         """
+        pmode = self._plan_mode(plan)
         mp = self.symmetric_path(path)
-        w, diag = self._pathsim_parts(mp, plan)
+        kernel = self._topk_kernel(mode, mp, 0)
+        if kernel == "fused":
+            rows = [self._resolve(mp.source_type, q) for q in queries]
+            return fused_partial_block(self, mp, rows, candidates, pmode)
+        w, diag = self._pathsim_parts(mp, pmode)
         rows = np.array(
             [self._resolve(mp.source_type, q) for q in queries],
             dtype=np.int64,
@@ -552,7 +619,7 @@ class MetaPathEngine:
     @_reader
     def pathsim_top_k(
         self, path, query, k: int, *, exclude_query: bool = True,
-        plan: str | None = None,
+        plan: str | None = None, mode: str | None = None,
     ) -> TopKResult:
         """Top-*k* peers of *query* under *path*: a
         :class:`~repro.query.results.TopKResult` of ``(name, score)``
@@ -562,33 +629,53 @@ class MetaPathEngine:
         dense PathSim row with a stable sort; only the work differs.
         ``plan`` picks the association order for the materialization
         (the answer is the same either way; see :attr:`plan_mode`).
+        ``mode`` picks the kernel: ``"materialize"`` serves from the
+        cached symmetric decomposition, ``"fused"`` threads the query
+        row through the relation chain without materializing it
+        (:mod:`repro.engine.fused`), ``"auto"``/``None`` dispatches on
+        cache state (see :meth:`_topk_kernel`).  The kernel that ran is
+        reported as ``result.mode``; answers are bit-identical.
         """
         if k < 0:
             raise ValueError(f"k must be >= 0, got {k}")
-        mode = self._plan_mode(plan)
+        pmode = self._plan_mode(plan)
         mp = self.symmetric_path(path)
         i = self._resolve(mp.source_type, query)
-        scores = self.pathsim_row(mp, i, plan=mode)
+        kernel = self._topk_kernel(mode, mp, 1)
+        if kernel == "fused":
+            # The kernel prunes to exactly what _select consumes: the
+            # top `need` positions (k plus the self-exclusion slot).
+            scores = fused_row_scores(
+                self, mp, i, pmode, need=k + 1 if exclude_query else k
+            )
+        else:
+            scores = self.pathsim_row(mp, i, plan=pmode)
         return self._select(
-            scores, mp, mp.source_type, i, k, exclude_query, "pathsim", plan=mode
+            scores, mp, mp.source_type, i, k, exclude_query, "pathsim",
+            plan=pmode, mode=kernel,
         )
 
     @_reader
     def pathsim_top_k_batch(
         self, path, queries, k: int, *, exclude_query: bool = True,
-        plan: str | None = None,
+        plan: str | None = None, mode: str | None = None,
     ) -> list[TopKResult]:
-        """:meth:`pathsim_top_k` for many queries with one block product."""
+        """:meth:`pathsim_top_k` for many queries with one block product
+        (``mode="fused"`` runs the blocked fused kernel instead)."""
         if k < 0:
             raise ValueError(f"k must be >= 0, got {k}")
-        mode = self._plan_mode(plan)
+        pmode = self._plan_mode(plan)
         mp = self.symmetric_path(path)
         idx = [self._resolve(mp.source_type, q) for q in queries]
-        block = self.pathsim_rows(mp, idx, plan=mode)
+        kernel = self._topk_kernel(mode, mp, len(idx))
+        if kernel == "fused":
+            block = fused_block_scores(self, mp, idx, pmode)
+        else:
+            block = self.pathsim_rows(mp, idx, plan=pmode)
         return [
             self._select(
                 block[row], mp, mp.source_type, i, k, exclude_query, "pathsim",
-                plan=mode,
+                plan=pmode, mode=kernel,
             )
             for row, i in enumerate(idx)
         ]
@@ -603,22 +690,22 @@ class MetaPathEngine:
         exclude: bool,
         measure: str,
         plan: str | None = None,
+        mode: str | None = None,
     ) -> TopKResult:
         need = k + 1 if exclude else k
         order = top_k_indices(scores, min(need, scores.size))
-        out = [
-            (self.hin.name_of(node_type, int(j)), float(scores[j]))
-            for j in order
-            if not (exclude and j == query)
-        ]
+        pairs = finalize_top_k(
+            ((j, scores[j]) for j in order), k, query if exclude else None
+        )
         return TopKResult(
-            out[:k],
+            [(self.hin.name_of(node_type, j), score) for j, score in pairs],
             node_type=node_type,
             query=self.hin.name_of(mp.source_type, query),
             path=str(mp),
             measure=measure,
             network_version=getattr(self.hin, "version", None),
             plan=plan,
+            mode=mode,
         )
 
     # ------------------------------------------------------------------
@@ -1132,16 +1219,24 @@ class MetaPathEngine:
         symmetric = mp.is_symmetric()
         if symmetric:
             steps = steps[: len(steps) // 2]
-        return self._planner.report(
+        report = self._planner.report(
             steps, mode=mode, path=str(mp), symmetric=symmetric
         )
+        if symmetric:
+            # Which top-k kernel auto-dispatch would run right now
+            # (peeks only; the report stays side-effect-free).
+            kernel, _ = self._auto_choice(mp.canonical_key(), 0)
+            report = _dc_replace(report, kernel=kernel)
+        return report
 
     def planner_info(self) -> dict:
         """Planner counters: plans built, products planned, and seed
         reuse broken down by kind (prefix/suffix/infix/full, inverse),
-        plus the engine's default :attr:`plan_mode`."""
+        plus the engine's default :attr:`plan_mode` and the
+        fused-vs-materialized top-k dispatch counters (``kernels``)."""
         info = dict(self._planner.counters)
         info["mode"] = self.plan_mode
+        info["kernels"] = dict(self.kernel_counters)
         return info
 
     @_writer

@@ -1,0 +1,276 @@
+"""Fused single-source PathSim top-k: no commuting matrix, no half product.
+
+The materialized PathSim path (:meth:`MetaPathEngine._pathsim_parts`)
+pays for the half product ``W`` — the full chain SpGEMM over every
+source object — before it can answer even one query.  For a *cold* path
+(nothing cached yet) a single-source query only ever needs
+
+* one row of ``W`` (the query's), and
+* the diagonal entries of ``M = W Wᵀ`` for the query's *candidates* —
+  the objects its numerator row actually reaches; every other object
+  scores exactly ``0.0``.
+
+This module computes both by *threading rows through the relation
+chain*: the query row enters the first step matrix as a CSR row slice
+and each subsequent step is a thin sparse product, so cost is
+proportional to the rows' reach, never the network.  Under
+``plan="auto"`` the chains come from
+:meth:`~repro.engine.planner.ChainPlanner.row_chain`, which collapses
+the longest cached spans (forward or inverse spelling) into single
+matrices — the fused kernel reuses whatever the planner already
+materialized.  When the path's PathSim entry *is* cached, its
+incrementally-maintained diagonal is read directly instead of
+recomputing candidate norms.
+
+Exactness
+---------
+Answers are **bit-identical** to the materialized path, not
+epsilon-close, for the same reason the planner's association freedom
+is: link weights are integers, and sums/products of integers in float64
+are exact below 2^53 regardless of summation or association order.
+Numerator entries, diagonal entries, and therefore every IEEE division
+``2·M[i,j] / (diag[i] + diag[j])`` see identical operands on both
+paths.  (Fractional weights would only agree to roundoff — the same
+caveat the planner documents.)
+
+Objects the numerator never reaches score ``+0.0`` on both paths: the
+materialized kernel computes ``2·0/denom`` (or masks a zero
+denominator), the fused kernel leaves the dense output's zeros in
+place — including candidates whose true diagonal the fused path never
+looked at, because ``0/denom`` is ``+0.0`` for every ``denom`` the
+``where=denom != 0`` mask lets through.
+
+Every function here is called by the engine under its read lock with
+the cache already synced; none takes locks of its own.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+__all__ = [
+    "fused_row_scores",
+    "fused_block_scores",
+    "fused_partial_block",
+]
+
+
+def _half_chains(engine, mp, plan: str):
+    """``(first, second)`` matrix chains for *mp*'s two symmetric halves.
+
+    ``first`` multiplies out to the half product ``W`` (values), and
+    ``second`` to ``Wᵀ``; threading a row through ``first + second``
+    yields the commuting-matrix row.  Under ``plan="auto"`` each half
+    goes through the planner's cached-span collapse."""
+    steps = tuple(mp.steps())
+    half = len(steps) // 2
+    if plan == "auto":
+        return (
+            engine._planner.row_chain(steps[:half]),
+            engine._planner.row_chain(steps[half:]),
+        )
+    mats = engine.hin.step_matrices(mp)
+    return list(mats[:half]), list(mats[half:])
+
+
+def _thread_rows(mats, idx: np.ndarray):
+    """Rows *idx* of the chain product over *mats*: one CSR row slice
+    followed by thin sparse products — cost bounded by the rows' reach."""
+    block = mats[0][idx]
+    for m in mats[1:]:
+        block = block.dot(m)
+    return block.tocsr()
+
+
+def _row_norms(block) -> np.ndarray:
+    """Squared row norms of a CSR block — the PathSim diagonal entries
+    of its rows.
+
+    Sums the squared stored entries per row straight off the CSR arrays
+    (``multiply(block).sum(axis=1)`` builds a whole second matrix first).
+    Values match the materialized diagonal exactly: integer weights make
+    every square and sum exact in float64, independent of summation
+    order."""
+    out = np.zeros(block.shape[0])
+    data = np.asarray(block.data, dtype=np.float64)
+    if data.size == 0:
+        return out
+    sq = data * data
+    indptr = block.indptr
+    nonempty = np.flatnonzero(np.diff(indptr) > 0)
+    # reduceat over the nonempty rows' start offsets: each segment runs
+    # to the next listed start, and the skipped (empty) rows contribute
+    # no entries in between, so segment sums are exactly the row sums.
+    out[nonempty] = np.add.reduceat(sq, indptr[nonempty])
+    return out
+
+
+def fused_block_scores(engine, mp, idx, plan: str) -> np.ndarray:
+    """Dense ``(len(idx), n)`` PathSim score block, fused.
+
+    Bit-identical to ``engine.pathsim_rows(mp, idx, plan=plan)`` without
+    materializing ``W`` or ``M``: the blocked generalization of the
+    single-source kernel (the seed is a multi-row slice instead of one
+    row).
+    """
+    idx = np.asarray(idx, dtype=np.int64)
+    n = engine.hin.node_count(mp.source_type)
+    if idx.size == 0:
+        return np.zeros((0, n))
+    first, second = _half_chains(engine, mp, plan)
+    w_rows = _thread_rows(first, idx)  # the queries' rows of W
+    diag_q = _row_norms(w_rows)
+    num = w_rows
+    for m in second:
+        num = num.dot(m)
+    num = num.tocsr()  # the queries' rows of M = W Wᵀ
+    # Denominators only exist where numerators do: non-candidates score
+    # +0.0 under any diagonal value (see module docstring), so a
+    # zero-filled vector is exact outside the candidate set.
+    diag = np.zeros(n)
+    cand = np.unique(num.indices)
+    if cand.size:
+        cached = engine._cache.get(("pathsim", mp.canonical_key()))
+        if cached is not None:
+            diag[cand] = cached[1][cand]
+        else:
+            diag[cand] = _row_norms(_thread_rows(first, cand))
+    dense = np.asarray(num.toarray(), dtype=np.float64)
+    denom = diag_q[:, None] + diag[None, :]
+    return np.divide(
+        2.0 * dense, denom, out=np.zeros_like(dense), where=denom != 0
+    )
+
+
+def _suffix_bound(v: float, diag_i: float) -> float:
+    """Upper bound on any PathSim score a candidate with numerator
+    ``<= v`` can still achieve against a query of diagonal *diag_i*.
+
+    Cauchy–Schwarz gives ``diag_j >= v² / diag_i`` for a candidate whose
+    numerator is ``v``, so ``2v / (diag_i + diag_j)`` is maximized at
+    that floor: ``2·v·diag_i / (diag_i² + v²)`` — monotone increasing in
+    ``v`` below ``diag_i`` (above it the score cap of ``1.0`` applies).
+    Inflated by a relative margin so float roundoff in evaluating the
+    bound can never place it below a score the bound must dominate.
+    """
+    if diag_i <= 0.0:
+        return 0.0
+    if v >= diag_i:
+        return 1.0
+    return (2.0 * v * diag_i) / (diag_i * diag_i + v * v) * (1.0 + 1e-9)
+
+
+def fused_row_scores(
+    engine, mp, i: int, plan: str, need: int | None = None
+) -> np.ndarray:
+    """Dense length-*n* PathSim scores from source *i*, fused.
+
+    With ``need=None``, bit-identical to
+    ``engine.pathsim_row(mp, i, plan=plan)`` at every position (``M[i,
+    i]`` — the query's own diagonal — falls out of the half-way
+    threading state).
+
+    With ``need`` set, only enough candidates to determine the top
+    *need* selection exactly are scored: candidates are visited in
+    descending numerator order, their diagonals threaded in doubling
+    blocks, and the scan stops once :func:`_suffix_bound` proves no
+    unvisited candidate can strictly beat the running *need*-th best
+    score.  Pruned candidates keep score ``0.0`` — positions beyond the
+    top *need* of the returned vector are therefore NOT the true
+    scores; callers selecting ``k <= need`` entries see bit-identical
+    answers.
+    """
+    idx = np.array([i], dtype=np.int64)
+    first, second = _half_chains(engine, mp, plan)
+    w_q = _thread_rows(first, idx)
+    diag_i = float(_row_norms(w_q)[0])
+    num = w_q
+    for m in second:
+        num = num.dot(m)
+    num = num.tocsr()
+    n = num.shape[1]
+    scores = np.zeros(n)
+    if num.nnz == 0:
+        return scores
+    cols = num.indices.astype(np.int64, copy=False)
+    vals = np.asarray(num.data, dtype=np.float64)
+
+    cached = engine._cache.get(("pathsim", mp.canonical_key()))
+    if cached is not None:
+        denom = diag_i + cached[1][cols]
+        scores[cols] = np.divide(
+            2.0 * vals, denom, out=np.zeros_like(vals), where=denom != 0
+        )
+        return scores
+
+    def score_into(take: np.ndarray) -> np.ndarray:
+        """Thread diagonals for candidate positions *take*, fill scores."""
+        ccols, cvals = cols[take], vals[take]
+        denom = diag_i + _row_norms(_thread_rows(first, ccols))
+        block = np.divide(
+            2.0 * cvals, denom, out=np.zeros_like(cvals), where=denom != 0
+        )
+        scores[ccols] = block
+        return block
+
+    # The bound only dominates for non-negative numerators (the library's
+    # weights are counts); anything else falls back to the full scan.
+    if need is None or need >= cols.size or vals.min() < 0.0:
+        score_into(np.arange(cols.size))
+        return scores
+
+    order = np.lexsort((cols, -vals))  # descending numerator, then index
+    pool = np.empty(0)  # running top-`need` computed scores
+    done, chunk = 0, max(4 * max(need, 1), 64)
+    while done < order.size:
+        computed = score_into(order[done : done + chunk])
+        done += computed.size
+        if done >= order.size:
+            break
+        pool = np.concatenate([pool, computed])
+        if pool.size > need:
+            pool = np.partition(pool, pool.size - need)[pool.size - need :]
+        if pool.size >= need and _suffix_bound(
+            vals[order[done]], diag_i
+        ) < pool.min():
+            break  # no unvisited candidate can strictly beat the cut
+        chunk *= 2
+    return scores
+
+
+def fused_partial_block(engine, mp, rows, candidates, plan: str) -> np.ndarray:
+    """Fused ``(len(rows), len(candidates))`` partial score block.
+
+    Bit-identical to ``engine.pathsim_partial_block`` — same operand
+    values, same CSR-times-dense kernel, same division — but both
+    operand blocks are *threaded* (rows of ``W`` via the chain) instead
+    of sliced from a materialized half product.  This is what keeps
+    standing-query maintenance (:mod:`repro.watch`) delta-priced on
+    paths nobody ever materialized: per commit it costs the touched
+    rows' reach, not a full chain SpGEMM.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    idx = np.asarray(candidates, dtype=np.int64)
+    if rows.size == 0 or idx.size == 0:
+        return np.zeros((rows.size, idx.size))
+    first, _ = _half_chains(engine, mp, plan)
+    w_rows = _thread_rows(first, rows)
+    w_cand = _thread_rows(first, idx)
+    cached = engine._cache.get(("pathsim", mp.canonical_key()))
+    if cached is not None:
+        diag_r, diag_c = cached[1][rows], cached[1][idx]
+    else:
+        diag_r, diag_c = _row_norms(w_rows), _row_norms(w_cand)
+    # Same F-order densification trick as the materialized kernel: the
+    # transpose view is C-contiguous with no second copy.
+    block = np.asarray(w_rows.toarray(order="F"), dtype=np.float64).T
+    dots = w_cand.dot(block)  # (len(idx), len(rows))
+    denom = diag_c[:, None] + diag_r[None, :]
+    scores = np.divide(
+        2.0 * dots,
+        denom,
+        out=np.zeros_like(dots, dtype=np.float64),
+        where=denom != 0,
+    )
+    return scores.T

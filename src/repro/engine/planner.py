@@ -104,6 +104,10 @@ class PlanReport:
     est_flops: float
     left_flops: float
     seeds: tuple
+    # Which top-k kernel auto-dispatch would run for this path right now
+    # ("fused"/"materialize"; None for asymmetric paths, which have no
+    # PathSim kernel choice).  Filled in by engine.explain().
+    kernel: str | None = None
 
     @property
     def estimated_speedup(self) -> float:
@@ -121,6 +125,7 @@ class PlanReport:
             "left_flops": self.left_flops,
             "estimated_speedup": self.estimated_speedup,
             "seeds": list(self.seeds),
+            "kernel": self.kernel,
         }
 
     def __str__(self) -> str:
@@ -136,6 +141,8 @@ class PlanReport:
         lines.append(
             "  seeds: " + (", ".join(self.seeds) if self.seeds else "none")
         )
+        if self.kernel is not None:
+            lines.append(f"  top-k kernel: {self.kernel}")
         return "\n".join(lines)
 
 

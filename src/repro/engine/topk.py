@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["top_k_indices", "shard_top_k", "merge_top_k"]
+__all__ = ["top_k_indices", "shard_top_k", "merge_top_k", "finalize_top_k"]
 
 
 def top_k_indices(scores, k: int) -> np.ndarray:
@@ -122,3 +122,30 @@ def merge_top_k(parts, k: int) -> tuple[np.ndarray, np.ndarray]:
     # the engine's stable tie-break order.
     order = np.lexsort((indices, -scores))[:k]
     return indices[order], scores[order]
+
+
+def finalize_top_k(ranked, k: int, exclude_index: int | None = None) -> list:
+    """Shared tail of every top-k selection: self-exclusion + truncation.
+
+    *ranked* is an iterable of ``(index, score)`` pairs already in final
+    order (descending score, ties by ascending index) that surfaced at
+    least ``k + 1`` entries when *exclude_index* is set (so dropping it
+    can never leave the answer short).  Returns at most *k*
+    ``(int, float)`` pairs.
+
+    The engine's ``_select``, the sharded scatter/merge, and the fused
+    kernel all finish through this one function, so the result shape —
+    including the empty answer when every surfaced peer is excluded —
+    cannot drift between the solo, batch, fused, and distributed paths.
+    """
+    if k <= 0:
+        return []
+    out = []
+    for j, score in ranked:
+        j = int(j)
+        if exclude_index is not None and j == exclude_index:
+            continue
+        out.append((j, float(score)))
+        if len(out) == k:
+            break
+    return out

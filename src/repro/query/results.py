@@ -87,6 +87,13 @@ class TopKResult(QueryResult, list):
         measure has no planned materialization).  Purely informational:
         plans never change scores, only evaluation cost — see
         ``engine.explain()`` for the full plan.
+    mode:
+        Top-k kernel that produced the answer: ``"fused"`` (the query
+        rows were threaded through the relation chain, nothing
+        materialized) or ``"materialize"`` (served from the cached
+        symmetric decomposition); ``None`` when the producing measure
+        has no kernel choice.  Like ``plan``, purely informational —
+        the kernels are bit-identical.
     """
 
     def __init__(
@@ -99,6 +106,7 @@ class TopKResult(QueryResult, list):
         measure: str | None = None,
         network_version: int | None = None,
         plan: str | None = None,
+        mode: str | None = None,
     ):
         list.__init__(self, pairs)
         self.node_type = node_type
@@ -107,6 +115,7 @@ class TopKResult(QueryResult, list):
         self.measure = measure
         self.network_version = network_version
         self.plan = plan
+        self.mode = mode
 
     def top(self, n: int) -> list[tuple]:
         """The first *n* ``(label, score)`` pairs."""
@@ -137,6 +146,8 @@ class TopKResult(QueryResult, list):
         }
         if self.plan is not None:
             out["plan"] = self.plan
+        if self.mode is not None:
+            out["mode"] = self.mode
         return out
 
     def __repr__(self) -> str:

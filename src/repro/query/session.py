@@ -115,6 +115,7 @@ class QuerySession:
         measure: str = "pathsim",
         exclude_self: bool = True,
         plan: str | None = None,
+        mode: str | None = None,
     ) -> TopKResult:
         """Top-*k* peers of *obj* under *path*.
 
@@ -124,11 +125,15 @@ class QuerySession:
         per path (default parameters, memoized in a small session LRU),
         and answers from its matrix.  ``plan`` overrides the engine's
         association-order policy for this call (``"auto"``/``"left"``;
-        pathsim only — scores are identical either way).
+        pathsim only — scores are identical either way).  ``mode``
+        picks the pathsim top-k kernel (``"fused"``/``"materialize"``/
+        ``"auto"``; also score-identical — see
+        :meth:`~repro.engine.MetaPathEngine.pathsim_top_k`).
         """
         if measure == "pathsim":
             return self._engine.pathsim_top_k(
-                self.path(path), obj, k, exclude_query=exclude_self, plan=plan
+                self.path(path), obj, k, exclude_query=exclude_self,
+                plan=plan, mode=mode,
             )
         if measure == "simrank":
             return self._simrank_top_k(obj, path, k, exclude_self=exclude_self)
@@ -138,11 +143,12 @@ class QuerySession:
 
     def similar_batch(
         self, objs, path, k: int = 10, *, exclude_self: bool = True,
-        plan: str | None = None,
+        plan: str | None = None, mode: str | None = None,
     ) -> list[TopKResult]:
         """:meth:`similar` for many queries via one block product."""
         return self._engine.pathsim_top_k_batch(
-            self.path(path), objs, k, exclude_query=exclude_self, plan=plan
+            self.path(path), objs, k, exclude_query=exclude_self,
+            plan=plan, mode=mode,
         )
 
     def similarity(self, x, y, path) -> float:

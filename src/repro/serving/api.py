@@ -66,11 +66,12 @@ class ServingAPI:
         measure: str = "pathsim",
         exclude_self: bool = True,
         plan: str | None = None,
+        mode: str | None = None,
     ) -> Future:
         """Enqueue a top-*k* similarity query; returns a future.
 
         ``measure="pathsim"`` requests are batchable: queued requests
-        over the same ``(path, k, exclude_self, plan)`` shape are
+        over the same ``(path, k, exclude_self, plan, mode)`` shape are
         answered by one block product (scattered across shards on a
         :class:`~repro.serving.ShardedClusterService`).  Other measures
         execute singly through the session.
@@ -95,6 +96,13 @@ class ServingAPI:
             the engine's policy).  Part of the coalescing and batching
             identity — answers are plan-independent, but work sharing
             never silently overrides an explicit request.
+        mode:
+            Top-k kernel override (``"fused"``/``"materialize"``/
+            ``"auto"``, default the engine's policy; pathsim only).
+            Also part of the coalescing/batching identity, and also
+            answer-independent — ``"fused"`` threads query rows through
+            the relation chain without materializing the path, which
+            ``"auto"`` picks by itself for cold paths.
 
         Raises
         ------
@@ -105,7 +113,8 @@ class ServingAPI:
             never raised on the submitting thread.
         """
         return self._serving_core()._submit_similar(
-            obj, path, k, measure=measure, exclude_self=exclude_self, plan=plan
+            obj, path, k, measure=measure, exclude_self=exclude_self,
+            plan=plan, mode=mode,
         )
 
     def connected(

@@ -101,9 +101,9 @@ def _execute_spec(state, spec):  # pragma: no cover
     """Run one declarative request spec against an attached generation."""
     op = spec[0]
     if op == "pathsim":
-        _, path, obj, k, exclude, plan = spec
+        _, path, obj, k, exclude, plan, mode = spec
         return state.engine.pathsim_top_k(
-            path, obj, k, exclude_query=exclude, plan=plan
+            path, obj, k, exclude_query=exclude, plan=plan, mode=mode
         )
     if op == "similar":
         _, obj, path, k, measure, exclude, plan = spec
@@ -165,16 +165,17 @@ def _execute_job(state, kind, payload):  # pragma: no cover
             )
         ]
     if kind == "batch":
-        path, k, exclude, plan, objs = payload
+        path, k, exclude, plan, mode, objs = payload
         try:
             results = state.engine.pathsim_top_k_batch(
-                path, objs, k, exclude_query=exclude, plan=plan
+                path, objs, k, exclude_query=exclude, plan=plan, mode=mode
             )
             return [("ok", result) for result in results]
         except BaseException:
             return [
                 _execute_job(
-                    state, "solo", [("pathsim", path, obj, k, exclude, plan)]
+                    state, "solo",
+                    [("pathsim", path, obj, k, exclude, plan, mode)],
                 )[0]
                 for obj in objs
             ]

@@ -78,7 +78,7 @@ class _Request:
     batch_call: object = None  # (queries) -> [results], for grouped execution
     query: object = None  # this request's query object within a batch
     spec: tuple | None = None  # declarative form for remote execution
-    batch_spec: tuple | None = None  # (path, k, exclude) for remote batching
+    batch_spec: tuple | None = None  # (path, k, exclude, plan, mode): remote batching
 
 
 class QueryService(ServingAPI):
@@ -192,6 +192,7 @@ class QueryService(ServingAPI):
         measure: str = "pathsim",
         exclude_self: bool = True,
         plan: str | None = None,
+        mode: str | None = None,
     ) -> Future:
         """Build and enqueue a similarity request (see
         :meth:`ServingAPI.similar` for the client contract)."""
@@ -201,26 +202,30 @@ class QueryService(ServingAPI):
             except Exception as exc:  # uniform error contract: via the future
                 return self._failed(exc)
             shape = (
-                "similar", mp.canonical_key(), int(k), bool(exclude_self), plan
+                "similar", mp.canonical_key(), int(k), bool(exclude_self),
+                plan, mode,
             )
             return self._submit(
                 self._safe_key("similar", shape[1:] + (obj,)),
                 lambda key: _Request(
                     op="similar",
                     call=lambda: self._engine.pathsim_top_k(
-                        mp, obj, k, exclude_query=exclude_self, plan=plan
+                        mp, obj, k, exclude_query=exclude_self, plan=plan,
+                        mode=mode,
                     ),
                     futures=[Future()],
                     key=key,
                     batch_key=shape,
                     batch_call=lambda queries: self._engine.pathsim_top_k_batch(
-                        mp, queries, k, exclude_query=exclude_self, plan=plan
+                        mp, queries, k, exclude_query=exclude_self, plan=plan,
+                        mode=mode,
                     ),
                     query=obj,
                     spec=(
-                        "pathsim", str(mp), obj, int(k), bool(exclude_self), plan
+                        "pathsim", str(mp), obj, int(k), bool(exclude_self),
+                        plan, mode,
                     ),
-                    batch_spec=(str(mp), int(k), bool(exclude_self), plan),
+                    batch_spec=(str(mp), int(k), bool(exclude_self), plan, mode),
                 ),
             )
         return self._submit(
@@ -485,9 +490,10 @@ class QueryService(ServingAPI):
         """
         try:
             if len(group) > 1:
-                path, k, exclude, plan = group[0].batch_spec
+                path, k, exclude, plan, mode = group[0].batch_spec
                 statuses = self._executor.run_group(
-                    "batch", (path, k, exclude, plan, [r.query for r in group])
+                    "batch",
+                    (path, k, exclude, plan, mode, [r.query for r in group]),
                 )
             else:
                 statuses = self._executor.run_group("solo", [group[0].spec])

@@ -76,7 +76,7 @@ from types import SimpleNamespace
 import numpy as np
 import scipy.sparse as sp
 
-from repro.engine.topk import merge_top_k, shard_top_k
+from repro.engine.topk import finalize_top_k, merge_top_k, shard_top_k
 from repro.exceptions import SnapshotError
 from repro.networks.stats import balanced_ranges, type_row_weights
 from repro.query.results import TopKResult
@@ -820,17 +820,23 @@ class ShardedClusterService(ServingAPI):
         other requests run on the parent's live engine under its own
         read lock — same epoch guarantees, no worker round trip — so
         the full verb surface works before any path was shard-served.
+
+        An explicit ``mode="fused"`` also falls through to the parent
+        engine: scattering is materialized by construction (workers
+        hold slices of the half product), so forcing the fused kernel
+        means answering from the parent's threaded rows instead.
+        Answers are bit-identical either way.
         """
         if kind == "batch":
-            path, k, exclude, plan, objs = payload
-            spath = self._served_for(path)
+            path, k, exclude, plan, mode, objs = payload
+            spath = self._served_for(path) if mode != "fused" else None
             if spath is not None:
                 with self._stats_mutex:
                     self._scatters += 1
                 return self._scatter_top_k(spath, objs, k, exclude, plan)
         elif kind == "solo" and payload and payload[0][0] == "pathsim":
-            _, path, obj, k, exclude, plan = payload[0]
-            spath = self._served_for(path)
+            _, path, obj, k, exclude, plan, mode = payload[0]
+            spath = self._served_for(path) if mode != "fused" else None
             if spath is not None:
                 with self._stats_mutex:
                     self._scatters += 1
@@ -869,7 +875,7 @@ class ShardedClusterService(ServingAPI):
                             self._parent_state,
                             "solo",
                             [("pathsim", str(spath.mp), obj, int(k),
-                              bool(exclude), plan)],
+                              bool(exclude), plan, "materialize")],
                         )[0]
                         for obj in objs
                     ]
@@ -919,22 +925,25 @@ class ShardedClusterService(ServingAPI):
                 continue
             merged_idx, merged_scores = merge_top_k(parts, need)
             q_index = int(q_index)
-            out = [
-                (self.hin.name_of(node_type, int(j)), float(score))
-                for j, score in zip(merged_idx, merged_scores)
-                if not (exclude and int(j) == q_index)
-            ]
+            pairs = finalize_top_k(
+                zip(merged_idx, merged_scores), k,
+                q_index if exclude else None,
+            )
             statuses.append(
                 (
                     "ok",
                     TopKResult(
-                        out[:k],
+                        [
+                            (self.hin.name_of(node_type, j), score)
+                            for j, score in pairs
+                        ],
                         node_type=node_type,
                         query=self.hin.name_of(node_type, q_index),
                         path=str(spath.mp),
                         measure="pathsim",
                         network_version=epoch,
                         plan=mode,
+                        mode="materialize",
                     ),
                 )
             )

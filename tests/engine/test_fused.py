@@ -1,0 +1,360 @@
+"""Fused single-source PathSim kernel: edge-case matrix, auto dispatch,
+and the unified empty-result shape.
+
+Every comparison here is **bit-identical** (``==`` on the score floats,
+never a tolerance): link weights are small integers, so every float64
+sum/product along either kernel is exact and the two kernels divide the
+same operands.  See :mod:`repro.engine.fused` for the full argument.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    MetaPathEngine,
+    finalize_top_k,
+    fused_block_scores,
+    fused_partial_block,
+    fused_row_scores,
+)
+from repro.networks import HIN, NetworkSchema
+
+APA = "author-paper-author"
+APVPA = "author-paper-venue-paper-author"
+
+
+def _ab_hin(edges, *, n_a=4, n_b=3, extra_rel=False):
+    """Tiny two-type network: relation ``r`` from ``a`` to ``b``."""
+    rels = [("r", "a", "b")]
+    if extra_rel:
+        rels.append(("r2", "a", "b"))
+    schema = NetworkSchema(["a", "b"], rels)
+    if isinstance(edges, dict):
+        edge_map = edges
+    else:
+        edge_map = {"r": edges}
+    edge_map.setdefault("r2", [] if extra_rel else None)
+    edge_map = {k: v for k, v in edge_map.items() if v is not None}
+    return HIN.from_edges(schema, nodes={"a": n_a, "b": n_b}, edges=edge_map)
+
+
+def _both(hin, path, query, k, **kw):
+    """(fused, materialized) answers from fresh engines — cold both ways."""
+    fused = MetaPathEngine(hin, mode="fused").pathsim_top_k(path, query, k, **kw)
+    mat = MetaPathEngine(hin, mode="materialize").pathsim_top_k(
+        path, query, k, **kw
+    )
+    return fused, mat
+
+
+def _assert_identical(fused, mat):
+    assert list(fused) == list(mat)  # names AND float bits
+    assert fused.mode == "fused"
+    assert mat.mode == "materialize"
+
+
+class TestEdgeCaseMatrix:
+    def test_k_exceeds_candidates(self, small_bib):
+        fused, mat = _both(small_bib, APVPA, 0, 100)
+        _assert_identical(fused, mat)
+        assert len(fused) <= small_bib.node_count("author")
+
+    def test_all_tie_at_kth_cut(self):
+        # Authors 0-3 all write the same paper with the same weight:
+        # every off-diagonal PathSim score is the same value, so the
+        # k-th cut slices through a full tie — both kernels must break
+        # it by ascending index, identically.
+        hin = _ab_hin([(0, 0), (1, 0), (2, 0), (3, 0)])
+        for k in (1, 2, 3):
+            fused, mat = _both(hin, "a-b-a", 0, k)
+            _assert_identical(fused, mat)
+            assert len(fused) == k
+            scores = {s for _, s in fused}
+            assert len(scores) == 1  # genuinely tied at the cut
+
+    def test_zero_degree_source(self):
+        hin = _ab_hin([(0, 0), (1, 0)])  # a2, a3 write nothing
+        fused, mat = _both(hin, "a-b-a", 3, 2)
+        _assert_identical(fused, mat)
+
+    def test_empty_relation_along_chain(self):
+        hin = _ab_hin({"r": [(0, 0)], "r2": []}, extra_rel=True)
+        fused, mat = _both(hin, "a-[r2]-b-[~r2]-a", 0, 2)
+        _assert_identical(fused, mat)
+
+    def test_length_one_round_trip(self, small_bib):
+        # The minimal symmetric path: one relation out and straight back.
+        for q in range(small_bib.node_count("author")):
+            fused, mat = _both(small_bib, APA, q, 3)
+            _assert_identical(fused, mat)
+
+    def test_inverse_relation_chain(self):
+        # First step traverses r backwards ([~r]): the fused kernel must
+        # thread the transposed step exactly like the materializer.
+        hin = _ab_hin([(0, 0), (1, 0), (1, 1), (2, 1), (3, 2)])
+        for q in range(3):
+            fused, mat = _both(hin, "b-[~r]-a-[r]-b", q, 3)
+            _assert_identical(fused, mat)
+
+    def test_batch_matches_solo_per_kernel(self, small_bib):
+        queries = list(range(small_bib.node_count("author")))
+        for mode in ("fused", "materialize"):
+            engine = MetaPathEngine(small_bib, mode=mode)
+            batch = engine.pathsim_top_k_batch(APVPA, queries, 3)
+            for q, res in zip(queries, batch):
+                assert list(res) == list(engine.pathsim_top_k(APVPA, q, 3))
+                assert res.mode == mode
+
+    def test_partial_block_parity(self, small_bib):
+        rows = [0, 2]
+        candidates = [1, 2, 3]
+        fused = MetaPathEngine(small_bib, mode="fused").pathsim_partial_block(
+            APVPA, rows, candidates
+        )
+        mat = MetaPathEngine(
+            small_bib, mode="materialize"
+        ).pathsim_partial_block(APVPA, rows, candidates)
+        assert np.array_equal(fused, mat)
+
+    def test_fused_helpers_reject_nothing_the_engine_allows(self, small_bib):
+        # Direct kernel entry points agree with the dense row / block.
+        engine = MetaPathEngine(small_bib, mode="materialize")
+        mp = engine.symmetric_path(APVPA)
+        row = engine.pathsim_row(mp, 1)
+        cold = MetaPathEngine(small_bib)
+        got = fused_row_scores(cold, mp, 1, "auto")
+        assert np.array_equal(got, row)
+        block = fused_block_scores(cold, mp, [0, 1], "auto")
+        assert np.array_equal(block, engine.pathsim_rows(mp, [0, 1]))
+        part = fused_partial_block(cold, mp, [0], [1, 2], "auto")
+        assert np.array_equal(
+            part, engine.pathsim_partial_block(mp, [0], [1, 2])
+        )
+
+    def test_pruned_row_serves_exact_top_k(self, small_bib):
+        # need= prunes the tail: positions past the top-`need` stay 0.0,
+        # but the selected top-k must be exactly the unpruned answer.
+        engine = MetaPathEngine(small_bib)
+        mp = engine.symmetric_path(APVPA)
+        full = fused_row_scores(engine, mp, 0, "auto")
+        for need in (1, 2, 3):
+            pruned = fused_row_scores(engine, mp, 0, "auto", need=need)
+            order_full = np.lexsort((np.arange(full.size), -full))[:need]
+            order_pruned = np.lexsort((np.arange(pruned.size), -pruned))[:need]
+            assert np.array_equal(order_full, order_pruned)
+            assert np.array_equal(full[order_full], pruned[order_pruned])
+
+    def test_forced_fused_reads_cached_diag(self, small_bib):
+        # A prewarmed engine holds the maintained (w, diag) pair; forced
+        # fused must read that diagonal instead of re-threading candidate
+        # rows — and still agree bit for bit on every entry point.
+        warm = MetaPathEngine(small_bib, mode="fused")
+        warm.prewarm([APVPA])
+        mat = MetaPathEngine(small_bib, mode="materialize")
+        for q in range(small_bib.node_count("author")):
+            assert list(warm.pathsim_top_k(APVPA, q, 3)) == list(
+                mat.pathsim_top_k(APVPA, q, 3)
+            )
+        queries = [0, 1, 3]
+        assert [
+            list(r) for r in warm.pathsim_top_k_batch(APVPA, queries, 2)
+        ] == [list(r) for r in mat.pathsim_top_k_batch(APVPA, queries, 2)]
+        assert np.array_equal(
+            warm.pathsim_partial_block(APVPA, [0, 1], [2, 3]),
+            mat.pathsim_partial_block(APVPA, [0, 1], [2, 3]),
+        )
+
+    def test_partial_block_empty_rows_or_candidates(self, small_bib):
+        engine = MetaPathEngine(small_bib, mode="fused")
+        assert engine.pathsim_partial_block(APVPA, [], [0, 1]).shape == (0, 2)
+        assert engine.pathsim_partial_block(APVPA, [0], []).shape == (1, 0)
+
+    def test_empty_batch_and_left_plan(self, small_bib):
+        engine = MetaPathEngine(small_bib, mode="fused")
+        assert engine.pathsim_top_k_batch(APVPA, [], 3) == []
+        # plan="left" threads the raw step matrices (no planner chains);
+        # the answer is association-independent either way.
+        mat = MetaPathEngine(small_bib, mode="materialize")
+        for q in range(small_bib.node_count("author")):
+            assert list(engine.pathsim_top_k(APVPA, q, 3, plan="left")) == list(
+                mat.pathsim_top_k(APVPA, q, 3)
+            )
+
+    def test_pruning_engages_on_wide_candidate_sets(self):
+        # >64 candidates with small k: the pruned scan must stop early
+        # yet still hand _select the exact top slots.  Parity over every
+        # query is the oracle; the suffix bound makes it safe.
+        from repro.datasets import make_dblp_four_area
+
+        hin = make_dblp_four_area(
+            authors_per_area=50, papers_per_area=120, terms_per_area=30,
+            shared_terms=15, seed=3,
+        ).hin
+        mat = MetaPathEngine(hin, mode="materialize")
+        fused = MetaPathEngine(hin, mode="fused")
+        for q in range(0, hin.node_count("author"), 13):
+            assert list(fused.pathsim_top_k(APVPA, q, 2)) == list(
+                mat.pathsim_top_k(APVPA, q, 2)
+            ), q
+
+    def test_suffix_bound_contract(self):
+        # The Cauchy-Schwarz score bound: dominates the attainable score,
+        # monotone in the numerator, saturates at 1 for v >= diag_i.
+        from repro.engine.fused import _suffix_bound
+
+        assert _suffix_bound(5.0, 0.0) == 0.0
+        assert _suffix_bound(7.0, 7.0) == 1.0
+        assert _suffix_bound(9.0, 7.0) == 1.0
+        lo, hi = _suffix_bound(2.0, 8.0), _suffix_bound(4.0, 8.0)
+        assert 0.0 < lo < hi <= 1.0
+        # dominates the true score for any feasible denominator diag_j
+        # (Cauchy-Schwarz forces diag_j >= v^2 / diag_i):
+        v, diag_i = 3.0, 8.0
+        for diag_j in (v * v / diag_i, 2.0, 5.0, 50.0):
+            true_score = 2.0 * v / (diag_i + diag_j)
+            assert true_score <= _suffix_bound(v, diag_i)
+
+    def test_invalid_mode_rejected(self, small_bib):
+        with pytest.raises(ValueError):
+            MetaPathEngine(small_bib, mode="eager")
+        engine = MetaPathEngine(small_bib)
+        with pytest.raises(ValueError):
+            engine.pathsim_top_k(APA, 0, 2, mode="eager")
+
+
+class TestAutoDispatch:
+    """``mode="auto"`` picks the kernel from cache state; whatever it
+    picks must be reported on the result and agree bit for bit with both
+    forced kernels."""
+
+    def _forced(self, hin, path, q, k):
+        return (
+            list(MetaPathEngine(hin, mode="fused").pathsim_top_k(path, q, k)),
+            list(
+                MetaPathEngine(hin, mode="materialize").pathsim_top_k(
+                    path, q, k
+                )
+            ),
+        )
+
+    def test_cold_path_runs_fused_then_warms(self, small_bib):
+        engine = MetaPathEngine(small_bib)  # mode="auto" is the default
+        fused_ref, mat_ref = self._forced(small_bib, APVPA, 0, 3)
+        assert fused_ref == mat_ref
+        modes = []
+        for _ in range(engine.fused_auto_threshold + 2):
+            res = engine.pathsim_top_k(APVPA, 0, 3)
+            modes.append(res.mode)
+            assert list(res) == fused_ref
+        t = engine.fused_auto_threshold
+        assert modes[:t] == ["fused"] * t
+        assert set(modes[t:]) == {"materialize"}
+        assert engine.kernel_counters == {"fused": t, "materialize": 2}
+
+    def test_prewarmed_prefix_dispatches_materialized(self, small_bib):
+        engine = MetaPathEngine(small_bib)
+        engine.prewarm([APVPA])
+        res = engine.pathsim_top_k(APVPA, 1, 3)
+        assert res.mode == "materialize"
+        fused_ref, _ = self._forced(small_bib, APVPA, 1, 3)
+        assert list(res) == fused_ref
+        assert engine.explain(APVPA).kernel == "materialize"
+
+    def test_evicted_seed_falls_back_consistently(self, small_bib):
+        engine = MetaPathEngine(small_bib, max_cached_matrices=2)
+        engine.prewarm([APVPA])
+        # Evict everything the prewarm cached, then query: whichever
+        # kernel auto picks, the answer must match both forced kernels.
+        engine.clear_cache()
+        res = engine.pathsim_top_k(APVPA, 2, 3)
+        assert res.mode in ("fused", "materialize")
+        fused_ref, mat_ref = self._forced(small_bib, APVPA, 2, 3)
+        assert list(res) == fused_ref == mat_ref
+
+    def test_snapshot_restore_counts_as_warm(self, small_bib):
+        donor = MetaPathEngine(small_bib)
+        donor.prewarm([APVPA])
+        epoch, entries = donor.export_state()
+        fresh = MetaPathEngine(small_bib)
+        fresh.attach_state(epoch, entries)
+        res = fresh.pathsim_top_k(APVPA, 0, 3)
+        assert res.mode == "materialize"
+        fused_ref, _ = self._forced(small_bib, APVPA, 0, 3)
+        assert list(res) == fused_ref
+
+    def test_fuzzed_cache_states_agree(self, small_bib):
+        # Drive one auto engine through a scripted mix of cache states —
+        # cold, repeated (past the fused threshold), prewarmed, evicted,
+        # restored — checking reported mode and bit-identity throughout.
+        import itertools
+
+        refs = {
+            (p, q, k): self._forced(small_bib, p, q, k)[0]
+            for p, q, k in itertools.product((APA, APVPA), (0, 3), (2, 5))
+        }
+        engine = MetaPathEngine(small_bib)
+        script = [
+            ("query", APVPA, 0, 2), ("query", APVPA, 0, 2),
+            ("prewarm", APA), ("query", APA, 3, 5),
+            ("query", APVPA, 3, 5), ("query", APVPA, 0, 2),
+            ("evict",), ("query", APVPA, 0, 5), ("query", APA, 0, 2),
+            ("restore",), ("query", APA, 3, 2), ("query", APVPA, 3, 2),
+        ]
+        for op in script:
+            if op[0] == "prewarm":
+                engine.prewarm([op[1]])
+            elif op[0] == "evict":
+                engine.clear_cache()
+            elif op[0] == "restore":
+                epoch, entries = engine.export_state()
+                engine = MetaPathEngine(small_bib)
+                engine.warm_entries(entries)
+            else:
+                _, path, q, k = op
+                res = engine.pathsim_top_k(path, q, k)
+                assert res.mode in ("fused", "materialize")
+                assert list(res) == refs[(path, q, k)], (op, res.mode)
+        counters = engine.kernel_counters
+        assert counters["fused"] + counters["materialize"] > 0
+
+
+class TestUnifiedEmptyShape:
+    """Solo, batch, fused and distributed selection all finish through
+    :func:`finalize_top_k`, so an all-excluded answer is ``[]`` (never
+    ``None``, never a padded list) on every path."""
+
+    def test_single_node_self_excluded(self):
+        hin = _ab_hin([(0, 0)], n_a=1, n_b=1)
+        for mode in ("fused", "materialize", "auto"):
+            engine = MetaPathEngine(hin, mode=mode)
+            solo = engine.pathsim_top_k("a-b-a", 0, 5)
+            (batch,) = engine.pathsim_top_k_batch("a-b-a", [0], 5)
+            assert list(solo) == [] == list(batch)
+            assert isinstance(solo, list) and isinstance(batch, list)
+
+    def test_k_zero_is_empty_everywhere(self, small_bib):
+        for mode in ("fused", "materialize"):
+            engine = MetaPathEngine(small_bib, mode=mode)
+            assert list(engine.pathsim_top_k(APA, 0, 0)) == []
+            (only,) = engine.pathsim_top_k_batch(APA, [0], 0)
+            assert list(only) == []
+
+    def test_finalize_top_k_contract(self):
+        ranked = [(2, 1.0), (0, 0.5), (1, 0.5)]
+        assert finalize_top_k(ranked, 0) == []
+        assert finalize_top_k(ranked, 2) == [(2, 1.0), (0, 0.5)]
+        assert finalize_top_k(ranked, 2, exclude_index=2) == [
+            (0, 0.5),
+            (1, 0.5),
+        ]
+        assert finalize_top_k(iter(ranked), 10, exclude_index=0) == [
+            (2, 1.0),
+            (1, 0.5),
+        ]
+        # All surfaced entries excluded -> the unified empty shape.
+        assert finalize_top_k([(7, 1.0)], 3, exclude_index=7) == []
+        out = finalize_top_k([(np.int64(1), np.float64(0.25))], 1)
+        assert out == [(1, 0.25)]
+        assert isinstance(out[0][0], int) and isinstance(out[0][1], float)

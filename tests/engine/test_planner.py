@@ -214,7 +214,9 @@ class TestPathsimReversedSpellingRegression:
     def test_reversed_half_hits_cache(self, small_bib):
         # Regression: _pathsim_parts used to recompute W for V-P-A-P-V
         # even when A-P-V (the reversed half) was already cached.
-        engine = MetaPathEngine(small_bib)
+        # Pinned to the materialized kernel: _pathsim_parts only runs
+        # there (mode="auto" would serve this cold path fused).
+        engine = MetaPathEngine(small_bib, mode="materialize")
         engine.prewarm([APVPA])
         before = engine.cache_info()
         got = engine.pathsim_top_k(VPAPV, 0, 2)

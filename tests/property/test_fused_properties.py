@@ -1,0 +1,160 @@
+"""Property-based oracle: the fused PathSim kernel is *invisible*.
+
+For any symmetric meta path drawn over a random-ish schema, any query,
+any ``k``, any exclusion flag, and any stream of random update batches
+interleaved with queries, the fused single-source kernel must agree with
+the materialized kernel **bit for bit** — list equality over the
+``(name, float)`` pairs, never a tolerance.  Link weights are small
+integers, so every float64 accumulation on either side is exact and the
+final divisions see identical operands; any mismatch is a real kernel
+bug, not roundoff.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import MetaPathEngine
+from repro.networks import HIN, NetworkSchema, UpdateBatch
+
+
+def _schema():
+    return NetworkSchema(
+        ["a", "b", "c"], [("r_ab", "a", "b"), ("r_bc", "b", "c")]
+    )
+
+
+def _base_hin():
+    return HIN.from_edges(
+        _schema(),
+        nodes={"a": 4, "b": 3, "c": 2},
+        edges={
+            "r_ab": [(0, 0, 2), (1, 1, 1), (2, 2, 1), (0, 2, 1), (3, 1, 3)],
+            "r_bc": [(0, 0, 1), (1, 1, 2), (2, 0, 1)],
+        },
+    )
+
+
+# Half-walks over the schema type graph; mirroring one yields every
+# symmetric path PathSim accepts.
+_NEXT = {"a": ["b"], "b": ["a", "c"], "c": ["b"]}
+
+
+@st.composite
+def symmetric_paths(draw):
+    node = draw(st.sampled_from(["a", "b", "c"]))
+    half = [node]
+    for _ in range(draw(st.integers(1, 3))):
+        node = draw(st.sampled_from(_NEXT[node]))
+        half.append(node)
+    return "-".join(half + half[-2::-1])
+
+
+@st.composite
+def update_batches(draw):
+    """Random inserts, deletes, integer-weight upserts and node growth,
+    kept index-valid (same shape as the planner property suite)."""
+    counts = {"a": 4, "b": 3, "c": 2}
+    relations = {"r_ab": ("a", "b"), "r_bc": ("b", "c")}
+    batches = []
+    for _ in range(draw(st.integers(1, 3))):
+        batch = UpdateBatch()
+        for t in ("a", "b", "c"):
+            if draw(st.booleans()):
+                added = draw(st.integers(1, 2))
+                batch.add_nodes(t, added)
+                counts[t] += added
+        for rel, (src, dst) in relations.items():
+            for _ in range(draw(st.integers(0, 4))):
+                kind = draw(st.sampled_from(["insert", "delete", "upsert"]))
+                u = draw(st.integers(0, counts[src] - 1))
+                v = draw(st.integers(0, counts[dst] - 1))
+                if kind == "insert":
+                    batch.add_edges(rel, [(u, v, draw(st.integers(1, 3)))])
+                elif kind == "delete":
+                    batch.remove_edges(rel, [(u, v)])
+                else:
+                    batch.set_weights(rel, [(u, v, draw(st.integers(0, 3)))])
+        batches.append(batch)
+    return batches
+
+
+def _identical(fused_engine, mat_engine, path, query, k, exclude):
+    f = fused_engine.pathsim_top_k(path, query, k, exclude_query=exclude)
+    m = mat_engine.pathsim_top_k(path, query, k, exclude_query=exclude)
+    assert list(f) == list(m), (path, query, k, exclude)
+    assert f.mode == "fused" and m.mode == "materialize"
+
+
+class TestFusedOracle:
+    @given(
+        symmetric_paths(),
+        st.integers(0, 3),
+        st.integers(0, 6),
+        st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_single_source_bit_identical(self, path, query, k, exclude):
+        hin = _base_hin()
+        _identical(
+            MetaPathEngine(hin, mode="fused"),
+            MetaPathEngine(hin, mode="materialize"),
+            path,
+            query % hin.node_count(path.split("-")[0]),
+            k,
+            exclude,
+        )
+
+    @given(symmetric_paths(), st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_batch_bit_identical(self, path, k):
+        hin = _base_hin()
+        queries = list(range(hin.node_count(path.split("-")[0])))
+        fused = MetaPathEngine(hin, mode="fused").pathsim_top_k_batch(
+            path, queries, k
+        )
+        mat = MetaPathEngine(hin, mode="materialize").pathsim_top_k_batch(
+            path, queries, k
+        )
+        assert [list(r) for r in fused] == [list(r) for r in mat]
+
+    @given(
+        st.lists(symmetric_paths(), min_size=1, max_size=3),
+        update_batches(),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_parity_survives_update_streams(self, paths, batches, k):
+        """Warm both kernels, then interleave random update batches with
+        queries: the fused kernel reads the *maintained* cached diagonal
+        wherever one exists, so parity after updates is exactly the
+        incremental-maintenance oracle the issue asks for."""
+        hin = _base_hin()
+        fused = MetaPathEngine(hin, mode="fused")
+        mat = MetaPathEngine(hin, mode="materialize")
+        for path in paths:  # warm: materialized caches (w, diag)
+            mat.pathsim_top_k(path, 0, k)
+        for batch in batches:
+            hin.apply(batch)
+            for path in paths:
+                src = path.split("-")[0]
+                for query in range(hin.node_count(src)):
+                    _identical(fused, mat, path, query, k, True)
+
+    @given(symmetric_paths(), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_partial_block_bit_identical(self, path, k):
+        hin = _base_hin()
+        src = path.split("-")[0]
+        n = hin.node_count(src)
+        rows = list(range(min(2, n)))
+        candidates = list(range(n))
+        fused = MetaPathEngine(hin, mode="fused").pathsim_partial_block(
+            path, rows, candidates
+        )
+        mat = MetaPathEngine(hin, mode="materialize").pathsim_partial_block(
+            path, rows, candidates
+        )
+        assert np.array_equal(fused, mat)

@@ -59,8 +59,12 @@ class TestSimilarQueries:
 
     def test_repeated_similar_rematerializes_nothing(self, small_bib):
         """Acceptance: facade queries hit the shared engine cache — a
-        second query on the same path adds hits, zero misses."""
-        q = small_bib.query(engine=small_bib.engine(max_cached_matrices=16))
+        second query on the same path adds hits, zero misses.  Pinned to
+        the materialized kernel, whose cache fill this test watches
+        (mode="auto" would serve the cold queries fused, cache-free)."""
+        q = small_bib.query(
+            engine=small_bib.engine(max_cached_matrices=16, mode="materialize")
+        )
         q.similar("v0", "V-P-A-P-V", k=2)  # warm via the abbreviated spelling
         before = q.cache_info()
         for query_obj in ("v0", "v1", "v0"):
