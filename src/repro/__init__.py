@@ -25,6 +25,7 @@ from repro import (
     core,
     datasets,
     engine,
+    ingest,
     integration,
     measures,
     networks,
@@ -35,6 +36,7 @@ from repro import (
     serving,
     similarity,
 )
+from repro.ingest import OpenWorldWorkload, StreamIngestor
 from repro.engine import MetaPathEngine
 from repro.exceptions import ReproError
 from repro.networks import (
@@ -89,8 +91,11 @@ __all__ = [
     "TopKResult",
     "ClusteringResult",
     "ClassificationResult",
+    "StreamIngestor",
+    "OpenWorldWorkload",
     "networks",
     "engine",
+    "ingest",
     "query",
     "serving",
     "relational",

@@ -6,6 +6,8 @@ from repro.datasets.dblp import (
     AREAS,
     VENUES_BY_AREA,
     DblpFourArea,
+    dblp_schema,
+    empty_dblp_hin,
     make_dblp_four_area,
 )
 from repro.datasets.facts import FactDataset, make_conflicting_facts
@@ -30,6 +32,8 @@ __all__ = [
     "RANKCLUS_CONFIGS",
     "DblpFourArea",
     "make_dblp_four_area",
+    "dblp_schema",
+    "empty_dblp_hin",
     "AREAS",
     "VENUES_BY_AREA",
 ]

@@ -27,7 +27,14 @@ from repro.networks.schema import NetworkSchema
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_positive, check_probability
 
-__all__ = ["DblpFourArea", "make_dblp_four_area", "AREAS", "VENUES_BY_AREA"]
+__all__ = [
+    "DblpFourArea",
+    "make_dblp_four_area",
+    "dblp_schema",
+    "empty_dblp_hin",
+    "AREAS",
+    "VENUES_BY_AREA",
+]
 
 AREAS = ["database", "data_mining", "info_retrieval", "machine_learning"]
 
@@ -42,6 +49,43 @@ VENUES_BY_AREA: dict[str, list[str]] = {
 #: as the venue-choice distribution, so flagship venues accumulate the
 #: most papers — which is what authority ranking should recover.
 _PRESTIGE = np.array([0.35, 0.25, 0.18, 0.12, 0.10])
+
+
+def dblp_schema() -> NetworkSchema:
+    """The canonical DBLP star schema shared by every DBLP build path.
+
+    Both the synthetic four-area generator (:func:`make_dblp_four_area`)
+    and the real streaming XML ingest
+    (:class:`repro.ingest.StreamIngestor`) construct their networks from
+    this one helper, so the meta-path DSL abbreviations (``"A-P-V-P-A"``,
+    ``"P-T"``, ...) resolve to exactly the same types and relations no
+    matter where the data came from — pinned by
+    ``tests/ingest/test_schema_parity.py``.
+    """
+    return NetworkSchema(
+        ["author", "paper", "venue", "term"],
+        [
+            ("writes", "author", "paper"),
+            ("published_in", "paper", "venue"),
+            ("mentions", "paper", "term"),
+        ],
+    )
+
+
+def empty_dblp_hin() -> HIN:
+    """An empty, *named* HIN over :func:`dblp_schema`.
+
+    Every type starts at zero nodes with an (empty) name table, so
+    :meth:`~repro.networks.hin.HIN.apply` batches can grow it by name —
+    the starting state of a streaming ingest.
+    """
+    schema = dblp_schema()
+    return HIN(
+        schema,
+        {t: 0 for t in schema.node_types},
+        {},
+        node_names={t: [] for t in schema.node_types},
+    )
 
 
 @dataclass
@@ -161,14 +205,7 @@ def make_dblp_four_area(
             terms_chosen.add(pick_term(area))
         mentions.extend((p, t) for t in terms_chosen)
 
-    schema = NetworkSchema(
-        ["author", "paper", "venue", "term"],
-        [
-            ("writes", "author", "paper"),
-            ("published_in", "paper", "venue"),
-            ("mentions", "paper", "term"),
-        ],
-    )
+    schema = dblp_schema()
     hin = HIN.from_edges(
         schema,
         nodes={

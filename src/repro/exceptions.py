@@ -25,6 +25,11 @@ __all__ = [
     "CubeError",
     "DimensionError",
     "SnapshotError",
+    "IngestError",
+    "XmlSyntaxError",
+    "TruncatedXmlError",
+    "IngestEncodingError",
+    "MalformedRecordError",
     "NotFittedError",
     "ConvergenceWarning",
     "DataWarning",
@@ -119,6 +124,37 @@ class SnapshotError(ReproError):
     Raised when loading a snapshot whose manifest does not describe the
     target network — wrong schema, wrong update epoch, or relation
     content that drifted since the snapshot was taken.
+    """
+
+
+class IngestError(ReproError):
+    """A raw-data ingest stream cannot be parsed or safely applied.
+
+    Every failure of the streaming ingest layer (:mod:`repro.ingest`)
+    derives from this class, so a loader loop can catch one type.  The
+    contract: an :class:`IngestError` raised mid-stream never leaves a
+    *partially applied* chunk behind — committed update batches stay
+    committed, the pending chunk is discarded whole.
+    """
+
+
+class XmlSyntaxError(IngestError):
+    """The XML byte stream is not well-formed (wraps the parser error)."""
+
+
+class TruncatedXmlError(XmlSyntaxError):
+    """The XML stream ended mid-document (connection drop, partial file)."""
+
+
+class IngestEncodingError(IngestError):
+    """The byte stream is not valid in its declared character encoding."""
+
+
+class MalformedRecordError(IngestError):
+    """A publication record violates the schema mapping (strict mode).
+
+    Raised only under ``on_error="raise"``; the default policy skips the
+    record and surfaces a per-reason counter in ``ingest_stats()``.
     """
 
 

@@ -1,0 +1,73 @@
+"""Streaming real-data ingest and open-world workload generation.
+
+The bridge from raw DBLP-shaped XML to a served, updatable HIN — and
+the traffic generator to stress it:
+
+* :func:`~repro.ingest.dblp_xml.iter_dblp_records` — constant-memory
+  pull parsing of arbitrarily large DBLP XML (element-clearing
+  ``iterparse`` discipline, typed
+  :class:`~repro.exceptions.IngestError` taxonomy);
+* :class:`~repro.ingest.stream.StreamIngestor` — folds the record
+  stream into bounded :class:`~repro.networks.UpdateBatch` chunks
+  committed through the normal ``hin.apply()`` path, so ingest *is* an
+  update-stream scenario (engine maintenance, planner stats, watches
+  and cluster republication all run underneath a bulk load);
+* :class:`~repro.ingest.workload.OpenWorldWorkload` — seed-
+  deterministic Zipf-skewed query streams (similar / connected / rank /
+  olap mix, optional live writer) replayable against any
+  :class:`~repro.serving.api.ServingAPI` service;
+* :func:`~repro.ingest.fixture.write_dblp_xml` — deterministic
+  DBLP-shaped fixtures from the synthetic four-area generator, closing
+  the generator → XML → ingest differential loop.
+
+See ``docs/GUIDE.md`` → "Real data" for the walkthrough and benchmark
+E23 for the scale/identity acceptance gates.
+"""
+
+from repro.ingest.dblp_xml import (
+    KNOWN_RECORD_TAGS,
+    PUBLICATION_TAGS,
+    ParseStats,
+    PubRecord,
+    iter_dblp_records,
+)
+from repro.ingest.fixture import (
+    dataset_records,
+    make_fixture_xml,
+    record_xml,
+    write_dblp_xml,
+)
+from repro.ingest.stream import (
+    IngestReport,
+    StreamIngestor,
+    canonical_state,
+    state_digest,
+    tokenize_title,
+)
+from repro.ingest.workload import (
+    OpenWorldWorkload,
+    QueryOp,
+    WorkloadMix,
+    WorkloadRun,
+)
+
+__all__ = [
+    "iter_dblp_records",
+    "PubRecord",
+    "ParseStats",
+    "PUBLICATION_TAGS",
+    "KNOWN_RECORD_TAGS",
+    "StreamIngestor",
+    "IngestReport",
+    "canonical_state",
+    "state_digest",
+    "tokenize_title",
+    "OpenWorldWorkload",
+    "WorkloadMix",
+    "WorkloadRun",
+    "QueryOp",
+    "write_dblp_xml",
+    "make_fixture_xml",
+    "record_xml",
+    "dataset_records",
+]

@@ -1,0 +1,47 @@
+"""Shared fixtures for the streaming-ingest suite.
+
+One deterministic four-area dataset serialized to DBLP-shaped XML once
+per session; tests that mutate records use the ``write_dblp_xml`` mutate
+hook on their own copies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.datasets import make_dblp_four_area
+from repro.ingest import write_dblp_xml
+
+PAPERS_PER_AREA = 40
+SEED = 23
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    """The canonical fixture dataset (160 papers, seed-pinned)."""
+    return make_dblp_four_area(papers_per_area=PAPERS_PER_AREA, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def fixture_xml(dataset, tmp_path_factory):
+    """The dataset serialized as DBLP XML, written once per session."""
+    path = tmp_path_factory.mktemp("ingest") / "dblp_fixture.xml"
+    write_dblp_xml(dataset, path)
+    return path
+
+
+@pytest.fixture(scope="session")
+def writer_xml(tmp_path_factory):
+    """A disjoint second slice (``w_``-prefixed keys) for live-writer runs."""
+    extra = make_dblp_four_area(papers_per_area=15, seed=99)
+    path = tmp_path_factory.mktemp("ingest-writer") / "dblp_writer.xml"
+    write_dblp_xml(
+        extra,
+        path,
+        mutate=lambda records: [
+            dataclasses.replace(r, key="w_" + r.key) for r in records
+        ],
+    )
+    return path

@@ -1,0 +1,264 @@
+"""Streaming DBLP XML parser: field mapping, error taxonomy, memory bound."""
+
+from __future__ import annotations
+
+import io
+import tracemalloc
+
+import pytest
+
+from repro.exceptions import (
+    IngestEncodingError,
+    IngestError,
+    TruncatedXmlError,
+    XmlSyntaxError,
+)
+from repro.ingest import ParseStats, iter_dblp_records, write_dblp_xml
+
+
+def _xml(body: str) -> io.BytesIO:
+    doc = f'<?xml version="1.0" encoding="UTF-8"?>\n<dblp>\n{body}\n</dblp>\n'
+    return io.BytesIO(doc.encode("utf-8"))
+
+
+ARTICLE = """
+<article key="journals/tods/Doe01" mdate="2010-01-01">
+  <author>Jane Doe</author>
+  <author>John Roe</author>
+  <title>Mining Heterogeneous Networks.</title>
+  <year>2001</year>
+  <journal>TODS</journal>
+  <volume>26</volume>
+</article>
+"""
+
+INPROC = """
+<inproceedings key="conf/sigmod/Doe10">
+  <author>Jane Doe</author>
+  <title>Ranking and Clustering.</title>
+  <year>2010</year>
+  <booktitle>SIGMOD</booktitle>
+  <pages>1-12</pages>
+  <ee>https://example.org/x</ee>
+</inproceedings>
+"""
+
+
+class TestFieldMapping:
+    def test_article_fields(self):
+        (rec,) = iter_dblp_records(_xml(ARTICLE))
+        assert rec.key == "journals/tods/Doe01"
+        assert rec.kind == "article"
+        assert rec.title == "Mining Heterogeneous Networks."
+        assert rec.year == 2001
+        assert rec.venue == "TODS"
+        assert rec.authors == ("Jane Doe", "John Roe")
+
+    def test_inproceedings_venue_is_booktitle(self):
+        (rec,) = iter_dblp_records(_xml(INPROC))
+        assert rec.kind == "inproceedings"
+        assert rec.venue == "SIGMOD"
+
+    def test_article_falls_back_to_booktitle(self):
+        body = ARTICLE.replace(
+            "<journal>TODS</journal>", "<booktitle>VLDB</booktitle>"
+        )
+        (rec,) = iter_dblp_records(_xml(body))
+        assert rec.venue == "VLDB"
+
+    def test_missing_fields_are_none_or_empty(self):
+        body = '<inproceedings key="k"><title>T.</title></inproceedings>'
+        (rec,) = iter_dblp_records(_xml(body))
+        assert rec.year is None
+        assert rec.venue is None
+        assert rec.authors == ()
+
+    def test_non_numeric_year_is_none(self):
+        body = INPROC.replace("<year>2010</year>", "<year>MMX</year>")
+        (rec,) = iter_dblp_records(_xml(body))
+        assert rec.year is None
+
+    def test_duplicate_authors_preserved_by_parser(self):
+        body = INPROC.replace(
+            "<author>Jane Doe</author>",
+            "<author>Jane Doe</author><author>Jane Doe</author>",
+        )
+        (rec,) = iter_dblp_records(_xml(body))
+        assert rec.authors == ("Jane Doe", "Jane Doe")
+
+    def test_entities_unescaped(self):
+        body = """
+        <inproceedings key="conf/x/A&amp;B">
+          <author>M&#252;ller &amp; S&#248;rensen</author>
+          <title>&lt;Graphs&gt; &amp; "Joins".</title>
+          <booktitle>A &amp; B</booktitle>
+        </inproceedings>
+        """
+        (rec,) = iter_dblp_records(_xml(body))
+        assert rec.key == "conf/x/A&B"
+        assert rec.authors == ("Müller & Sørensen",)
+        assert rec.title == '<Graphs> & "Joins".'
+        assert rec.venue == "A & B"
+
+    def test_nested_markup_in_title_flattened(self):
+        body = '<article key="k"><title>On <i>PathSim</i> joins.</title></article>'
+        (rec,) = iter_dblp_records(_xml(body))
+        assert rec.title == "On PathSim joins."
+
+
+class TestStatsCounters:
+    def test_known_unmapped_kinds_counted_not_yielded(self):
+        stats = ParseStats()
+        body = (
+            INPROC
+            + '<phdthesis key="t"><title>T.</title></phdthesis>'
+            + '<www key="w"><title>Home.</title></www>'
+        )
+        records = list(iter_dblp_records(_xml(body), stats=stats))
+        assert [r.key for r in records] == ["conf/sigmod/Doe10"]
+        assert stats.records == 1
+        assert stats.skipped_kind == 2
+        assert stats.unknown_kind == 0
+
+    def test_unknown_kind_counted(self):
+        stats = ParseStats()
+        records = list(
+            iter_dblp_records(_xml(INPROC + "<banana><x/></banana>"), stats=stats)
+        )
+        assert len(records) == 1
+        assert stats.unknown_kind == 1
+
+    def test_unknown_field_counted_content_ignored(self):
+        stats = ParseStats()
+        body = INPROC.replace(
+            "<pages>1-12</pages>", "<pages>1-12</pages><hologram>3d</hologram>"
+        )
+        (rec,) = iter_dblp_records(_xml(body), stats=stats)
+        assert stats.unknown_fields == 1
+        assert rec.venue == "SIGMOD"
+
+    def test_bytes_fed_and_as_dict(self):
+        stats = ParseStats()
+        stream = _xml(ARTICLE)
+        size = len(stream.getvalue())
+        list(iter_dblp_records(stream, stats=stats))
+        d = stats.as_dict()
+        assert d["bytes_fed"] == size
+        assert d["records"] == 1
+        assert set(d) == {
+            "records",
+            "skipped_kind",
+            "unknown_kind",
+            "unknown_fields",
+            "bytes_fed",
+        }
+
+
+class TestErrorTaxonomy:
+    def test_malformed_xml_raises_syntax_error(self):
+        bad = io.BytesIO(b"<dblp><article key='k'><title>T</article></dblp>")
+        with pytest.raises(XmlSyntaxError):
+            list(iter_dblp_records(bad))
+
+    def test_truncated_stream_raises_truncated(self):
+        full = _xml(ARTICLE + INPROC).getvalue()
+        with pytest.raises(TruncatedXmlError):
+            list(iter_dblp_records(io.BytesIO(full[: len(full) // 2])))
+
+    def test_records_before_truncation_are_yielded(self):
+        full = _xml(ARTICLE + INPROC).getvalue()
+        cut = full[: full.index(b"<inproceedings") + 20]
+        got = []
+        with pytest.raises(TruncatedXmlError):
+            for rec in iter_dblp_records(io.BytesIO(cut)):
+                got.append(rec.key)
+        assert got == ["journals/tods/Doe01"]
+
+    def test_empty_document_raises_truncated(self):
+        with pytest.raises(TruncatedXmlError):
+            list(iter_dblp_records(io.BytesIO(b"")))
+
+    def test_non_utf8_bytes_raise_encoding_error(self):
+        doc = _xml(ARTICLE).getvalue()
+        bad = doc.replace(b"Jane Doe", b"Jane \xff\xfe Doe")
+        with pytest.raises(IngestEncodingError):
+            list(iter_dblp_records(io.BytesIO(bad)))
+
+    def test_error_types_are_ingest_errors(self):
+        assert issubclass(TruncatedXmlError, XmlSyntaxError)
+        assert issubclass(XmlSyntaxError, IngestError)
+        assert issubclass(IngestEncodingError, IngestError)
+
+    def test_text_mode_stream_rejected(self, tmp_path):
+        path = tmp_path / "t.xml"
+        path.write_bytes(_xml(ARTICLE).getvalue())
+        with open(path, encoding="utf-8") as f:
+            with pytest.raises(ValueError, match="binary"):
+                list(iter_dblp_records(f))
+
+    def test_text_stream_without_mode_attr_rejected(self):
+        text = io.StringIO(_xml(ARTICLE).getvalue().decode("utf-8"))
+        with pytest.raises(ValueError, match="rb"):
+            list(iter_dblp_records(text))
+
+
+class TestStreaming:
+    def test_tiny_chunks_yield_identical_records(self, dataset, fixture_xml):
+        big = list(iter_dblp_records(fixture_xml))
+        small = list(iter_dblp_records(fixture_xml, chunk_bytes=7))
+        assert small == big
+        assert len(big) == dataset.hin.node_count("paper")
+
+    def test_multibyte_char_split_across_chunks(self):
+        stream = _xml(ARTICLE.replace("Jane Doe", "Ranée Øst"))
+        data = stream.getvalue()
+        boundary = data.index("Ran".encode()) + 4  # mid-é in UTF-8
+        records = []
+        for cut in range(1, 5):
+            records.append(
+                list(iter_dblp_records(io.BytesIO(data), chunk_bytes=boundary + cut))
+            )
+        assert all(r == records[0] for r in records)
+        assert records[0][0].authors[0] == "Ranée Øst"
+
+    def test_path_and_stream_sources_agree(self, fixture_xml):
+        from_path = list(iter_dblp_records(fixture_xml))
+        with open(fixture_xml, "rb") as f:
+            from_stream = list(iter_dblp_records(f))
+        assert from_path == from_stream
+
+    def test_parser_memory_is_bounded(self, dataset, tmp_path):
+        """Peak allocation may not scale with input length (3x vs 1x)."""
+        import gc
+
+        def peak(path) -> int:
+            gc.collect()
+            tracemalloc.start()
+            try:
+                for _ in iter_dblp_records(path):
+                    pass
+                return tracemalloc.get_traced_memory()[1]
+            finally:
+                tracemalloc.stop()
+
+        one = tmp_path / "one.xml"
+        three = tmp_path / "three.xml"
+        write_dblp_xml(dataset, one)
+        records = (
+            one.read_text(encoding="utf-8")
+            .split("<dblp>\n", 1)[1]
+            .rsplit("</dblp>", 1)[0]
+        )
+        three.write_text(
+            '<?xml version="1.0" encoding="UTF-8"?>\n<dblp>\n'
+            + records * 3
+            + "</dblp>\n",
+            encoding="utf-8",
+        )
+        assert three.stat().st_size > 2.9 * one.stat().st_size
+        # Warm once untraced so lazy caches (expat tables, interned
+        # strings) don't land inside the measured window.
+        for _ in iter_dblp_records(three):
+            pass
+        p1, p3 = peak(one), peak(three)
+        assert p3 < 1.5 * p1, f"peak grew with input: {p1} -> {p3}"
